@@ -1,0 +1,37 @@
+// Figure 2 reproduction: running times for RANDOM input, split by phase,
+// weak scaling over P = 1..64 PEs (paper: 100 GiB per PE; here scaled, see
+// bench_util.h).
+//
+// Paper shape to reproduce: near-flat total time as P grows; run formation
+// and final merge of similar magnitude and dominating; multiway selection
+// negligible; all-to-all small (randomized run formation already places
+// most data).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace demsort;
+  FlagParser flags(argc, argv);
+  uint64_t elements_per_pe = static_cast<uint64_t>(
+      flags.GetInt("elements-per-pe", (2 << 20) / 16));  // 2 MiB of KV16
+  core::SortConfig config = bench::FigureConfig(
+      static_cast<size_t>(flags.GetInt("block-size", 4 * 1024)));
+
+  sim::CostModel model;
+  std::printf(
+      "# Fig. 2 — CANONICALMERGESORT, random input, weak scaling\n"
+      "# %llu elements/PE (16 B each), B=%zu, m=%zu B, D=%u, randomized\n"
+      "# modeled seconds on the paper's testbed constants; emulation wall "
+      "ms for reference\n",
+      static_cast<unsigned long long>(elements_per_pe), config.block_size,
+      config.memory_per_pe, config.disks_per_pe);
+  bench::PrintPhaseHeader();
+  for (int p : bench::PeSweep(flags)) {
+    bench::SortRunResult run = bench::RunCanonical(
+        p, workload::Distribution::kUniform, config, elements_per_pe);
+    bench::PrintPhaseRow(p, run, model);
+    std::fflush(stdout);
+  }
+  return 0;
+}

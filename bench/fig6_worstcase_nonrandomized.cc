@@ -1,0 +1,36 @@
+// Figure 6 reproduction: running times for WORST-CASE input WITHOUT
+// randomization, P = 1..64.
+//
+// Paper shape: up to ~50% running-time penalty versus Figs. 2/4 — without
+// randomization every run covers a narrow key slice, so (almost) all data
+// is misplaced after run formation and the external all-to-all performs an
+// extra read+write of nearly everything (4N -> 6N I/O volume).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace demsort;
+  FlagParser flags(argc, argv);
+  uint64_t elements_per_pe = static_cast<uint64_t>(
+      flags.GetInt("elements-per-pe", (2 << 20) / 16));
+  core::SortConfig config = bench::FigureConfig(
+      static_cast<size_t>(flags.GetInt("block-size", 4 * 1024)));
+  config.randomize_blocks = false;
+
+  sim::CostModel model;
+  std::printf(
+      "# Fig. 6 — CANONICALMERGESORT, worst-case input, NO randomization\n"
+      "# %llu elements/PE, B=%zu, m=%zu B, D=%u\n",
+      static_cast<unsigned long long>(elements_per_pe), config.block_size,
+      config.memory_per_pe, config.disks_per_pe);
+  bench::PrintPhaseHeader();
+  for (int p : bench::PeSweep(flags)) {
+    bench::SortRunResult run = bench::RunCanonical(
+        p, workload::Distribution::kWorstCaseLocal, config,
+        elements_per_pe);
+    bench::PrintPhaseRow(p, run, model);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Microbenchmarks of the shared-memory substrate (the MCSTL role): loser
+// tree k-way merging, exact multiway selection, and in-memory sorting.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/record.h"
+#include "par/multiway_merge.h"
+#include "par/multiway_select.h"
+#include "par/parallel_sort.h"
+#include "par/thread_pool.h"
+#include "util/random.h"
+
+namespace {
+
+using demsort::Rng;
+using demsort::core::KV16;
+using KVLess = demsort::core::RecordTraits<KV16>::Less;
+
+std::vector<std::vector<KV16>> MakeRuns(size_t k, size_t len, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<KV16>> runs(k);
+  for (auto& run : runs) {
+    run.resize(len);
+    for (auto& r : run) r = {rng.Next(), rng.Next()};
+    std::sort(run.begin(), run.end(), KVLess());
+  }
+  return runs;
+}
+
+void BM_MultiwayMerge(benchmark::State& state) {
+  size_t k = state.range(0);
+  size_t len = 1 << 16;
+  auto runs = MakeRuns(k, len, 42);
+  std::vector<std::span<const KV16>> spans;
+  for (auto& r : runs) spans.emplace_back(r.data(), r.size());
+  std::vector<KV16> out(k * len);
+  for (auto _ : state) {
+    demsort::par::MultiwayMerge<KV16, KVLess>(spans, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * k * len);
+}
+BENCHMARK(BM_MultiwayMerge)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64)->Iterations(5);
+
+void BM_MultiwaySelect(benchmark::State& state) {
+  size_t k = state.range(0);
+  size_t len = 1 << 18;
+  auto runs = MakeRuns(k, len, 7);
+  std::vector<std::span<const KV16>> spans;
+  for (auto& r : runs) spans.emplace_back(r.data(), r.size());
+  uint64_t rank = k * len / 2;
+  for (auto _ : state) {
+    auto positions =
+        demsort::par::MultiwaySelect<KV16, KVLess>(spans, rank);
+    benchmark::DoNotOptimize(positions.data());
+  }
+}
+BENCHMARK(BM_MultiwaySelect)->Arg(2)->Arg(8)->Arg(32)->Iterations(2000);
+
+void BM_ParallelSort(benchmark::State& state) {
+  size_t threads = state.range(0);
+  size_t n = 1 << 19;
+  demsort::par::ThreadPool pool(threads);
+  Rng rng(3);
+  std::vector<KV16> data(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& r : data) r = {rng.Next(), rng.Next()};
+    state.ResumeTiming();
+    demsort::par::ParallelSort<KV16, KVLess>(pool, std::span<KV16>(data));
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelSort)->Arg(1)->Arg(2)->Arg(4)->Iterations(5);
+
+void BM_LoserTreeReplay(benchmark::State& state) {
+  size_t k = state.range(0);
+  demsort::par::LoserTree<KV16, KVLess> tree(k);
+  Rng rng(11);
+  for (size_t s = 0; s < k; ++s) tree.InitSource(s, {rng.Next(), 0});
+  tree.Build();
+  for (auto _ : state) {
+    tree.ReplaceWinner({rng.Next(), 0});
+    benchmark::DoNotOptimize(tree.WinnerSource());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoserTreeReplay)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Iterations(2000000);
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Microbenchmarks of the message-passing substrate: point-to-point
+// round-trips, barrier, allgather, and the 64-bit alltoallv.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "net/cluster.h"
+#include "net/comm.h"
+
+namespace {
+
+using demsort::net::Cluster;
+using demsort::net::Comm;
+
+void BM_PingPong(benchmark::State& state) {
+  size_t bytes = state.range(0);
+  for (auto _ : state) {
+    Cluster::Run(2, [&](Comm& comm) {
+      std::vector<uint8_t> payload(bytes, 1);
+      for (int i = 0; i < 100; ++i) {
+        if (comm.rank() == 0) {
+          comm.Send(1, 1, payload.data(), payload.size());
+          comm.Recv(1, 2);
+        } else {
+          comm.Recv(0, 1);
+          comm.Send(0, 2, payload.data(), payload.size());
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * 200 * bytes);
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(1 << 20)->Iterations(10);
+
+void BM_Barrier(benchmark::State& state) {
+  int pes = state.range(0);
+  for (auto _ : state) {
+    Cluster::Run(pes, [](Comm& comm) {
+      for (int i = 0; i < 50; ++i) comm.Barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(32)->Iterations(10);
+
+void BM_Alltoallv(benchmark::State& state) {
+  int pes = state.range(0);
+  size_t per_pair = 4096;
+  for (auto _ : state) {
+    Cluster::Run(pes, [&](Comm& comm) {
+      std::vector<std::vector<uint64_t>> sends(comm.size());
+      for (auto& s : sends) s.assign(per_pair / 8, comm.rank());
+      for (int i = 0; i < 10; ++i) {
+        auto recv = comm.Alltoallv<uint64_t>(sends);
+        benchmark::DoNotOptimize(recv.size());
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * 10 * pes * pes * per_pair);
+}
+BENCHMARK(BM_Alltoallv)->Arg(2)->Arg(8)->Arg(16)->Iterations(10);
+
+}  // namespace
+

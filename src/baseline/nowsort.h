@@ -1,0 +1,198 @@
+// NOW-Sort-style baseline [5]: partition first, sort later.
+//
+//   1. sample a sliver of the local input, allgather, pick P-1 splitter keys;
+//   2. single pass over the input: classify each element against the
+//      splitters and ship it to its target PE (memory-bounded sub-steps);
+//      targets spill received data to disk unsorted;
+//   3. every PE external-sorts its partition locally (run formation with
+//      plain local sorts, then an R-way merge re-using the final-merge
+//      machinery).
+//
+// This is the scheme the paper contrasts with: one communication and two
+// passes like CANONICALMERGESORT on friendly inputs, but the partition is
+// only as good as the sample — on skewed or adversarial inputs partitions
+// collapse onto few PEs ("in the worst case, it deteriorates to a
+// sequential algorithm") and there is no exact rank guarantee.
+#ifndef DEMSORT_BASELINE_NOWSORT_H_
+#define DEMSORT_BASELINE_NOWSORT_H_
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/block_io.h"
+#include "core/config.h"
+#include "core/final_merge.h"
+#include "core/local_input.h"
+#include "core/pe_context.h"
+#include "core/phase_stats.h"
+#include "core/record.h"
+#include "io/striped_writer.h"
+#include "util/aligned_buffer.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace demsort::baseline {
+
+template <typename R>
+struct NowSortOutput {
+  std::vector<io::BlockId> blocks;
+  uint64_t num_elements = 0;
+  /// max over PEs of partition size divided by the mean — the skew the
+  /// paper warns about (1.0 = perfectly balanced).
+  double imbalance = 1.0;
+  core::SortReport report;
+};
+
+template <typename R>
+NowSortOutput<R> NowSort(core::PeContext& ctx, const core::SortConfig& config,
+                         const core::LocalInput& input,
+                         size_t sample_per_pe = 64) {
+  using Less = typename core::RecordTraits<R>::Less;
+  Less less;
+  net::Comm& comm = *ctx.comm;
+  io::BlockManager* bm = ctx.bm;
+  const int P = comm.size();
+  const size_t epb = config.ElementsPerBlock<R>();
+  core::PhaseCollector collector(ctx.comm, ctx.bm);
+
+  NowSortOutput<R> out;
+  out.report.rank = comm.rank();
+  out.report.num_pes = P;
+  out.report.local_input_elements = input.num_elements;
+
+  // --------------------------------------------- 1. sampled splitters ----
+  // (charged to the selection phase slot for reporting symmetry)
+  comm.Barrier();
+  collector.Begin(core::Phase::kMultiwaySelection);
+  std::vector<R> splitters;
+  {
+    Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL *
+                           (static_cast<uint64_t>(comm.rank()) + 7)));
+    std::vector<R> sample;
+    if (!input.blocks.empty() && input.num_elements > 0) {
+      AlignedBuffer buf(bm->block_size());
+      for (size_t s = 0; s < sample_per_pe; ++s) {
+        size_t b = static_cast<size_t>(rng.Below(input.blocks.size()));
+        bm->ReadSync(input.blocks[b], buf.data());
+        size_t count = b + 1 == input.blocks.size()
+                           ? static_cast<size_t>(input.num_elements -
+                                                 b * epb)
+                           : epb;
+        const R* records = reinterpret_cast<const R*>(buf.data());
+        sample.push_back(records[rng.Below(count)]);
+      }
+    }
+    auto all = comm.AllgatherV(sample);
+    std::vector<R> merged;
+    for (auto& part : all) {
+      merged.insert(merged.end(), part.begin(), part.end());
+    }
+    std::sort(merged.begin(), merged.end(), less);
+    for (int t = 1; t < P; ++t) {
+      if (merged.empty()) break;
+      splitters.push_back(merged[merged.size() * t / P]);
+    }
+  }
+  comm.Barrier();
+  collector.End(core::Phase::kMultiwaySelection);
+
+  // --------------- 2. one-pass redistribution + run formation ----
+  // The receiver sorts memory-sized batches of incoming records and spills
+  // them as sorted runs directly (no unsorted partition pass): total I/O
+  // stays at 4N like the original NOW-Sort.
+  collector.Begin(core::Phase::kAllToAll);
+  std::vector<std::vector<core::Extent<R>>> extents;
+  uint64_t partition_elements = 0;
+  {
+    core::PhaseStats* a2a = &collector.stats(core::Phase::kAllToAll);
+    size_t run_elems =
+        std::max(epb, config.ElementsPerPeMemory<R>() / epb * epb);
+    std::vector<R> pending;
+    pending.reserve(2 * run_elems);
+    uint32_t run_id = 0;
+    auto spill_run = [&]() {
+      std::stable_sort(pending.begin(), pending.end(), less);
+      a2a->elements_sorted += pending.size();
+      io::StripedWriter<R> writer(bm);
+      for (const R& r : pending) writer.Append(r);
+      writer.Finish();
+      core::Extent<R> ext;
+      ext.run = run_id++;
+      ext.start_pos = 0;
+      ext.count = pending.size();
+      ext.blocks = writer.blocks();
+      ext.block_first_records = writer.block_first_records();
+      extents.push_back({std::move(ext)});
+      pending.clear();
+    };
+
+    // Memory-bounded: process `chunk_blocks` input blocks per sub-step.
+    size_t chunk_blocks =
+        std::max<size_t>(1, config.ElementsPerPeMemory<R>() / epb);
+    size_t num_chunks = input.blocks.empty()
+                            ? 0
+                            : (input.blocks.size() + chunk_blocks - 1) /
+                                  chunk_blocks;
+    uint64_t global_chunks = comm.AllreduceMax<uint64_t>(num_chunks);
+    uint64_t consumed = 0;
+    for (uint64_t c = 0; c < global_chunks; ++c) {
+      std::vector<std::vector<R>> sends(P);
+      size_t begin = static_cast<size_t>(c * chunk_blocks);
+      size_t end = std::min(input.blocks.size(), begin + chunk_blocks);
+      AlignedBuffer buf(bm->block_size());
+      for (size_t b = begin; b < end; ++b) {
+        bm->ReadSync(input.blocks[b], buf.data());
+        size_t count = static_cast<size_t>(std::min<uint64_t>(
+            epb, input.num_elements - consumed));
+        const R* records = reinterpret_cast<const R*>(buf.data());
+        for (size_t i = 0; i < count; ++i) {
+          int target = static_cast<int>(
+              std::upper_bound(splitters.begin(), splitters.end(),
+                               records[i], less) -
+              splitters.begin());
+          sends[target].push_back(records[i]);
+        }
+        consumed += count;
+        bm->Free(input.blocks[b]);
+      }
+      auto received = comm.Alltoallv<R>(sends);
+      for (auto& part : received) {
+        pending.insert(pending.end(), part.begin(), part.end());
+        partition_elements += part.size();
+      }
+      if (pending.size() >= run_elems) spill_run();
+    }
+    if (!pending.empty()) spill_run();
+  }
+  comm.Barrier();
+  collector.End(core::Phase::kAllToAll);
+
+  // Partition skew.
+  {
+    uint64_t max_part = comm.AllreduceMax<uint64_t>(partition_elements);
+    uint64_t total = comm.AllreduceSum<uint64_t>(partition_elements);
+    double mean = static_cast<double>(total) / P;
+    out.imbalance = mean > 0 ? static_cast<double>(max_part) / mean : 1.0;
+  }
+
+  collector.Begin(core::Phase::kFinalMerge);
+  core::MergeOutput<R> merged = core::FinalMerge<R>(
+      ctx, config, std::move(extents),
+      &collector.stats(core::Phase::kFinalMerge));
+  comm.Barrier();
+  collector.End(core::Phase::kFinalMerge);
+
+  out.blocks = std::move(merged.blocks);
+  out.num_elements = merged.num_elements;
+  out.report.local_output_elements = out.num_elements;
+  out.report.peak_blocks = bm->peak_blocks_in_use();
+  for (int p = 0; p < static_cast<int>(core::Phase::kNumPhases); ++p) {
+    out.report.phase[p] = collector.stats(static_cast<core::Phase>(p));
+  }
+  return out;
+}
+
+}  // namespace demsort::baseline
+
+#endif  // DEMSORT_BASELINE_NOWSORT_H_

@@ -1,0 +1,81 @@
+// Bulk helpers moving arrays of records between memory and block lists.
+// Streaming (prefetched / write-buffered) access lives in final_merge.h and
+// io/striped_writer.h; these are the simple whole-run variants used by run
+// formation and tests.
+#ifndef DEMSORT_CORE_BLOCK_IO_H_
+#define DEMSORT_CORE_BLOCK_IO_H_
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "io/block_manager.h"
+#include "util/aligned_buffer.h"
+#include "util/logging.h"
+
+namespace demsort::core {
+
+/// Reads `counts[i]` elements from each block into a contiguous vector.
+/// All reads are issued asynchronously, then awaited.
+template <typename R>
+std::vector<R> ReadBlocks(io::BlockManager* bm,
+                          const std::vector<io::BlockId>& blocks,
+                          const std::vector<size_t>& counts) {
+  DEMSORT_CHECK_EQ(blocks.size(), counts.size());
+  const size_t bs = bm->block_size();
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  std::vector<R> out(total);
+
+  std::vector<AlignedBuffer> buffers;
+  buffers.reserve(blocks.size());
+  std::vector<io::Request> requests;
+  requests.reserve(blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    buffers.emplace_back(bs);
+    requests.push_back(bm->ReadAsync(blocks[i], buffers.back().data()));
+  }
+  size_t offset = 0;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    requests[i].WaitOk();
+    std::memcpy(out.data() + offset, buffers[i].data(),
+                counts[i] * sizeof(R));
+    offset += counts[i];
+  }
+  return out;
+}
+
+/// Writes `data` across freshly block-aligned `blocks` (ceil(n/epb) of them),
+/// asynchronously; returns per-block first records for prediction metadata.
+/// Waits for completion before returning (buffers are stack-owned).
+template <typename R>
+std::vector<R> WriteBlocks(io::BlockManager* bm, std::span<const R> data,
+                           const std::vector<io::BlockId>& blocks) {
+  const size_t bs = bm->block_size();
+  const size_t epb = bs / sizeof(R);
+  DEMSORT_CHECK_GT(epb, 0u);
+  DEMSORT_CHECK_GE(blocks.size() * epb, data.size());
+
+  std::vector<R> first_records;
+  first_records.reserve(blocks.size());
+  std::vector<AlignedBuffer> buffers;
+  buffers.reserve(blocks.size());
+  std::vector<io::Request> requests;
+  requests.reserve(blocks.size());
+  size_t offset = 0;
+  for (size_t i = 0; i < blocks.size() && offset < data.size(); ++i) {
+    size_t count = std::min(epb, data.size() - offset);
+    buffers.emplace_back(bs);
+    std::memcpy(buffers.back().data(), data.data() + offset,
+                count * sizeof(R));
+    first_records.push_back(data[offset]);
+    requests.push_back(bm->WriteAsync(blocks[i], buffers.back().data()));
+    offset += count;
+  }
+  io::WaitAllOk(requests);
+  return first_records;
+}
+
+}  // namespace demsort::core
+
+#endif  // DEMSORT_CORE_BLOCK_IO_H_

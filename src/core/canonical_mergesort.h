@@ -1,0 +1,109 @@
+// CANONICALMERGESORT (§IV): the paper's headline algorithm.
+//
+//   Phase 1  run formation      — R global runs, written locally, sampled
+//   Phase 2a multiway selection — exact splitters for ranks i*N/P
+//   Phase 2b external all-to-all— ship every element to its final PE
+//   Phase 3  final merge        — local R-way merge, no communication
+//
+// Afterwards PE i holds, sorted and striped over its local disks, exactly
+// the elements of global ranks [i*N/P, (i+1)*N/P) — the "canonical" output
+// format. I/O volume 4N + o(N); communication volume N + o(N) (best case:
+// only the internal sort of run formation moves data).
+#ifndef DEMSORT_CORE_CANONICAL_MERGESORT_H_
+#define DEMSORT_CORE_CANONICAL_MERGESORT_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/external_alltoall.h"
+#include "core/external_selection.h"
+#include "core/final_merge.h"
+#include "core/local_input.h"
+#include "core/pe_context.h"
+#include "core/phase_stats.h"
+#include "core/run_formation.h"
+
+namespace demsort::core {
+
+template <typename R>
+struct SortOutput {
+  /// This PE's sorted share, striped over its local disks.
+  std::vector<io::BlockId> blocks;
+  std::vector<R> block_first_records;
+  uint64_t num_elements = 0;
+  size_t last_block_fill = 0;
+  /// Global ranks [global_begin, global_end) live here.
+  uint64_t global_begin = 0;
+  uint64_t global_end = 0;
+  uint64_t num_runs = 0;
+  SortReport report;
+};
+
+/// Collective: every PE of ctx.comm calls this with its local input slice.
+/// The input blocks are consumed (freed); the returned blocks are owned by
+/// the caller.
+template <typename R>
+SortOutput<R> CanonicalMergeSort(PeContext& ctx, const SortConfig& config,
+                                 const LocalInput& input) {
+  DEMSORT_CHECK_OK(config.Validate());
+  net::Comm& comm = *ctx.comm;
+  PhaseCollector collector(ctx.comm, ctx.bm);
+  SortOutput<R> out;
+  out.report.rank = comm.rank();
+  out.report.num_pes = comm.size();
+  out.report.local_input_elements = input.num_elements;
+  out.report.input_blocks = input.blocks.size();
+
+  // Phase 1: run formation.
+  comm.Barrier();
+  collector.Begin(Phase::kRunFormation);
+  RunFormationResult<R> rf = FormRuns<R>(
+      ctx, config, input, &collector.stats(Phase::kRunFormation));
+  comm.Barrier();
+  collector.End(Phase::kRunFormation);
+  out.num_runs = rf.table.num_runs();
+  out.report.num_runs = out.num_runs;
+
+  // Phase 2a: multiway selection.
+  collector.Begin(Phase::kMultiwaySelection);
+  ExternalSelector<R> selector(ctx, config, rf);
+  SplitterMatrix split = selector.SelectAllCollective(
+      &collector.stats(Phase::kMultiwaySelection));
+  comm.Barrier();
+  collector.End(Phase::kMultiwaySelection);
+
+  // Phase 2b: external all-to-all redistribution.
+  collector.Begin(Phase::kAllToAll);
+  AllToAllResult<R> redistributed = ExternalAllToAll<R>(
+      ctx, config, rf, split, &collector.stats(Phase::kAllToAll));
+  comm.Barrier();
+  collector.End(Phase::kAllToAll);
+
+  // Phase 3: local final merge.
+  collector.Begin(Phase::kFinalMerge);
+  MergeOutput<R> merged = FinalMerge<R>(
+      ctx, config, std::move(redistributed.extents_per_run),
+      &collector.stats(Phase::kFinalMerge));
+  comm.Barrier();
+  collector.End(Phase::kFinalMerge);
+
+  out.blocks = std::move(merged.blocks);
+  out.block_first_records = std::move(merged.block_first_records);
+  out.num_elements = merged.num_elements;
+  out.last_block_fill = merged.last_block_fill;
+  out.global_begin = redistributed.my_begin_rank;
+  out.global_end = redistributed.my_end_rank;
+  DEMSORT_CHECK_EQ(out.num_elements, out.global_end - out.global_begin);
+
+  out.report.local_output_elements = out.num_elements;
+  out.report.peak_blocks = ctx.bm->peak_blocks_in_use();
+  for (int p = 0; p < static_cast<int>(Phase::kNumPhases); ++p) {
+    out.report.phase[p] = collector.stats(static_cast<Phase>(p));
+  }
+  return out;
+}
+
+}  // namespace demsort::core
+
+#endif  // DEMSORT_CORE_CANONICAL_MERGESORT_H_

@@ -1,0 +1,84 @@
+// SortConfig: every tunable of the sorting pipeline in one place, mirroring
+// the parameters of the paper (Table I plus implementation knobs of §V-VI).
+#ifndef DEMSORT_CORE_CONFIG_H_
+#define DEMSORT_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/block_manager.h"
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace demsort::core {
+
+enum class PrefetchMode {
+  /// Per-run double buffering only.
+  kNaive,
+  /// Prediction-sequence driven pool ([11]/[14]): blocks are prefetched in
+  /// ascending order of their smallest key.
+  kPrediction,
+};
+
+struct SortConfig {
+  // ----------------------------------------------------------- EM model --
+  /// B, in bytes (the paper uses 8 MiB on 16 GiB nodes; scale accordingly).
+  size_t block_size = 64 * 1024;
+  /// D per PE (the paper's nodes had 4 local disks).
+  uint32_t disks_per_pe = 2;
+  /// m = M/P, in bytes: the per-PE share of one run. R = ceil(N / (P*m)).
+  size_t memory_per_pe = 2 * 1024 * 1024;
+
+  // ---------------------------------------------------------- algorithm --
+  /// §IV randomization: shuffle local input block IDs before run formation.
+  bool randomize_blocks = true;
+  uint64_t seed = 12345;
+  /// Sample every K-th element of each run piece for selection/prediction;
+  /// 0 means once per block (K = elements per block — Appendix B's choice).
+  size_t sample_every_k = 0;
+  /// Per-sub-step memory budget of the external all-to-all (§IV-C), bytes;
+  /// 0 means memory_per_pe.
+  size_t alltoall_budget = 0;
+  PrefetchMode prefetch = PrefetchMode::kPrediction;
+  /// Prefetch buffer pool size in blocks; 0 = auto.
+  size_t prefetch_buffers = 0;
+  /// Overlap I/O with sorting during run formation (§IV-E Overlapping).
+  bool overlap_run_formation = true;
+  /// Cache capacity (blocks) of the selection block cache (§IV-A "we cache
+  /// the most recently accessed disk blocks").
+  size_t selection_cache_blocks = 64;
+
+  // ---------------------------------------------------------- substrate --
+  /// Worker threads per PE for intra-PE parallelism (the paper's 8 cores).
+  uint32_t threads_per_pe = 1;
+  bool async_io = true;
+  io::BlockManager::BackendKind backend =
+      io::BlockManager::BackendKind::kMemory;
+  std::string file_dir;  // for the file backend
+  io::DiskModel disk_model;
+
+  /// Elements per block for record type R (floor; partial use for types that
+  /// do not divide the block size, e.g. 100-byte records in binary blocks).
+  template <typename R>
+  size_t ElementsPerBlock() const {
+    return block_size / sizeof(R);
+  }
+  template <typename R>
+  size_t ElementsPerPeMemory() const {
+    return memory_per_pe / sizeof(R);
+  }
+
+  Status Validate() const {
+    if (block_size == 0) return Status::InvalidArgument("block_size == 0");
+    if (disks_per_pe == 0) return Status::InvalidArgument("disks_per_pe == 0");
+    if (memory_per_pe < 2 * block_size) {
+      return Status::InvalidArgument(
+          "memory_per_pe must hold at least two blocks");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace demsort::core
+
+#endif  // DEMSORT_CORE_CONFIG_H_

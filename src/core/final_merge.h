@@ -1,0 +1,264 @@
+// Phase 3 of CANONICALMERGESORT: every PE merges the R sorted slices it now
+// owns (one extent chain per run) into its final, locally striped output.
+// Purely local: no communication, each element read and written exactly once.
+//
+// Block fetches are driven by a prediction sequence — the first record of
+// every physical block, consumed in ascending key order ([11]'s variant of
+// [14]'s technique) — through a bounded buffer pool; a reader that outruns
+// the prediction demand-fetches, so the prediction quality affects only
+// performance, never correctness. Consumed blocks are freed immediately,
+// keeping the merge (nearly) in place.
+#ifndef DEMSORT_CORE_FINAL_MERGE_H_
+#define DEMSORT_CORE_FINAL_MERGE_H_
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/pe_context.h"
+#include "core/phase_stats.h"
+#include "core/record.h"
+#include "core/run_index.h"
+#include "io/striped_writer.h"
+#include "par/loser_tree.h"
+#include "util/aligned_buffer.h"
+#include "util/logging.h"
+
+namespace demsort::core {
+
+template <typename R>
+struct MergeOutput {
+  std::vector<io::BlockId> blocks;
+  std::vector<R> block_first_records;
+  uint64_t num_elements = 0;
+  size_t last_block_fill = 0;
+};
+
+namespace internal {
+
+/// One physical block's worth of a run's extent chain.
+template <typename R>
+struct MergeSegment {
+  io::BlockId block;
+  uint32_t skip = 0;  // leading elements belonging to another PE
+  uint32_t take = 0;  // elements to consume
+  R first_record{};   // prediction key (lower bound of the block's content)
+  // Fetch state.
+  enum State : uint8_t { kNotIssued, kInFlight, kReleased } state = kNotIssued;
+  AlignedBuffer buffer;
+  io::Request request;
+};
+
+template <typename R>
+class MergePrefetcher {
+ public:
+  MergePrefetcher(io::BlockManager* bm,
+                  std::vector<std::vector<MergeSegment<R>>>* segments,
+                  PrefetchMode mode, size_t pool_size)
+      : bm_(bm), segments_(segments), mode_(mode), pool_size_(pool_size) {
+    if (mode_ == PrefetchMode::kPrediction) {
+      using Less = typename RecordTraits<R>::Less;
+      Less less;
+      for (size_t j = 0; j < segments_->size(); ++j) {
+        for (size_t s = 0; s < (*segments_)[j].size(); ++s) {
+          prediction_.emplace_back(j, s);
+        }
+      }
+      std::stable_sort(prediction_.begin(), prediction_.end(),
+                       [&](const auto& a, const auto& b) {
+                         const R& ra =
+                             (*segments_)[a.first][a.second].first_record;
+                         const R& rb =
+                             (*segments_)[b.first][b.second].first_record;
+                         if (less(ra, rb)) return true;
+                         if (less(rb, ra)) return false;
+                         return a < b;
+                       });
+    } else {
+      // Naive double buffering: the first two segments of every run.
+      for (size_t j = 0; j < segments_->size(); ++j) {
+        for (size_t s = 0; s < std::min<size_t>(2, (*segments_)[j].size());
+             ++s) {
+          Issue(j, s);
+        }
+      }
+    }
+    FillFromPrediction();
+  }
+
+  /// Blocking access to segment (run, idx)'s records; demand-fetches if the
+  /// prediction has not reached it yet.
+  const R* Acquire(size_t run, size_t idx) {
+    MergeSegment<R>& seg = (*segments_)[run][idx];
+    DEMSORT_CHECK(seg.state != MergeSegment<R>::kReleased);
+    if (seg.state == MergeSegment<R>::kNotIssued) {
+      ++demand_fetches_;
+      Issue(run, idx);
+    }
+    seg.request.WaitOk();
+    return reinterpret_cast<const R*>(seg.buffer.data()) + seg.skip;
+  }
+
+  /// Declares segment consumed: frees its buffer and its disk block, and
+  /// lets the prediction (or the per-run lookahead) issue the next fetch.
+  void Release(size_t run, size_t idx) {
+    MergeSegment<R>& seg = (*segments_)[run][idx];
+    DEMSORT_CHECK(seg.state == MergeSegment<R>::kInFlight);
+    seg.state = MergeSegment<R>::kReleased;
+    seg.buffer = AlignedBuffer();
+    --outstanding_;
+    bm_->Free(seg.block);
+    if (mode_ == PrefetchMode::kNaive) {
+      if (idx + 2 < (*segments_)[run].size()) Issue(run, idx + 2);
+    } else {
+      FillFromPrediction();
+    }
+  }
+
+  uint64_t demand_fetches() const { return demand_fetches_; }
+
+ private:
+  void Issue(size_t run, size_t idx) {
+    MergeSegment<R>& seg = (*segments_)[run][idx];
+    if (seg.state != MergeSegment<R>::kNotIssued) return;
+    seg.state = MergeSegment<R>::kInFlight;
+    seg.buffer = AlignedBuffer(bm_->block_size());
+    seg.request = bm_->ReadAsync(seg.block, seg.buffer.data());
+    ++outstanding_;
+  }
+
+  void FillFromPrediction() {
+    while (prediction_cursor_ < prediction_.size() &&
+           outstanding_ < pool_size_) {
+      auto [run, idx] = prediction_[prediction_cursor_++];
+      if ((*segments_)[run][idx].state == MergeSegment<R>::kNotIssued) {
+        Issue(run, idx);
+      }
+    }
+  }
+
+  io::BlockManager* bm_;
+  std::vector<std::vector<MergeSegment<R>>>* segments_;
+  PrefetchMode mode_;
+  size_t pool_size_;
+  std::vector<std::pair<size_t, size_t>> prediction_;
+  size_t prediction_cursor_ = 0;
+  size_t outstanding_ = 0;
+  uint64_t demand_fetches_ = 0;
+};
+
+}  // namespace internal
+
+/// Merges this PE's extent chains, delivering every record in sorted order
+/// to `sink(record)`. Consumes the extents (their blocks are freed as they
+/// are read). Returns the number of records delivered. This is the engine
+/// behind FinalMerge (sink = striped disk writer) and the pipelined variant
+/// of §VII (sink = downstream consumer).
+template <typename R, typename Sink>
+uint64_t MergeExtentsToSink(PeContext& ctx, const SortConfig& config,
+                            std::vector<std::vector<Extent<R>>>
+                                extents_per_run,
+                            Sink&& sink, PhaseStats* stats = nullptr) {
+  using Less = typename RecordTraits<R>::Less;
+  using Segment = internal::MergeSegment<R>;
+  io::BlockManager* bm = ctx.bm;
+  const size_t epb = config.ElementsPerBlock<R>();
+  const size_t num_runs = extents_per_run.size();
+
+  // Flatten extent chains into per-run physical segment lists.
+  std::vector<std::vector<Segment>> segments(num_runs);
+  for (size_t j = 0; j < num_runs; ++j) {
+    for (const Extent<R>& ext : extents_per_run[j]) {
+      uint64_t todo = ext.count;
+      for (size_t bi = 0; bi < ext.blocks.size() && todo > 0; ++bi) {
+        Segment seg;
+        seg.block = ext.blocks[bi];
+        seg.skip = bi == 0 ? static_cast<uint32_t>(ext.first_block_offset) : 0;
+        seg.take = static_cast<uint32_t>(
+            std::min<uint64_t>(epb - seg.skip, todo));
+        seg.first_record = ext.block_first_records[bi];
+        todo -= seg.take;
+        segments[j].push_back(std::move(seg));
+      }
+      DEMSORT_CHECK_EQ(todo, 0u) << "extent blocks do not cover its count";
+    }
+  }
+
+  size_t pool_size = config.prefetch_buffers != 0
+                         ? config.prefetch_buffers
+                         : std::max<size_t>(2 * num_runs,
+                                            2 * bm->num_disks()) +
+                               2;
+  internal::MergePrefetcher<R> prefetcher(bm, &segments, config.prefetch,
+                                          pool_size);
+
+  // Per-run read cursors.
+  struct Cursor {
+    size_t seg = 0;
+    size_t offset = 0;       // within the segment
+    const R* records = nullptr;
+  };
+  std::vector<Cursor> cursors(num_runs);
+
+  par::LoserTree<R, Less> tree(std::max<size_t>(1, num_runs));
+  for (size_t j = 0; j < num_runs; ++j) {
+    if (!segments[j].empty()) {
+      cursors[j].records = prefetcher.Acquire(j, 0);
+      tree.InitSource(j, cursors[j].records[0]);
+    }
+  }
+  tree.Build();
+
+  uint64_t merged = 0;
+  while (!tree.Empty()) {
+    size_t j = tree.WinnerSource();
+    sink(tree.Winner());
+    ++merged;
+    Cursor& cur = cursors[j];
+    if (++cur.offset == segments[j][cur.seg].take) {
+      prefetcher.Release(j, cur.seg);
+      ++cur.seg;
+      cur.offset = 0;
+      if (cur.seg == segments[j].size()) {
+        tree.ExhaustWinner();
+        continue;
+      }
+      cur.records = prefetcher.Acquire(j, cur.seg);
+    }
+    tree.ReplaceWinner(cur.records[cur.offset]);
+  }
+
+  if (stats != nullptr) {
+    stats->elements_merged += merged;
+    stats->merge_ways =
+        std::max<uint64_t>(stats->merge_ways, num_runs);
+    stats->demand_fetches += prefetcher.demand_fetches();
+  }
+  return merged;
+}
+
+/// Merges this PE's extent chains into a locally striped sorted output.
+/// Consumes the extents (their blocks are freed as they are read).
+template <typename R>
+MergeOutput<R> FinalMerge(PeContext& ctx, const SortConfig& config,
+                          std::vector<std::vector<Extent<R>>> extents_per_run,
+                          PhaseStats* stats = nullptr) {
+  io::StripedWriter<R> writer(ctx.bm);
+  MergeExtentsToSink<R>(
+      ctx, config, std::move(extents_per_run),
+      [&writer](const R& record) { writer.Append(record); }, stats);
+  writer.Finish();
+
+  MergeOutput<R> out;
+  out.blocks = writer.blocks();
+  out.block_first_records = writer.block_first_records();
+  out.num_elements = writer.total_appended();
+  out.last_block_fill = writer.last_block_fill();
+  return out;
+}
+
+}  // namespace demsort::core
+
+#endif  // DEMSORT_CORE_FINAL_MERGE_H_

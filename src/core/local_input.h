@@ -1,0 +1,20 @@
+// LocalInput: a PE's slice of the input — a list of local disk blocks plus
+// the element count (all blocks full except possibly the last).
+#ifndef DEMSORT_CORE_LOCAL_INPUT_H_
+#define DEMSORT_CORE_LOCAL_INPUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "io/block_manager.h"
+
+namespace demsort::core {
+
+struct LocalInput {
+  std::vector<io::BlockId> blocks;
+  uint64_t num_elements = 0;
+};
+
+}  // namespace demsort::core
+
+#endif  // DEMSORT_CORE_LOCAL_INPUT_H_

@@ -1,0 +1,54 @@
+// PeContext: the bundle of per-PE resources every pipeline phase receives —
+// its communicator, its local disks, and its local thread pool.
+#ifndef DEMSORT_CORE_PE_CONTEXT_H_
+#define DEMSORT_CORE_PE_CONTEXT_H_
+
+#include <memory>
+
+#include "core/config.h"
+#include "io/block_manager.h"
+#include "net/comm.h"
+#include "par/thread_pool.h"
+
+namespace demsort::core {
+
+struct PeContext {
+  net::Comm* comm = nullptr;
+  io::BlockManager* bm = nullptr;
+  par::ThreadPool* pool = nullptr;
+
+  int rank() const { return comm->rank(); }
+  int num_pes() const { return comm->size(); }
+};
+
+/// Owning variant for harnesses: builds a PE's BlockManager and ThreadPool
+/// from a SortConfig. (The Comm comes from the Cluster.)
+class PeResources {
+ public:
+  PeResources(net::Comm* comm, const SortConfig& config) {
+    io::BlockManager::Options options;
+    options.num_disks = config.disks_per_pe;
+    options.block_size = config.block_size;
+    options.backend = config.backend;
+    options.file_dir = config.file_dir;
+    options.pe_id = comm->rank();
+    options.async = config.async_io;
+    options.model = config.disk_model;
+    bm_ = std::make_unique<io::BlockManager>(options);
+    pool_ = std::make_unique<par::ThreadPool>(config.threads_per_pe);
+    ctx_.comm = comm;
+    ctx_.bm = bm_.get();
+    ctx_.pool = pool_.get();
+  }
+
+  PeContext& ctx() { return ctx_; }
+
+ private:
+  std::unique_ptr<io::BlockManager> bm_;
+  std::unique_ptr<par::ThreadPool> pool_;
+  PeContext ctx_;
+};
+
+}  // namespace demsort::core
+
+#endif  // DEMSORT_CORE_PE_CONTEXT_H_

@@ -1,0 +1,81 @@
+#include "core/phase_stats.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace demsort::core {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kRunFormation:
+      return "run_formation";
+    case Phase::kMultiwaySelection:
+      return "multiway_selection";
+    case Phase::kAllToAll:
+      return "all_to_all";
+    case Phase::kFinalMerge:
+      return "final_merge";
+    default:
+      return "unknown";
+  }
+}
+
+void PhaseStats::Accumulate(const PhaseStats& other) {
+  wall_s += other.wall_s;
+  io += other.io;
+  io_busy_max_disk_s += other.io_busy_max_disk_s;
+  net.messages_sent += other.net.messages_sent;
+  net.bytes_sent += other.net.bytes_sent;
+  net.messages_received += other.net.messages_received;
+  net.bytes_received += other.net.bytes_received;
+  elements_sorted += other.elements_sorted;
+  elements_merged += other.elements_merged;
+  merge_ways = std::max(merge_ways, other.merge_ways);
+  selection_rounds += other.selection_rounds;
+  demand_fetches += other.demand_fetches;
+}
+
+PhaseCollector::PhaseCollector(net::Comm* comm, io::BlockManager* bm)
+    : comm_(comm),
+      bm_(bm),
+      stats_(static_cast<size_t>(Phase::kNumPhases)) {}
+
+double PhaseCollector::MaxDiskBusyS() const {
+  double max_s = 0;
+  for (uint32_t d = 0; d < bm_->num_disks(); ++d) {
+    max_s = std::max(max_s, bm_->DiskStats(d).model_busy_s());
+  }
+  return max_s;
+}
+
+void PhaseCollector::Begin(Phase phase) {
+  (void)phase;
+  bm_->DrainAll();
+  phase_start_ns_ = NowNanos();
+  io_at_begin_ = bm_->TotalStats();
+  busy_at_begin_s_ = MaxDiskBusyS();
+  net_at_begin_ = comm_->StatsSnapshot();
+}
+
+void PhaseCollector::End(Phase phase) {
+  bm_->DrainAll();
+  PhaseStats& s = stats_[static_cast<size_t>(phase)];
+  s.wall_s += (NowNanos() - phase_start_ns_) * 1e-9;
+  s.io += bm_->TotalStats() - io_at_begin_;
+  s.io_busy_max_disk_s += MaxDiskBusyS() - busy_at_begin_s_;
+  net::NetStatsSnapshot now = comm_->StatsSnapshot();
+  s.net.messages_sent += now.messages_sent - net_at_begin_.messages_sent;
+  s.net.bytes_sent += now.bytes_sent - net_at_begin_.bytes_sent;
+  s.net.messages_received +=
+      now.messages_received - net_at_begin_.messages_received;
+  s.net.bytes_received += now.bytes_received - net_at_begin_.bytes_received;
+}
+
+PhaseStats PhaseCollector::Total() const {
+  PhaseStats total;
+  for (const auto& s : stats_) total.Accumulate(s);
+  return total;
+}
+
+}  // namespace demsort::core

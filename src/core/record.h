@@ -1,0 +1,61 @@
+// Record types the sorter is instantiated for, and the traits binding them
+// to the algorithms.
+//
+// A sortable record is a trivially copyable struct; RecordTraits<R> supplies
+// the comparator and a printable name. Two concrete types cover the paper's
+// evaluation:
+//  * KV16   — 16 bytes, 64-bit key (the scalability experiments, Figs 2-6;
+//             "element size is (only) 16 bytes with 64-bit keys").
+//  * Gray100 — 100 bytes, 10-byte key (the SortBenchmark categories).
+#ifndef DEMSORT_CORE_RECORD_H_
+#define DEMSORT_CORE_RECORD_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace demsort::core {
+
+struct KV16 {
+  uint64_t key = 0;
+  /// Carries the element's original global index in the workloads; lets the
+  /// validator prove permutation-ness and tests distinguish equal keys.
+  uint64_t value = 0;
+};
+static_assert(sizeof(KV16) == 16);
+static_assert(std::is_trivially_copyable_v<KV16>);
+
+struct Gray100 {
+  std::array<uint8_t, 10> key{};
+  std::array<uint8_t, 90> payload{};
+};
+static_assert(sizeof(Gray100) == 100);
+static_assert(std::is_trivially_copyable_v<Gray100>);
+
+template <typename R>
+struct RecordTraits;
+
+template <>
+struct RecordTraits<KV16> {
+  struct Less {
+    bool operator()(const KV16& a, const KV16& b) const {
+      return a.key < b.key;
+    }
+  };
+  static constexpr const char* kName = "kv16";
+};
+
+template <>
+struct RecordTraits<Gray100> {
+  struct Less {
+    bool operator()(const Gray100& a, const Gray100& b) const {
+      return std::memcmp(a.key.data(), b.key.data(), a.key.size()) < 0;
+    }
+  };
+  static constexpr const char* kName = "gray100";
+};
+
+}  // namespace demsort::core
+
+#endif  // DEMSORT_CORE_RECORD_H_

@@ -1,0 +1,73 @@
+#include "io/backend.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace demsort::io {
+
+MemoryBackend::MemoryBackend(size_t block_size)
+    : StorageBackend(block_size) {}
+
+Status MemoryBackend::ReadBlock(uint64_t index, void* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= blocks_.size() || blocks_[index] == nullptr) {
+    return Status::NotFound("read of never-written block " +
+                            std::to_string(index));
+  }
+  std::memcpy(buf, blocks_[index].get(), block_size_);
+  return Status::OK();
+}
+
+Status MemoryBackend::WriteBlock(uint64_t index, const void* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= blocks_.size()) {
+    blocks_.resize(index + 1);
+  }
+  if (blocks_[index] == nullptr) {
+    blocks_[index] = std::make_unique<uint8_t[]>(block_size_);
+  }
+  std::memcpy(blocks_[index].get(), buf, block_size_);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<FileBackend>> FileBackend::Create(
+    const std::string& path, size_t block_size) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  return std::unique_ptr<FileBackend>(
+      new FileBackend(fd, path, block_size));
+}
+
+FileBackend::~FileBackend() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+Status FileBackend::ReadBlock(uint64_t index, void* buf) {
+  ssize_t n = ::pread(fd_, buf, block_size_,
+                      static_cast<off_t>(index * block_size_));
+  if (n != static_cast<ssize_t>(block_size_)) {
+    return Status::IoError("pread block " + std::to_string(index) + ": " +
+                           (n < 0 ? std::strerror(errno) : "short read"));
+  }
+  return Status::OK();
+}
+
+Status FileBackend::WriteBlock(uint64_t index, const void* buf) {
+  ssize_t n = ::pwrite(fd_, buf, block_size_,
+                       static_cast<off_t>(index * block_size_));
+  if (n != static_cast<ssize_t>(block_size_)) {
+    return Status::IoError("pwrite block " + std::to_string(index) + ": " +
+                           (n < 0 ? std::strerror(errno) : "short write"));
+  }
+  return Status::OK();
+}
+
+}  // namespace demsort::io

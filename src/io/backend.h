@@ -1,0 +1,67 @@
+// Storage backends: where a virtual disk's blocks physically live.
+//
+// MemoryBackend keeps blocks in RAM (fast, deterministic — the default for
+// tests and benches); FileBackend does real pread/pwrite against one file
+// per disk, for runs that exceed RAM or want to exercise a real filesystem.
+#ifndef DEMSORT_IO_BACKEND_H_
+#define DEMSORT_IO_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace demsort::io {
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Reads one block into `buf` (block_size bytes). Reading a block that was
+  /// never written is an error: the sorting pipeline never does that, so a
+  /// read-before-write is always a bug worth failing loudly on.
+  virtual Status ReadBlock(uint64_t index, void* buf) = 0;
+  virtual Status WriteBlock(uint64_t index, const void* buf) = 0;
+
+  size_t block_size() const { return block_size_; }
+
+ protected:
+  explicit StorageBackend(size_t block_size) : block_size_(block_size) {}
+  size_t block_size_;
+};
+
+class MemoryBackend : public StorageBackend {
+ public:
+  explicit MemoryBackend(size_t block_size);
+
+  Status ReadBlock(uint64_t index, void* buf) override;
+  Status WriteBlock(uint64_t index, const void* buf) override;
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<uint8_t[]>> blocks_;
+};
+
+class FileBackend : public StorageBackend {
+ public:
+  /// Creates (or truncates) the backing file.
+  static StatusOr<std::unique_ptr<FileBackend>> Create(
+      const std::string& path, size_t block_size);
+  ~FileBackend() override;
+
+  Status ReadBlock(uint64_t index, void* buf) override;
+  Status WriteBlock(uint64_t index, const void* buf) override;
+
+ private:
+  FileBackend(int fd, std::string path, size_t block_size)
+      : StorageBackend(block_size), fd_(fd), path_(std::move(path)) {}
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace demsort::io
+
+#endif  // DEMSORT_IO_BACKEND_H_

@@ -1,0 +1,124 @@
+#include "io/block_manager.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace demsort::io {
+
+BlockManager::BlockManager(const Options& options) : options_(options) {
+  DEMSORT_CHECK_GT(options.num_disks, 0u);
+  DEMSORT_CHECK_GT(options.block_size, 0u);
+  disks_.reserve(options.num_disks);
+  for (uint32_t d = 0; d < options.num_disks; ++d) {
+    std::unique_ptr<StorageBackend> backend;
+    if (options.backend == BackendKind::kMemory) {
+      backend = std::make_unique<MemoryBackend>(options.block_size);
+    } else {
+      DEMSORT_CHECK(!options.file_dir.empty())
+          << "file backend requires file_dir";
+      std::string path = options.file_dir + "/demsort_pe" +
+                         std::to_string(options.pe_id) + "_disk" +
+                         std::to_string(d) + ".bin";
+      auto created = FileBackend::Create(path, options.block_size);
+      DEMSORT_CHECK(created.ok()) << created.status().ToString();
+      backend = std::move(created).value();
+    }
+    VirtualDisk::Options disk_options;
+    disk_options.async = options.async;
+    disk_options.model = options.model;
+    disks_.push_back(
+        std::make_unique<VirtualDisk>(std::move(backend), disk_options));
+  }
+  free_lists_.resize(options.num_disks);
+  next_fresh_.assign(options.num_disks, 0);
+}
+
+BlockId BlockManager::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t disk = rr_cursor_;
+  rr_cursor_ = (rr_cursor_ + 1) % num_disks();
+  BlockId id;
+  id.disk = disk;
+  if (!free_lists_[disk].empty()) {
+    id.block = free_lists_[disk].back();
+    free_lists_[disk].pop_back();
+  } else {
+    id.block = next_fresh_[disk]++;
+  }
+  ++in_use_;
+  peak_in_use_ = std::max(peak_in_use_, in_use_);
+  return id;
+}
+
+std::vector<BlockId> BlockManager::AllocateMany(size_t n) {
+  std::vector<BlockId> ids;
+  ids.reserve(n);
+  for (size_t i = 0; i < n; ++i) ids.push_back(Allocate());
+  return ids;
+}
+
+BlockId BlockManager::AllocateOnDisk(uint32_t disk) {
+  DEMSORT_CHECK_LT(disk, num_disks());
+  std::lock_guard<std::mutex> lock(mu_);
+  BlockId id;
+  id.disk = disk;
+  if (!free_lists_[disk].empty()) {
+    id.block = free_lists_[disk].back();
+    free_lists_[disk].pop_back();
+  } else {
+    id.block = next_fresh_[disk]++;
+  }
+  ++in_use_;
+  peak_in_use_ = std::max(peak_in_use_, in_use_);
+  return id;
+}
+
+void BlockManager::Free(BlockId id) {
+  DEMSORT_CHECK(id.valid());
+  DEMSORT_CHECK_LT(id.disk, num_disks());
+  std::lock_guard<std::mutex> lock(mu_);
+  DEMSORT_CHECK_GT(in_use_, 0u);
+  --in_use_;
+  free_lists_[id.disk].push_back(id.block);
+}
+
+Request BlockManager::ReadAsync(BlockId id, void* buf) {
+  DEMSORT_CHECK(id.valid());
+  return disks_[id.disk]->ReadAsync(id.block, buf);
+}
+
+Request BlockManager::WriteAsync(BlockId id, const void* buf) {
+  DEMSORT_CHECK(id.valid());
+  return disks_[id.disk]->WriteAsync(id.block, buf);
+}
+
+void BlockManager::DrainAll() {
+  for (auto& disk : disks_) disk->Drain();
+}
+
+uint64_t BlockManager::blocks_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+uint64_t BlockManager::peak_blocks_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_in_use_;
+}
+
+IoStatsSnapshot BlockManager::TotalStats() const {
+  IoStatsSnapshot total;
+  for (const auto& disk : disks_) total += disk->Stats();
+  return total;
+}
+
+double BlockManager::MaxDiskModelBusySeconds() const {
+  double max_s = 0.0;
+  for (const auto& disk : disks_) {
+    max_s = std::max(max_s, disk->Stats().model_busy_s());
+  }
+  return max_s;
+}
+
+}  // namespace demsort::io

@@ -1,0 +1,123 @@
+#include "io/disk.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace demsort::io {
+
+VirtualDisk::VirtualDisk(std::unique_ptr<StorageBackend> backend,
+                         Options options)
+    : backend_(std::move(backend)), options_(options) {
+  if (options_.async) {
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+}
+
+VirtualDisk::~VirtualDisk() {
+  if (options_.async) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+}
+
+Request VirtualDisk::ReadAsync(uint64_t block, void* buf) {
+  Op op;
+  op.is_write = false;
+  op.block = block;
+  op.read_buf = buf;
+  return Submit(std::move(op));
+}
+
+Request VirtualDisk::WriteAsync(uint64_t block, const void* buf) {
+  Op op;
+  op.is_write = true;
+  op.block = block;
+  op.write_buf = buf;
+  return Submit(std::move(op));
+}
+
+Request VirtualDisk::Submit(Op op) {
+  op.state = std::make_shared<internal::RequestState>();
+  Request request(op.state);
+  if (!options_.async) {
+    Execute(op);
+    return request;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(op));
+  }
+  cv_.notify_all();
+  return request;
+}
+
+void VirtualDisk::Execute(const Op& op) {
+  const size_t bs = backend_->block_size();
+  bool seek = !has_last_block_ || op.block != last_block_ + 1;
+  has_last_block_ = true;
+  last_block_ = op.block;
+
+  int64_t start = NowNanos();
+  Status status = op.is_write ? backend_->WriteBlock(op.block, op.write_buf)
+                              : backend_->ReadBlock(op.block, op.read_buf);
+  uint64_t real_ns = static_cast<uint64_t>(NowNanos() - start);
+
+  double model_s = options_.model.TransferSeconds(bs) +
+                   (seek ? options_.model.SeekSeconds() : 0.0);
+  uint64_t model_ns = static_cast<uint64_t>(model_s * 1e9);
+  if (options_.model.throttle) {
+    // Batch sub-millisecond service times into one sleep: the OS rounds
+    // short sleeps up to scheduler granularity, which would inflate the
+    // emulated device far beyond its model.
+    throttle_debt_ns_ += model_ns;
+    if (throttle_debt_ns_ >= 2'000'000) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(throttle_debt_ns_));
+      throttle_debt_ns_ = 0;
+    }
+  }
+  if (op.is_write) {
+    stats_.RecordWrite(bs, seek, model_ns, real_ns);
+  } else {
+    stats_.RecordRead(bs, seek, model_ns, real_ns);
+  }
+  Request::Complete(op.state, std::move(status));
+}
+
+void VirtualDisk::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    Op op = std::move(queue_.front());
+    queue_.pop_front();
+    executing_ = true;
+    lock.unlock();
+    Execute(op);
+    lock.lock();
+    executing_ = false;
+    if (queue_.empty()) cv_.notify_all();  // wake Drain()
+  }
+}
+
+void VirtualDisk::Drain() {
+  if (!options_.async) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return queue_.empty() && !executing_; });
+}
+
+size_t VirtualDisk::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace demsort::io

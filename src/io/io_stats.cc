@@ -1,0 +1,44 @@
+#include "io/io_stats.h"
+
+namespace demsort::io {
+
+IoStatsSnapshot& IoStatsSnapshot::operator+=(const IoStatsSnapshot& rhs) {
+  reads += rhs.reads;
+  writes += rhs.writes;
+  bytes_read += rhs.bytes_read;
+  bytes_written += rhs.bytes_written;
+  seeks += rhs.seeks;
+  model_busy_ns += rhs.model_busy_ns;
+  real_busy_ns += rhs.real_busy_ns;
+  return *this;
+}
+
+void IoStats::RecordRead(uint64_t bytes, bool seek, uint64_t model_ns,
+                         uint64_t real_ns) {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  if (seek) seeks_.fetch_add(1, std::memory_order_relaxed);
+  model_busy_ns_.fetch_add(model_ns, std::memory_order_relaxed);
+  real_busy_ns_.fetch_add(real_ns, std::memory_order_relaxed);
+}
+
+void IoStats::RecordWrite(uint64_t bytes, bool seek, uint64_t model_ns,
+                          uint64_t real_ns) {
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  if (seek) seeks_.fetch_add(1, std::memory_order_relaxed);
+  model_busy_ns_.fetch_add(model_ns, std::memory_order_relaxed);
+  real_busy_ns_.fetch_add(real_ns, std::memory_order_relaxed);
+}
+
+IoStatsSnapshot IoStats::Snapshot() const {
+  return IoStatsSnapshot{reads_.load(std::memory_order_relaxed),
+                         writes_.load(std::memory_order_relaxed),
+                         bytes_read_.load(std::memory_order_relaxed),
+                         bytes_written_.load(std::memory_order_relaxed),
+                         seeks_.load(std::memory_order_relaxed),
+                         model_busy_ns_.load(std::memory_order_relaxed),
+                         real_busy_ns_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace demsort::io

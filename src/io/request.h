@@ -1,0 +1,71 @@
+// Async I/O completion handles.
+#ifndef DEMSORT_IO_REQUEST_H_
+#define DEMSORT_IO_REQUEST_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace demsort::io {
+
+namespace internal {
+struct RequestState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+};
+}  // namespace internal
+
+/// Shared handle to an in-flight (or completed) disk operation. Copyable;
+/// default-constructed handles are "already complete, OK".
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<internal::RequestState> state)
+      : state_(std::move(state)) {}
+
+  /// Blocks until the operation completes; returns its status.
+  Status Wait() const {
+    if (state_ == nullptr) return Status::OK();
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    return state_->status;
+  }
+
+  /// Wait() that treats any I/O failure as fatal; use on the sorting hot
+  /// path where a failed disk means the run is unrecoverable anyway.
+  void WaitOk() const { DEMSORT_CHECK_OK(Wait()); }
+
+  bool done() const {
+    if (state_ == nullptr) return true;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+  }
+
+  static void Complete(const std::shared_ptr<internal::RequestState>& state,
+                       Status status) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done = true;
+      state->status = std::move(status);
+    }
+    state->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<internal::RequestState> state_;
+};
+
+/// Waits for all requests; aborts on the first failure.
+inline void WaitAllOk(const std::vector<Request>& requests) {
+  for (const Request& r : requests) r.WaitOk();
+}
+
+}  // namespace demsort::io
+
+#endif  // DEMSORT_IO_REQUEST_H_

@@ -1,0 +1,87 @@
+// StripedWriter: append-only record stream writing block-sized chunks round-
+// robin across a PE's local disks, with a bounded window of in-flight async
+// writes (the "D write buffer blocks" of §III, applied locally).
+#ifndef DEMSORT_IO_STRIPED_WRITER_H_
+#define DEMSORT_IO_STRIPED_WRITER_H_
+
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "io/block_manager.h"
+#include "io/request.h"
+#include "util/aligned_buffer.h"
+#include "util/logging.h"
+
+namespace demsort::io {
+
+template <typename R>
+class StripedWriter {
+ public:
+  /// `max_in_flight` bounds buffered, un-acknowledged blocks (default: two
+  /// generations per disk).
+  StripedWriter(BlockManager* bm, size_t max_in_flight = 0)
+      : bm_(bm),
+        epb_(bm->block_size() / sizeof(R)),
+        max_in_flight_(max_in_flight == 0 ? 2 * bm->num_disks()
+                                          : max_in_flight) {
+    DEMSORT_CHECK_GT(epb_, 0u);
+    current_ = AlignedBuffer(bm_->block_size());
+  }
+
+  void Append(const R& record) {
+    if (fill_ == 0) first_records_.push_back(record);
+    std::memcpy(current_.data() + fill_ * sizeof(R), &record, sizeof(R));
+    if (++fill_ == epb_) Flush();
+    ++total_;
+  }
+
+  void AppendSpan(const R* records, size_t count) {
+    for (size_t i = 0; i < count; ++i) Append(records[i]);
+  }
+
+  /// Flushes the partial tail block (if any) and waits for all writes.
+  void Finish() {
+    final_fill_ = fill_ == 0 ? epb_ : fill_;
+    if (fill_ > 0) Flush();
+    while (!in_flight_.empty()) Reap();
+  }
+
+  uint64_t total_appended() const { return total_; }
+  const std::vector<BlockId>& blocks() const { return blocks_; }
+  const std::vector<R>& block_first_records() const { return first_records_; }
+  /// Elements in the last block (== epb unless the total is not a multiple
+  /// of the block capacity). Valid after Finish().
+  size_t last_block_fill() const { return final_fill_; }
+
+ private:
+  void Flush() {
+    BlockId id = bm_->Allocate();
+    blocks_.push_back(id);
+    in_flight_.push_back(
+        {bm_->WriteAsync(id, current_.data()), std::move(current_)});
+    current_ = AlignedBuffer(bm_->block_size());
+    fill_ = 0;
+    while (in_flight_.size() > max_in_flight_) Reap();
+  }
+
+  void Reap() {
+    in_flight_.front().first.WaitOk();
+    in_flight_.pop_front();
+  }
+
+  BlockManager* bm_;
+  size_t epb_;
+  size_t max_in_flight_;
+  AlignedBuffer current_;
+  size_t fill_ = 0;
+  size_t final_fill_ = 0;
+  uint64_t total_ = 0;
+  std::vector<BlockId> blocks_;
+  std::vector<R> first_records_;
+  std::deque<std::pair<Request, AlignedBuffer>> in_flight_;
+};
+
+}  // namespace demsort::io
+
+#endif  // DEMSORT_IO_STRIPED_WRITER_H_

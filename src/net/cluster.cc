@@ -1,0 +1,88 @@
+#include "net/cluster.h"
+
+#include <exception>
+#include <thread>
+
+#include "net/comm.h"
+#include "util/logging.h"
+
+namespace demsort::net {
+
+Fabric::Fabric(int num_pes) : num_pes_(num_pes) {
+  DEMSORT_CHECK_GT(num_pes, 0);
+  channels_.resize(static_cast<size_t>(num_pes) * num_pes);
+  for (auto& ch : channels_) ch = std::make_unique<Channel>();
+  stats_.resize(num_pes);
+  for (auto& s : stats_) s = std::make_unique<NetStats>();
+}
+
+void Fabric::Send(int src, int dst, int tag, const void* data, size_t bytes) {
+  DEMSORT_CHECK_GE(dst, 0);
+  DEMSORT_CHECK_LT(dst, num_pes_);
+  Message msg;
+  msg.tag = tag;
+  msg.payload.assign(static_cast<const uint8_t*>(data),
+                     static_cast<const uint8_t*>(data) + bytes);
+  Channel& ch = channel(src, dst);
+  {
+    std::lock_guard<std::mutex> lock(ch.mu);
+    ch.queue.push_back(std::move(msg));
+  }
+  ch.cv.notify_all();
+  if (src != dst) stats_[src]->RecordSend(bytes);
+}
+
+std::vector<uint8_t> Fabric::Recv(int dst, int src, int tag) {
+  DEMSORT_CHECK_GE(src, 0);
+  DEMSORT_CHECK_LT(src, num_pes_);
+  Channel& ch = channel(src, dst);
+  std::unique_lock<std::mutex> lock(ch.mu);
+  while (true) {
+    for (auto it = ch.queue.begin(); it != ch.queue.end(); ++it) {
+      if (it->tag == tag) {
+        std::vector<uint8_t> payload = std::move(it->payload);
+        ch.queue.erase(it);
+        if (src != dst) stats_[dst]->RecordRecv(payload.size());
+        return payload;
+      }
+    }
+    ch.cv.wait(lock);
+  }
+}
+
+void Cluster::Run(int num_pes, const PeBody& body) {
+  RunWithStats(num_pes, body);
+}
+
+std::vector<NetStatsSnapshot> Cluster::RunWithStats(int num_pes,
+                                                    const PeBody& body) {
+  Fabric fabric(num_pes);
+  std::vector<std::thread> threads;
+  threads.reserve(num_pes);
+  std::vector<std::exception_ptr> errors(num_pes);
+  for (int pe = 0; pe < num_pes; ++pe) {
+    threads.emplace_back([&, pe] {
+      try {
+        Comm comm(pe, num_pes, &fabric);
+        body(comm);
+      } catch (...) {
+        errors[pe] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int pe = 0; pe < num_pes; ++pe) {
+    if (errors[pe]) {
+      DEMSORT_LOG(kError) << "PE " << pe << " failed; rethrowing";
+      std::rethrow_exception(errors[pe]);
+    }
+  }
+  std::vector<NetStatsSnapshot> stats;
+  stats.reserve(num_pes);
+  for (int pe = 0; pe < num_pes; ++pe) {
+    stats.push_back(fabric.stats(pe).Snapshot());
+  }
+  return stats;
+}
+
+}  // namespace demsort::net

@@ -1,0 +1,69 @@
+// Cluster: spawns P processing elements (PEs) as OS threads and gives each a
+// Comm handle onto a shared in-process Fabric of byte-copying mailboxes.
+//
+// This is the distributed-memory emulation substrate: the algorithms written
+// against Comm would run unchanged over a socket or MPI transport, because
+// nothing except explicit messages crosses PE boundaries.
+#ifndef DEMSORT_NET_CLUSTER_H_
+#define DEMSORT_NET_CLUSTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/message.h"
+#include "net/net_stats.h"
+
+namespace demsort::net {
+
+class Comm;
+
+/// The shared state behind a running cluster: P*P FIFO channels with
+/// MPI-style (source, tag) matching, plus per-PE traffic counters.
+class Fabric {
+ public:
+  explicit Fabric(int num_pes);
+
+  void Send(int src, int dst, int tag, const void* data, size_t bytes);
+  std::vector<uint8_t> Recv(int dst, int src, int tag);
+
+  int num_pes() const { return num_pes_; }
+  NetStats& stats(int pe) { return *stats_[pe]; }
+
+ private:
+  struct Channel {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+  Channel& channel(int src, int dst) {
+    return *channels_[static_cast<size_t>(src) * num_pes_ + dst];
+  }
+
+  int num_pes_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<NetStats>> stats_;
+};
+
+/// Runs `body(comm)` on P PE threads and joins them. If any PE throws or
+/// aborts on a failed check, the whole process reports it (fail fast). The
+/// `body` must follow SPMD discipline for collectives.
+class Cluster {
+ public:
+  using PeBody = std::function<void(Comm&)>;
+
+  /// Blocks until all PEs finish. Rethrows the first PE exception.
+  static void Run(int num_pes, const PeBody& body);
+
+  /// As Run, but also returns each PE's final traffic counters.
+  static std::vector<NetStatsSnapshot> RunWithStats(int num_pes,
+                                                    const PeBody& body);
+};
+
+}  // namespace demsort::net
+
+#endif  // DEMSORT_NET_CLUSTER_H_

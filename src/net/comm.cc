@@ -1,0 +1,175 @@
+#include "net/comm.h"
+
+#include "net/cluster.h"
+
+namespace demsort::net {
+
+void Comm::Send(int dst, int tag, const void* data, size_t bytes) {
+  fabric_->Send(rank_, dst, tag, data, bytes);
+}
+
+std::vector<uint8_t> Comm::Recv(int src, int tag) {
+  return fabric_->Recv(rank_, src, tag);
+}
+
+void Comm::Barrier() {
+  // Dissemination barrier: in round k, PE i signals (i + 2^k) mod P and
+  // waits for (i - 2^k) mod P. O(log P) rounds, no central bottleneck.
+  int tag = NextCollectiveTag();
+  for (int step = 1; step < size_; step <<= 1) {
+    int to = (rank_ + step) % size_;
+    int from = (rank_ - step % size_ + size_) % size_;
+    uint8_t token = 1;
+    Send(to, tag, &token, 1);
+    (void)Recv(from, tag);
+  }
+}
+
+void Comm::Broadcast(int root, std::vector<uint8_t>& data) {
+  // Binomial tree rooted at `root`, in root-relative rank space: PE `rel`
+  // receives from `rel` with its highest set bit cleared, then forwards to
+  // rel + b for every power of two b above its own highest bit.
+  int tag = NextCollectiveTag();
+  int rel = (rank_ - root + size_) % size_;
+  int first_child_bit = 1;
+  if (rel != 0) {
+    int high = 1;
+    while ((high << 1) <= rel) high <<= 1;
+    int parent = ((rel & ~high) + root) % size_;
+    data = Recv(parent, tag);
+    first_child_bit = high << 1;
+  }
+  for (int b = first_child_bit; rel + b < size_; b <<= 1) {
+    int dst = (rel + b + root) % size_;
+    Send(dst, tag, data.data(), data.size());
+  }
+}
+
+std::vector<std::vector<uint8_t>> Comm::AllgatherBytes(
+    const std::vector<uint8_t>& local) {
+  // Algorithm switch by payload size, like tuned MPI implementations:
+  //  * small contributions: binomial-tree gather to rank 0 + binomial
+  //    broadcast — O(log P) rounds, latency-optimal;
+  //  * large contributions: direct exchange — every PE ships its own part
+  //    to every peer, so the volume (P-1)*|local| is perfectly balanced
+  //    instead of concentrating log(P)*P*|local| at the tree root.
+  // Contribution sizes may differ across PEs, so the path is agreed on via
+  // the (collectively known) MAXIMUM size — learned with a cheap tree
+  // exchange, the moral equivalent of the count exchange every real
+  // MPI_Allgatherv caller performs first.
+  if (size_ > 1) {
+    uint64_t my_size = local.size();
+    std::vector<uint8_t> size_bytes(sizeof(my_size));
+    std::memcpy(size_bytes.data(), &my_size, sizeof(my_size));
+    uint64_t max_size = 0;
+    for (const std::vector<uint8_t>& part : TreeAllgatherBytes(size_bytes)) {
+      uint64_t s;
+      DEMSORT_CHECK_EQ(part.size(), sizeof(s));
+      std::memcpy(&s, part.data(), sizeof(s));
+      max_size = std::max(max_size, s);
+    }
+    if (max_size > kAllgatherDirectThresholdBytes) {
+      int tag = NextCollectiveTag();
+      for (int p = 0; p < size_; ++p) {
+        if (p != rank_) Send(p, tag, local.data(), local.size());
+      }
+      std::vector<std::vector<uint8_t>> out(size_);
+      out[rank_] = local;
+      for (int p = 0; p < size_; ++p) {
+        if (p != rank_) out[p] = Recv(p, tag);
+      }
+      return out;
+    }
+  }
+  return TreeAllgatherBytes(local);
+}
+
+std::vector<std::vector<uint8_t>> Comm::TreeAllgatherBytes(
+    const std::vector<uint8_t>& local) {
+  int tag = NextCollectiveTag();
+
+  // parts this PE has accumulated so far, keyed by contributor rank.
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> parts;
+  parts.emplace_back(static_cast<uint32_t>(rank_), local);
+
+  auto pack = [](const std::vector<std::pair<uint32_t, std::vector<uint8_t>>>&
+                     entries) {
+    std::vector<uint8_t> blob;
+    uint32_t count = static_cast<uint32_t>(entries.size());
+    blob.insert(blob.end(), reinterpret_cast<uint8_t*>(&count),
+                reinterpret_cast<uint8_t*>(&count) + sizeof(count));
+    for (const auto& [rank, bytes] : entries) {
+      uint32_t r = rank;
+      uint64_t n = bytes.size();
+      blob.insert(blob.end(), reinterpret_cast<uint8_t*>(&r),
+                  reinterpret_cast<uint8_t*>(&r) + sizeof(r));
+      blob.insert(blob.end(), reinterpret_cast<uint8_t*>(&n),
+                  reinterpret_cast<uint8_t*>(&n) + sizeof(n));
+      blob.insert(blob.end(), bytes.begin(), bytes.end());
+    }
+    return blob;
+  };
+  auto unpack_into =
+      [](const std::vector<uint8_t>& blob,
+         std::vector<std::pair<uint32_t, std::vector<uint8_t>>>* out) {
+        size_t offset = 0;
+        uint32_t count;
+        std::memcpy(&count, blob.data(), sizeof(count));
+        offset += sizeof(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          uint32_t r;
+          uint64_t n;
+          std::memcpy(&r, blob.data() + offset, sizeof(r));
+          offset += sizeof(r);
+          std::memcpy(&n, blob.data() + offset, sizeof(n));
+          offset += sizeof(n);
+          out->emplace_back(
+              r, std::vector<uint8_t>(blob.begin() + offset,
+                                      blob.begin() + offset + n));
+          offset += n;
+        }
+        DEMSORT_CHECK_EQ(offset, blob.size());
+      };
+
+  for (int bit = 1; bit < size_; bit <<= 1) {
+    if ((rank_ & bit) != 0) {
+      std::vector<uint8_t> blob = pack(parts);
+      Send(rank_ - bit, tag, blob.data(), blob.size());
+      parts.clear();
+      break;
+    }
+    if (rank_ + bit < size_) {
+      std::vector<uint8_t> blob = Recv(rank_ + bit, tag);
+      unpack_into(blob, &parts);
+    }
+  }
+
+  std::vector<uint8_t> packed;
+  if (rank_ == 0) {
+    DEMSORT_CHECK_EQ(parts.size(), static_cast<size_t>(size_));
+    packed = pack(parts);
+  }
+  Broadcast(0, packed);
+
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> all;
+  unpack_into(packed, &all);
+  std::vector<std::vector<uint8_t>> out(size_);
+  for (auto& [rank, bytes] : all) {
+    DEMSORT_CHECK_LT(rank, static_cast<uint32_t>(size_));
+    out[rank] = std::move(bytes);
+  }
+  return out;
+}
+
+uint64_t Comm::ExclusiveScanSum(uint64_t local) {
+  std::vector<uint64_t> all = Allgather(local);
+  uint64_t acc = 0;
+  for (int p = 0; p < rank_; ++p) acc += all[p];
+  return acc;
+}
+
+NetStatsSnapshot Comm::StatsSnapshot() const {
+  return fabric_->stats(rank_).Snapshot();
+}
+
+}  // namespace demsort::net

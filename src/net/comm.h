@@ -1,0 +1,214 @@
+// Comm: the per-PE handle onto the message-passing fabric (the MPI role).
+//
+// Semantics follow MPI where it matters to the algorithms:
+//  * Send(dst, tag, bytes) is buffered and never blocks (the fabric has
+//    unbounded mailboxes; the sorting algorithms bound in-flight volume
+//    themselves, exactly as the paper's external all-to-all does).
+//  * Recv(src, tag) blocks until a message from `src` with `tag` arrives;
+//    messages from the same (src, tag) pair are delivered in send order.
+//  * Collectives must be called by all PEs of the cluster in the same order
+//    (SPMD discipline); each call internally uses a fresh reserved tag.
+//
+// Unlike MPI's int counts (the paper had to re-implement MPI_Alltoallv to
+// move >2 GiB), all sizes here are 64-bit native.
+#ifndef DEMSORT_NET_COMM_H_
+#define DEMSORT_NET_COMM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "net/message.h"
+#include "net/net_stats.h"
+#include "util/logging.h"
+
+namespace demsort::net {
+
+class Fabric;  // defined in cluster.h
+
+class Comm {
+ public:
+  /// Contributions above this size use the bandwidth-balanced direct
+  /// allgather instead of the latency-optimized tree (see comm.cc).
+  static constexpr size_t kAllgatherDirectThresholdBytes = 1024;
+
+  Comm(int rank, int size, Fabric* fabric)
+      : rank_(rank), size_(size), fabric_(fabric) {}
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  // ------------------------------------------------------------ pt2pt ----
+  /// Buffered send of a byte payload. Never blocks.
+  void Send(int dst, int tag, const void* data, size_t bytes);
+  /// Blocking receive of the next message from (src, tag), in send order.
+  std::vector<uint8_t> Recv(int src, int tag);
+
+  /// Typed conveniences for trivially copyable T.
+  template <typename T>
+  void SendValue(int dst, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Send(dst, tag, &value, sizeof(T));
+  }
+  template <typename T>
+  T RecvValue(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<uint8_t> bytes = Recv(src, tag);
+    DEMSORT_CHECK_EQ(bytes.size(), sizeof(T));
+    T value;
+    std::memcpy(&value, bytes.data(), sizeof(T));
+    return value;
+  }
+  template <typename T>
+  void SendVector(int dst, int tag, const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Send(dst, tag, v.data(), v.size() * sizeof(T));
+  }
+  template <typename T>
+  std::vector<T> RecvVector(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<uint8_t> bytes = Recv(src, tag);
+    DEMSORT_CHECK_EQ(bytes.size() % sizeof(T), 0u);
+    std::vector<T> v(bytes.size() / sizeof(T));
+    std::memcpy(v.data(), bytes.data(), bytes.size());
+    return v;
+  }
+
+  // ------------------------------------------------------ collectives ----
+  /// Dissemination barrier, O(log P) rounds.
+  void Barrier();
+
+  /// Binomial-tree broadcast of a byte vector from `root`.
+  void Broadcast(int root, std::vector<uint8_t>& data);
+
+  template <typename T>
+  T BroadcastValue(int root, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<uint8_t> bytes(sizeof(T));
+    if (rank_ == root) std::memcpy(bytes.data(), &value, sizeof(T));
+    Broadcast(root, bytes);
+    std::memcpy(&value, bytes.data(), sizeof(T));
+    return value;
+  }
+
+  /// Allreduce with a user-supplied associative+commutative combiner.
+  template <typename T>
+  T Allreduce(const T& local, const std::function<T(const T&, const T&)>& op);
+
+  template <typename T>
+  T AllreduceSum(const T& local) {
+    return Allreduce<T>(local, [](const T& a, const T& b) { return a + b; });
+  }
+  template <typename T>
+  T AllreduceMax(const T& local) {
+    return Allreduce<T>(local,
+                        [](const T& a, const T& b) { return a < b ? b : a; });
+  }
+  template <typename T>
+  T AllreduceMin(const T& local) {
+    return Allreduce<T>(local,
+                        [](const T& a, const T& b) { return b < a ? b : a; });
+  }
+  bool AllreduceAnd(bool local) {
+    return Allreduce<uint8_t>(local ? 1 : 0,
+                              [](const uint8_t& a, const uint8_t& b) {
+                                return static_cast<uint8_t>(a & b);
+                              }) != 0;
+  }
+
+  /// Every PE contributes one T; everyone gets the vector indexed by rank.
+  template <typename T>
+  std::vector<T> Allgather(const T& local) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::vector<uint8_t>> parts = AllgatherBytes(
+        std::vector<uint8_t>(reinterpret_cast<const uint8_t*>(&local),
+                             reinterpret_cast<const uint8_t*>(&local) +
+                                 sizeof(T)));
+    std::vector<T> out(size_);
+    for (int p = 0; p < size_; ++p) {
+      DEMSORT_CHECK_EQ(parts[p].size(), sizeof(T));
+      std::memcpy(&out[p], parts[p].data(), sizeof(T));
+    }
+    return out;
+  }
+
+  /// Variable-length allgather: every PE contributes a vector<T> (possibly
+  /// empty, different sizes); everyone gets all P vectors.
+  template <typename T>
+  std::vector<std::vector<T>> AllgatherV(const std::vector<T>& local) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<uint8_t> bytes(local.size() * sizeof(T));
+    std::memcpy(bytes.data(), local.data(), bytes.size());
+    std::vector<std::vector<uint8_t>> parts = AllgatherBytes(bytes);
+    std::vector<std::vector<T>> out(size_);
+    for (int p = 0; p < size_; ++p) {
+      DEMSORT_CHECK_EQ(parts[p].size() % sizeof(T), 0u);
+      out[p].resize(parts[p].size() / sizeof(T));
+      std::memcpy(out[p].data(), parts[p].data(), parts[p].size());
+    }
+    return out;
+  }
+
+  /// 64-bit all-to-all: element `sends[p]` goes to PE p; returns the vector
+  /// of payloads received, indexed by source PE. This is the primitive the
+  /// paper re-implemented over MPI to escape the 31-bit count limit.
+  template <typename T>
+  std::vector<std::vector<T>> Alltoallv(
+      const std::vector<std::vector<T>>& sends) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DEMSORT_CHECK_EQ(sends.size(), static_cast<size_t>(size_));
+    int tag = NextCollectiveTag();
+    for (int p = 0; p < size_; ++p) {
+      Send(p, tag, sends[p].data(), sends[p].size() * sizeof(T));
+    }
+    std::vector<std::vector<T>> received(size_);
+    for (int p = 0; p < size_; ++p) {
+      std::vector<uint8_t> bytes = Recv(p, tag);
+      DEMSORT_CHECK_EQ(bytes.size() % sizeof(T), 0u);
+      received[p].resize(bytes.size() / sizeof(T));
+      std::memcpy(received[p].data(), bytes.data(), bytes.size());
+    }
+    return received;
+  }
+
+  /// Exclusive prefix sum over one uint64 per PE.
+  uint64_t ExclusiveScanSum(uint64_t local);
+
+  /// Per-PE communication counters (volume excludes self-sends, which are
+  /// local memory traffic in a real cluster too... they are counted
+  /// separately so analyses can include or exclude them).
+  NetStatsSnapshot StatsSnapshot() const;
+
+ private:
+  std::vector<std::vector<uint8_t>> AllgatherBytes(
+      const std::vector<uint8_t>& local);
+  std::vector<std::vector<uint8_t>> TreeAllgatherBytes(
+      const std::vector<uint8_t>& local);
+  int NextCollectiveTag() {
+    // SPMD discipline keeps per-PE counters aligned across the cluster.
+    int tag = kCollectiveTagBase + (collective_seq_ & 0x7fffff);
+    ++collective_seq_;
+    return tag;
+  }
+
+  int rank_;
+  int size_;
+  Fabric* fabric_;
+  uint32_t collective_seq_ = 0;
+};
+
+template <typename T>
+T Comm::Allreduce(const T& local,
+                  const std::function<T(const T&, const T&)>& op) {
+  // Tree-structured via Allgather (binomial gather + broadcast), then a
+  // deterministic rank-order fold — identical result on every PE.
+  std::vector<T> all = Allgather(local);
+  T acc = all[0];
+  for (int p = 1; p < size_; ++p) acc = op(acc, all[p]);
+  return acc;
+}
+
+}  // namespace demsort::net
+
+#endif  // DEMSORT_NET_COMM_H_

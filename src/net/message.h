@@ -1,0 +1,23 @@
+// Wire-level message representation for the in-process message-passing
+// fabric. Payloads are opaque byte vectors: PEs exchange *copies*, never
+// shared pointers, preserving distributed-memory semantics.
+#ifndef DEMSORT_NET_MESSAGE_H_
+#define DEMSORT_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace demsort::net {
+
+/// Tags below kCollectiveTagBase are available to applications; tags at or
+/// above it are reserved for the collective-operation engine.
+inline constexpr int kCollectiveTagBase = 1 << 24;
+
+struct Message {
+  int tag = 0;
+  std::vector<uint8_t> payload;
+};
+
+}  // namespace demsort::net
+
+#endif  // DEMSORT_NET_MESSAGE_H_

@@ -1,0 +1,55 @@
+// Per-PE communication counters.
+//
+// The paper's central claim for CANONICALMERGESORT is "communication volume
+// N + o(N)"; these counters are how the benches and tests check it.
+#ifndef DEMSORT_NET_NET_STATS_H_
+#define DEMSORT_NET_NET_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace demsort::net {
+
+struct NetStatsSnapshot {
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_received = 0;
+
+  NetStatsSnapshot operator-(const NetStatsSnapshot& rhs) const {
+    return NetStatsSnapshot{messages_sent - rhs.messages_sent,
+                            bytes_sent - rhs.bytes_sent,
+                            messages_received - rhs.messages_received,
+                            bytes_received - rhs.bytes_received};
+  }
+};
+
+class NetStats {
+ public:
+  void RecordSend(uint64_t bytes) {
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void RecordRecv(uint64_t bytes) {
+    messages_received_.fetch_add(1, std::memory_order_relaxed);
+    bytes_received_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  NetStatsSnapshot Snapshot() const {
+    return NetStatsSnapshot{
+        messages_sent_.load(std::memory_order_relaxed),
+        bytes_sent_.load(std::memory_order_relaxed),
+        messages_received_.load(std::memory_order_relaxed),
+        bytes_received_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> messages_received_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+};
+
+}  // namespace demsort::net
+
+#endif  // DEMSORT_NET_NET_STATS_H_

@@ -1,0 +1,126 @@
+// Tournament (loser) tree for k-way merging in O(log k) comparisons per
+// element. Ties are broken by source index, which makes merging stable
+// across sources and realizes the (key, sequence, position) total order the
+// selection algorithms rely on.
+#ifndef DEMSORT_PAR_LOSER_TREE_H_
+#define DEMSORT_PAR_LOSER_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace demsort::par {
+
+template <typename T, typename Less>
+class LoserTree {
+ public:
+  explicit LoserTree(size_t num_sources, Less less = Less())
+      : k_(num_sources), less_(less) {
+    DEMSORT_CHECK_GT(k_, 0u);
+    k_pad_ = 1;
+    while (k_pad_ < k_) k_pad_ <<= 1;
+    items_.resize(k_pad_);
+    exhausted_.assign(k_pad_, true);
+    tree_.assign(k_pad_, 0);
+    built_ = false;
+  }
+
+  size_t num_sources() const { return k_; }
+
+  /// Provide the initial head item of source s (call once per live source,
+  /// before Build). Sources not initialized are treated as exhausted.
+  void InitSource(size_t s, const T& item) {
+    DEMSORT_CHECK_LT(s, k_);
+    DEMSORT_CHECK(!built_);
+    items_[s] = item;
+    exhausted_[s] = false;
+  }
+
+  void Build() {
+    DEMSORT_CHECK(!built_);
+    built_ = true;
+    if (k_pad_ == 1) {
+      tree_[0] = 0;
+      return;
+    }
+    tree_[0] = BuildSubtree(1);
+  }
+
+  /// True when every source is exhausted.
+  bool Empty() const {
+    DEMSORT_CHECK(built_);
+    return exhausted_[tree_[0]];
+  }
+
+  /// Index of the source holding the smallest head item.
+  size_t WinnerSource() const {
+    DEMSORT_CHECK(built_);
+    return tree_[0];
+  }
+
+  const T& Winner() const {
+    DEMSORT_CHECK(!Empty());
+    return items_[tree_[0]];
+  }
+
+  /// Replace the winner's head with its successor and replay the path.
+  void ReplaceWinner(const T& item) {
+    size_t w = tree_[0];
+    DEMSORT_CHECK(!exhausted_[w]);
+    items_[w] = item;
+    Replay(w);
+  }
+
+  /// Mark the winner's source as exhausted and replay the path.
+  void ExhaustWinner() {
+    size_t w = tree_[0];
+    DEMSORT_CHECK(!exhausted_[w]);
+    exhausted_[w] = true;
+    Replay(w);
+  }
+
+ private:
+  /// True if source a's head beats (precedes) source b's head.
+  bool Beats(size_t a, size_t b) const {
+    if (exhausted_[a]) return exhausted_[b] && a < b;
+    if (exhausted_[b]) return true;
+    if (less_(items_[a], items_[b])) return true;
+    if (less_(items_[b], items_[a])) return false;
+    return a < b;
+  }
+
+  size_t BuildSubtree(size_t node) {
+    if (node >= k_pad_) return node - k_pad_;
+    size_t w1 = BuildSubtree(2 * node);
+    size_t w2 = BuildSubtree(2 * node + 1);
+    if (Beats(w1, w2)) {
+      tree_[node] = w2;
+      return w1;
+    }
+    tree_[node] = w1;
+    return w2;
+  }
+
+  void Replay(size_t source) {
+    size_t current = source;
+    for (size_t node = (k_pad_ + source) >> 1; node >= 1; node >>= 1) {
+      if (Beats(tree_[node], current)) {
+        std::swap(tree_[node], current);
+      }
+    }
+    tree_[0] = current;
+  }
+
+  size_t k_;
+  size_t k_pad_;
+  Less less_;
+  bool built_;
+  std::vector<T> items_;
+  std::vector<uint8_t> exhausted_;  // avoid vector<bool>
+  std::vector<size_t> tree_;        // tree_[0] = winner, 1..k_pad-1 = losers
+};
+
+}  // namespace demsort::par
+
+#endif  // DEMSORT_PAR_LOSER_TREE_H_

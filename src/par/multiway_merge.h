@@ -1,0 +1,88 @@
+// In-memory k-way merging of sorted sequences, sequential and parallel.
+//
+// The parallel variant uses exact multiway selection to slice all inputs
+// into independent, equal-sized output chunks — the [12]/MCSTL approach the
+// paper builds on.
+#ifndef DEMSORT_PAR_MULTIWAY_MERGE_H_
+#define DEMSORT_PAR_MULTIWAY_MERGE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "par/loser_tree.h"
+#include "par/multiway_select.h"
+#include "par/thread_pool.h"
+#include "util/logging.h"
+
+namespace demsort::par {
+
+/// Merges `sources` (each sorted by Less) into `out`, which must have room
+/// for the total number of elements. Stable across sources (ties resolve by
+/// source index). Returns the number of elements written.
+template <typename T, typename Less>
+size_t MultiwayMerge(const std::vector<std::span<const T>>& sources, T* out,
+                     Less less = Less()) {
+  const size_t k = sources.size();
+  if (k == 0) return 0;
+  LoserTree<T, Less> tree(k, less);
+  std::vector<size_t> cursor(k, 0);
+  for (size_t s = 0; s < k; ++s) {
+    if (!sources[s].empty()) {
+      tree.InitSource(s, sources[s][0]);
+      cursor[s] = 1;
+    }
+  }
+  tree.Build();
+  size_t written = 0;
+  while (!tree.Empty()) {
+    size_t w = tree.WinnerSource();
+    out[written++] = tree.Winner();
+    if (cursor[w] < sources[w].size()) {
+      tree.ReplaceWinner(sources[w][cursor[w]++]);
+    } else {
+      tree.ExhaustWinner();
+    }
+  }
+  return written;
+}
+
+/// Parallel k-way merge: splits the output into one chunk per pool thread
+/// using exact multiway selection, merges chunks independently.
+template <typename T, typename Less>
+size_t ParallelMultiwayMerge(ThreadPool& pool,
+                             const std::vector<std::span<const T>>& sources,
+                             T* out, Less less = Less()) {
+  size_t total = 0;
+  for (const auto& s : sources) total += s.size();
+  size_t parts = pool.num_threads();
+  if (parts <= 1 || total < 4096) {
+    return MultiwayMerge(sources, out, less);
+  }
+
+  // Split positions for ranks t*total/parts, t = 0..parts.
+  std::vector<std::vector<size_t>> split(parts + 1);
+  split[0].assign(sources.size(), 0);
+  for (size_t t = 1; t < parts; ++t) {
+    split[t] = MultiwaySelect<T, Less>(sources, t * total / parts, less);
+  }
+  split[parts].resize(sources.size());
+  for (size_t s = 0; s < sources.size(); ++s) {
+    split[parts][s] = sources[s].size();
+  }
+
+  pool.ParallelFor(parts, [&](size_t t) {
+    std::vector<std::span<const T>> slice(sources.size());
+    size_t out_offset = 0;
+    for (size_t s = 0; s < sources.size(); ++s) {
+      slice[s] = sources[s].subspan(split[t][s], split[t + 1][s] - split[t][s]);
+      out_offset += split[t][s];
+    }
+    MultiwayMerge(slice, out + out_offset, less);
+  });
+  return total;
+}
+
+}  // namespace demsort::par
+
+#endif  // DEMSORT_PAR_MULTIWAY_MERGE_H_

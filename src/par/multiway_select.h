@@ -1,0 +1,105 @@
+// Exact multiway selection over k sorted in-memory sequences.
+//
+// Given sequences S_0..S_{k-1} sorted by Less and a global rank r, returns
+// positions p_j with sum(p_j) == r such that the p_j split every sequence at
+// the element of global rank r under the total order
+//     (key, sequence index, position)
+// i.e. duplicates are handled exactly. This is the primitive behind
+//  * splitting for parallel in-memory merging (MCSTL-style, [12]),
+//  * the distributed selection of the paper's §IV-A / Appendix B (which
+//    runs the same pivot logic against remote/disk-resident sequences).
+//
+// Algorithm: maintain per-sequence bounds [lo_j, hi_j] for p_j with the
+// invariant sum(lo) <= r <= sum(hi). Each round picks the midpoint element
+// of every undecided sequence as a pivot, computes each pivot's exact global
+// rank with k binary searches, and tightens bounds three-ways
+// (rank<r / rank==r / rank>r). Every pivot at least halves its own
+// sequence's range, so the loop terminates after O(log max|S_j|) rounds and
+// O(k^2 log^2) comparisons — negligible against the merging it enables.
+#ifndef DEMSORT_PAR_MULTIWAY_SELECT_H_
+#define DEMSORT_PAR_MULTIWAY_SELECT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace demsort::par {
+
+/// Rank of pivot x = element (seqs[jx][px]) under the (key, seq, pos) total
+/// order: the exact number of elements preceding it across all sequences.
+/// Also emits per-sequence counts c[j] = #elements of seq j preceding x.
+template <typename T, typename Less>
+uint64_t PivotRank(const std::vector<std::span<const T>>& seqs, size_t jx,
+                   size_t px, Less less, std::vector<uint64_t>* counts) {
+  const T& x = seqs[jx][px];
+  uint64_t rank = 0;
+  counts->assign(seqs.size(), 0);
+  for (size_t j = 0; j < seqs.size(); ++j) {
+    uint64_t c;
+    if (j == jx) {
+      c = px;
+    } else if (j < jx) {
+      // Elements with key <= key(x) precede x (tie: smaller seq index).
+      c = std::upper_bound(seqs[j].begin(), seqs[j].end(), x, less) -
+          seqs[j].begin();
+    } else {
+      // Only strictly smaller keys precede x.
+      c = std::lower_bound(seqs[j].begin(), seqs[j].end(), x, less) -
+          seqs[j].begin();
+    }
+    (*counts)[j] = c;
+    rank += c;
+  }
+  return rank;
+}
+
+template <typename T, typename Less>
+std::vector<size_t> MultiwaySelect(const std::vector<std::span<const T>>& seqs,
+                                   uint64_t rank, Less less = Less()) {
+  const size_t k = seqs.size();
+  uint64_t total = 0;
+  for (const auto& s : seqs) total += s.size();
+  DEMSORT_CHECK_LE(rank, total);
+
+  std::vector<uint64_t> lo(k, 0);
+  std::vector<uint64_t> hi(k);
+  for (size_t j = 0; j < k; ++j) hi[j] = seqs[j].size();
+
+  std::vector<uint64_t> counts;
+  while (true) {
+    bool any_open = false;
+    // Snapshot bounds so all pivots of this round are judged against the
+    // same state; updates are intersections of true statements, so applying
+    // them as we go is also correct — we do that for faster convergence.
+    for (size_t j = 0; j < k; ++j) {
+      if (lo[j] >= hi[j]) continue;
+      any_open = true;
+      uint64_t mid = lo[j] + (hi[j] - lo[j]) / 2;
+      uint64_t pivot_rank = PivotRank(seqs, j, mid, less, &counts);
+      if (pivot_rank == rank) {
+        // The pivot *is* the boundary element: counts are the exact answer.
+        return std::vector<size_t>(counts.begin(), counts.end());
+      }
+      if (pivot_rank < rank) {
+        for (size_t i = 0; i < k; ++i) lo[i] = std::max(lo[i], counts[i]);
+        lo[j] = std::max(lo[j], mid + 1);
+      } else {
+        for (size_t i = 0; i < k; ++i) hi[i] = std::min(hi[i], counts[i]);
+        hi[j] = std::min(hi[j], mid);
+      }
+    }
+    if (!any_open) break;
+  }
+
+  uint64_t sum = 0;
+  for (size_t j = 0; j < k; ++j) sum += lo[j];
+  DEMSORT_CHECK_EQ(sum, rank) << "selection invariant violated";
+  return std::vector<size_t>(lo.begin(), lo.end());
+}
+
+}  // namespace demsort::par
+
+#endif  // DEMSORT_PAR_MULTIWAY_SELECT_H_

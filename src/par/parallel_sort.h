@@ -1,0 +1,52 @@
+// Shared-memory parallel multiway mergesort (the MCSTL role): sort chunks in
+// parallel, then parallel-merge via exact selection. Used inside a PE to
+// sort its share of a run.
+#ifndef DEMSORT_PAR_PARALLEL_SORT_H_
+#define DEMSORT_PAR_PARALLEL_SORT_H_
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "par/multiway_merge.h"
+#include "par/thread_pool.h"
+
+namespace demsort::par {
+
+/// Sorts `data` by Less using the pool. STABLE: equal elements keep their
+/// input order — the distributed algorithms build a deterministic
+/// (key, PE, position) total order on top of this. Needs one extra buffer
+/// of data.size() — the "factor around two" memory remark in the paper's
+/// run-size footnote.
+template <typename T, typename Less>
+void ParallelSort(ThreadPool& pool, std::span<T> data, Less less = Less()) {
+  const size_t n = data.size();
+  const size_t parts = pool.num_threads();
+  if (parts <= 1 || n < 8192) {
+    std::stable_sort(data.begin(), data.end(), less);
+    return;
+  }
+
+  const size_t chunk = (n + parts - 1) / parts;
+  pool.ParallelFor(parts, [&](size_t t) {
+    size_t lo = std::min(n, t * chunk);
+    size_t hi = std::min(n, lo + chunk);
+    std::stable_sort(data.begin() + lo, data.begin() + hi, less);
+  });
+
+  std::vector<T> merged(n);
+  std::vector<std::span<const T>> sources;
+  sources.reserve(parts);
+  for (size_t t = 0; t < parts; ++t) {
+    size_t lo = std::min(n, t * chunk);
+    size_t hi = std::min(n, lo + chunk);
+    if (lo < hi) sources.push_back(std::span<const T>(&data[lo], hi - lo));
+  }
+  ParallelMultiwayMerge(pool, sources, merged.data(), less);
+  std::copy(merged.begin(), merged.end(), data.begin());
+}
+
+}  // namespace demsort::par
+
+#endif  // DEMSORT_PAR_PARALLEL_SORT_H_

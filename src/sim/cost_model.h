@@ -1,0 +1,83 @@
+// Analytic cost model: converts the measured per-PE, per-phase counters
+// (exact I/O volumes and request patterns, exact communication volumes,
+// element counts) into modeled seconds on the paper's testbed (§VI):
+// 200 Intel Xeon nodes, 8 cores @ 2.667 GHz, 16 GiB RAM, 4 local disks of
+// ~67 MiB/s each, InfiniBand 4xDDR with >1300 MB/s point-to-point that
+// degrades towards ~400 MB/s when most of the fabric is loaded.
+//
+// The model is deliberately simple and fully documented:
+//   io_s    = modeled busy time of the PE's most-loaded disk (the emulated
+//             disks already track seek-aware service time per operation);
+//   comm_s  = max(bytes_sent, bytes_received) / bw(P)  + messages * alpha;
+//   cpu_s   = (n_sorted * log2(n_run) + n_merged * log2(ways)) / ops_rate;
+// and per phase:
+//   run formation : max(io, cpu + comm)   (I/O overlapped with sort+comm,
+//                                          sort and comm serialized — §IV-E)
+//   selection     : io + comm + rounds * alpha   (latency-bound, tiny)
+//   all-to-all    : max(io, comm)
+//   final merge   : max(io, cpu + comm)   (canonical: comm == 0)
+// Cluster phase time = max over PEs (bulk-synchronous), total = sum of
+// phases. Absolute numbers are indicative; the *shape* (who wins, by what
+// factor, where crossovers sit) is what the benches compare to the paper.
+#ifndef DEMSORT_SIM_COST_MODEL_H_
+#define DEMSORT_SIM_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/phase_stats.h"
+
+namespace demsort::sim {
+
+struct ClusterModel {
+  /// Per-node effective network bandwidth in MB/s as a function of the
+  /// number of loaded nodes: the paper measured >1300 MB/s pairwise and as
+  /// low as 400 MB/s with most nodes active.
+  double p2p_mb_s = 1300.0;
+  double congested_mb_s = 400.0;
+  /// Per-message latency (software + fabric), seconds. InfiniBand 4xDDR
+  /// with MVAPICH sits at a few microseconds for small messages.
+  double alpha_s = 3e-6;
+  /// Node compute rate for sort/merge inner loops, element-steps/second
+  /// (8 cores, a few ns per comparison-move step per core).
+  double cpu_ops_per_s = 1.2e9;
+
+  double NetBandwidthMBs(int num_pes) const {
+    if (num_pes <= 8) return p2p_mb_s;
+    double bw = p2p_mb_s * 8.0 / num_pes;
+    return bw < congested_mb_s ? congested_mb_s : bw;
+  }
+};
+
+struct PhaseTime {
+  double io_s = 0;
+  double comm_s = 0;
+  double cpu_s = 0;
+  double total_s = 0;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(ClusterModel model = ClusterModel()) : model_(model) {}
+
+  /// Modeled time of one phase on one PE.
+  PhaseTime PhaseSeconds(core::Phase phase, const core::PhaseStats& stats,
+                         int num_pes) const;
+
+  /// Modeled cluster time of one phase: max over the PEs' reports.
+  PhaseTime ClusterPhaseSeconds(core::Phase phase,
+                                const std::vector<core::SortReport>& reports)
+      const;
+
+  /// Sum of the four phases' cluster times.
+  double TotalSeconds(const std::vector<core::SortReport>& reports) const;
+
+  const ClusterModel& cluster() const { return model_; }
+
+ private:
+  ClusterModel model_;
+};
+
+}  // namespace demsort::sim
+
+#endif  // DEMSORT_SIM_COST_MODEL_H_

@@ -1,0 +1,61 @@
+// Page-aligned byte buffers for block I/O.
+#ifndef DEMSORT_UTIL_ALIGNED_BUFFER_H_
+#define DEMSORT_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace demsort {
+
+/// Owning, 4096-byte-aligned buffer (alignment required for potential
+/// O_DIRECT file backends and friendly to SIMD copies). Movable, not
+/// copyable.
+class AlignedBuffer {
+ public:
+  static constexpr size_t kAlignment = 4096;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t size) : size_(size) {
+    if (size_ == 0) return;
+    size_t rounded = (size_ + kAlignment - 1) / kAlignment * kAlignment;
+    data_ = static_cast<uint8_t*>(std::aligned_alloc(kAlignment, rounded));
+    DEMSORT_CHECK(data_ != nullptr) << "allocation of " << rounded << " bytes";
+  }
+  ~AlignedBuffer() { std::free(data_); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Zero() {
+    if (data_ != nullptr) std::memset(data_, 0, size_);
+  }
+
+ private:
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace demsort
+
+#endif  // DEMSORT_UTIL_ALIGNED_BUFFER_H_

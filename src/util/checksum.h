@@ -1,0 +1,74 @@
+// Order-independent multiset checksums, used by the valsort-style validator
+// to prove the output is a permutation of the input without materializing
+// either side.
+#ifndef DEMSORT_UTIL_CHECKSUM_H_
+#define DEMSORT_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace demsort {
+
+/// Strong 64-bit hash of a byte range (xxHash-style avalanche mixing over
+/// 8-byte lanes; not cryptographic, collision-resistant enough for
+/// validation).
+inline uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed ^ (len * 0x9e3779b97f4a7c15ULL);
+  while (len >= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    k *= 0xff51afd7ed558ccdULL;
+    k = (k >> 33) | (k << 31);
+    k *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= k;
+    h = ((h >> 27) | (h << 37)) * 5 + 0x52dce729ULL;
+    p += 8;
+    len -= 8;
+  }
+  uint64_t tail = 0;
+  std::memcpy(&tail, p, len);
+  h ^= tail * 0x2545f4914f6cdd1dULL;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 29;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 32;
+  return h;
+}
+
+/// Commutative multiset digest: add records in any order on any PE, combine
+/// digests by addition. Equal digests + equal counts => (with overwhelming
+/// probability) equal multisets.
+class MultisetChecksum {
+ public:
+  void AddRecord(const void* data, size_t len) {
+    sum_ += HashBytes(data, len, /*seed=*/0x5eedULL);
+    xor_ ^= HashBytes(data, len, /*seed=*/0xfeedULL);
+    ++count_;
+  }
+
+  void Combine(const MultisetChecksum& other) {
+    sum_ += other.sum_;
+    xor_ ^= other.xor_;
+    count_ += other.count_;
+  }
+
+  uint64_t sum() const { return sum_; }
+  uint64_t xor_fold() const { return xor_; }
+  uint64_t count() const { return count_; }
+
+  bool operator==(const MultisetChecksum& other) const {
+    return sum_ == other.sum_ && xor_ == other.xor_ && count_ == other.count_;
+  }
+
+ private:
+  uint64_t sum_ = 0;
+  uint64_t xor_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace demsort
+
+#endif  // DEMSORT_UTIL_CHECKSUM_H_

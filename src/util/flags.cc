@@ -1,0 +1,83 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace demsort {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-') {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name,
+                           int64_t default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : ParseSize(it->second);
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+int64_t ParseSize(const std::string& text) {
+  DEMSORT_CHECK(!text.empty());
+  char* end = nullptr;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  int64_t multiplier = 1;
+  if (end != nullptr && *end != '\0') {
+    switch (*end) {
+      case 'k':
+      case 'K':
+        multiplier = 1LL << 10;
+        break;
+      case 'm':
+      case 'M':
+        multiplier = 1LL << 20;
+        break;
+      case 'g':
+      case 'G':
+        multiplier = 1LL << 30;
+        break;
+      default:
+        DEMSORT_CHECK(false) << "bad size suffix in '" << text << "'";
+    }
+  }
+  return static_cast<int64_t>(value) * multiplier;
+}
+
+}  // namespace demsort

@@ -1,0 +1,43 @@
+// Tiny command-line flag parser for benches and examples.
+//
+// Usage:
+//   FlagParser flags(argc, argv);
+//   int pes = flags.GetInt("pes", 4);
+//   bool rand = flags.GetBool("randomize", true);
+// Accepts --name=value and --name value; --flag alone means boolean true.
+#ifndef DEMSORT_UTIL_FLAGS_H_
+#define DEMSORT_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace demsort {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Positional (non --flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// "12k" -> 12288, "4m"/"4M" -> 4 MiB, "1g" -> 1 GiB, plain numbers pass
+/// through. Used for size-valued flags.
+int64_t ParseSize(const std::string& text);
+
+}  // namespace demsort
+
+#endif  // DEMSORT_UTIL_FLAGS_H_

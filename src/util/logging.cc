@@ -1,0 +1,65 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace demsort {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+void FatalAbort(const char* file, int line, const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "[FATAL %s:%d] %s\n", file, line, message.c_str());
+    std::fflush(stderr);
+  }
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace demsort

@@ -1,0 +1,85 @@
+// Minimal logging + assertion macros.
+//
+// DEMSORT_CHECK is used for internal invariants; it is always on (also in
+// release builds) because a sorting library that silently produces unsorted
+// output is worse than one that aborts.
+#ifndef DEMSORT_UTIL_LOGGING_H_
+#define DEMSORT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace demsort {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void FatalAbort(const char* file, int line,
+                             const std::string& message);
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line) : file_(file), line_(line) {}
+  [[noreturn]] ~FatalMessage() { FatalAbort(file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DEMSORT_LOG(level)                                                 \
+  if (::demsort::LogLevel::level < ::demsort::GetLogLevel()) {             \
+  } else                                                                   \
+    ::demsort::internal::LogMessage(::demsort::LogLevel::level, __FILE__,  \
+                                    __LINE__)                              \
+        .stream()
+
+#define DEMSORT_CHECK(cond)                                           \
+  if (cond) {                                                         \
+  } else                                                              \
+    ::demsort::internal::FatalMessage(__FILE__, __LINE__).stream()    \
+        << "Check failed: " #cond " "
+
+#define DEMSORT_CHECK_OP(a, b, op)                                        \
+  if ((a)op(b)) {                                                         \
+  } else                                                                  \
+    ::demsort::internal::FatalMessage(__FILE__, __LINE__).stream()        \
+        << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b) \
+        << ") "
+
+#define DEMSORT_CHECK_EQ(a, b) DEMSORT_CHECK_OP(a, b, ==)
+#define DEMSORT_CHECK_NE(a, b) DEMSORT_CHECK_OP(a, b, !=)
+#define DEMSORT_CHECK_LT(a, b) DEMSORT_CHECK_OP(a, b, <)
+#define DEMSORT_CHECK_LE(a, b) DEMSORT_CHECK_OP(a, b, <=)
+#define DEMSORT_CHECK_GT(a, b) DEMSORT_CHECK_OP(a, b, >)
+#define DEMSORT_CHECK_GE(a, b) DEMSORT_CHECK_OP(a, b, >=)
+
+#define DEMSORT_CHECK_OK(expr)                                          \
+  do {                                                                  \
+    ::demsort::Status _st = (expr);                                     \
+    DEMSORT_CHECK(_st.ok()) << _st.ToString();                          \
+  } while (0)
+
+}  // namespace demsort
+
+#endif  // DEMSORT_UTIL_LOGGING_H_

@@ -1,0 +1,82 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace demsort {
+
+void Summary::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  sum_sq_ += x * x;
+  ++count_;
+}
+
+double Summary::stddev() const {
+  if (count_ == 0) return 0.0;
+  double m = mean();
+  double var = sum_sq_ / count_ - m * m;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Summary::imbalance() const {
+  double m = mean();
+  return m == 0.0 ? 1.0 : max() / m;
+}
+
+std::string Summary::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " min=" << min() << " mean=" << mean()
+     << " max=" << max() << " sd=" << stddev();
+  return os.str();
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  DEMSORT_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Add(double x) {
+  size_t i =
+      std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin();
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total_));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return i < bounds_.size() ? bounds_[i]
+                                : bounds_.empty() ? 0.0 : bounds_.back();
+    }
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (i < bounds_.size()) {
+      os << "<=" << bounds_[i];
+    } else {
+      os << ">" << (bounds_.empty() ? 0.0 : bounds_.back());
+    }
+    os << ":" << counts_[i] << " ";
+  }
+  return os.str();
+}
+
+}  // namespace demsort

@@ -1,0 +1,60 @@
+// Small statistics helpers: streaming summary and fixed-boundary histogram,
+// used to report per-PE balance (paper Fig. 3) and I/O distributions.
+#ifndef DEMSORT_UTIL_STATS_H_
+#define DEMSORT_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace demsort {
+
+/// Streaming min/max/mean/stddev over doubles.
+class Summary {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double sum() const { return sum_; }
+  /// Population standard deviation.
+  double stddev() const;
+  /// max/mean, the imbalance factor used in the evaluation; 1.0 == balanced.
+  double imbalance() const;
+
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Histogram over caller-provided ascending bucket upper bounds; the last
+/// bucket is unbounded.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Add(double x);
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+  /// Smallest upper bound b such that at least q*total samples are <= b.
+  double Quantile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace demsort
+
+#endif  // DEMSORT_UTIL_STATS_H_

@@ -1,0 +1,107 @@
+// Status / StatusOr: lightweight error propagation without exceptions on the
+// hot path, in the style common to database engines (LevelDB/RocksDB/Arrow).
+//
+// The sorting pipeline itself treats genuinely unrecoverable conditions
+// (logic errors, violated invariants) as fatal via DEMSORT_CHECK; Status is
+// used at the edges where the environment can legitimately fail (file
+// backends, configuration validation).
+#ifndef DEMSORT_UTIL_STATUS_H_
+#define DEMSORT_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace demsort {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+  kNotFound,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name ("OK", "IO_ERROR", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "IO_ERROR: short read".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Accessing value() on an error aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  StatusOr(Status status)                         // NOLINT: implicit by design
+      : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+#define DEMSORT_RETURN_IF_ERROR(expr)        \
+  do {                                       \
+    ::demsort::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace demsort
+
+#endif  // DEMSORT_UTIL_STATUS_H_

@@ -1,0 +1,248 @@
+// Collective output validation, in the spirit of the SortBenchmark's
+// valsort: proves (a) each PE's output is sorted, (b) PE boundaries are
+// ordered, (c) the output is a permutation of the input (order-independent
+// multiset checksum), and (d) the partition is exact (PE i holds exactly
+// ranks [i*N/P, (i+1)*N/P)).
+#ifndef DEMSORT_WORKLOAD_VALIDATOR_H_
+#define DEMSORT_WORKLOAD_VALIDATOR_H_
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pe_context.h"
+#include "core/record.h"
+#include "io/block_manager.h"
+#include "util/aligned_buffer.h"
+#include "util/checksum.h"
+#include "util/logging.h"
+
+namespace demsort::workload {
+
+struct ValidationResult {
+  bool locally_sorted = false;
+  bool boundaries_ok = false;
+  bool permutation_ok = false;
+  bool partition_exact = false;
+  uint64_t total_elements = 0;
+
+  bool ok() const {
+    return locally_sorted && boundaries_ok && permutation_ok;
+  }
+  std::string ToString() const {
+    std::string s;
+    s += locally_sorted ? "sorted " : "UNSORTED ";
+    s += boundaries_ok ? "boundaries " : "BAD-BOUNDARIES ";
+    s += permutation_ok ? "permutation " : "NOT-PERMUTATION ";
+    s += partition_exact ? "exact-partition" : "inexact-partition";
+    return s;
+  }
+};
+
+/// Collective: every PE passes its output blocks (all full except the last,
+/// which holds `num_elements - (blocks-1)*epb` records), plus the checksum
+/// of its *input* slice. `require_exact_partition` additionally checks the
+/// canonical rank ranges (NOW-Sort's output is sorted but not exact).
+template <typename R>
+ValidationResult ValidateCollective(core::PeContext& ctx,
+                                    const std::vector<io::BlockId>& blocks,
+                                    uint64_t num_elements,
+                                    const MultisetChecksum& input_checksum,
+                                    bool require_exact_partition = true) {
+  using Less = typename core::RecordTraits<R>::Less;
+  Less less;
+  net::Comm& comm = *ctx.comm;
+  io::BlockManager* bm = ctx.bm;
+  const size_t epb = bm->block_size() / sizeof(R);
+
+  bool sorted = true;
+  MultisetChecksum output_checksum;
+  R first{};
+  R last{};
+  bool have_any = num_elements > 0;
+
+  AlignedBuffer buffer(bm->block_size());
+  uint64_t remaining = num_elements;
+  bool first_record = true;
+  R prev{};
+  for (size_t b = 0; b < blocks.size() && remaining > 0; ++b) {
+    bm->ReadSync(blocks[b], buffer.data());
+    size_t count = static_cast<size_t>(
+        std::min<uint64_t>(epb, remaining));
+    const R* records = reinterpret_cast<const R*>(buffer.data());
+    for (size_t i = 0; i < count; ++i) {
+      if (first_record) {
+        first = records[i];
+        first_record = false;
+      } else if (less(records[i], prev)) {
+        sorted = false;
+      }
+      prev = records[i];
+      output_checksum.AddRecord(&records[i], sizeof(R));
+    }
+    remaining -= count;
+  }
+  DEMSORT_CHECK_EQ(remaining, 0u) << "block list shorter than num_elements";
+  last = prev;
+
+  // Exchange boundary records and flags; PE 0 renders the verdict.
+  struct Boundary {
+    R first;
+    R last;
+    uint8_t non_empty;
+    uint8_t sorted;
+  };
+  static_assert(std::is_trivially_copyable_v<Boundary>);
+  Boundary mine{first, last, static_cast<uint8_t>(have_any ? 1 : 0),
+                static_cast<uint8_t>(sorted ? 1 : 0)};
+  std::vector<Boundary> bounds = comm.Allgather(mine);
+
+  bool all_sorted = true;
+  bool boundaries_ok = true;
+  {
+    bool have_prev = false;
+    R prev_last{};
+    for (const Boundary& bd : bounds) {
+      if (!bd.sorted) all_sorted = false;
+      if (!bd.non_empty) continue;
+      if (have_prev && less(bd.first, prev_last)) boundaries_ok = false;
+      prev_last = bd.last;
+      have_prev = true;
+    }
+  }
+
+  // Permutation: combine checksums of input and output across PEs.
+  struct Sums {
+    uint64_t in_sum, in_xor, in_count;
+    uint64_t out_sum, out_xor, out_count;
+  };
+  Sums my_sums{input_checksum.sum(),   input_checksum.xor_fold(),
+               input_checksum.count(), output_checksum.sum(),
+               output_checksum.xor_fold(), output_checksum.count()};
+  std::vector<Sums> all = comm.Allgather(my_sums);
+  Sums total{0, 0, 0, 0, 0, 0};
+  for (const Sums& s : all) {
+    total.in_sum += s.in_sum;
+    total.in_xor ^= s.in_xor;
+    total.in_count += s.in_count;
+    total.out_sum += s.out_sum;
+    total.out_xor ^= s.out_xor;
+    total.out_count += s.out_count;
+  }
+
+  ValidationResult result;
+  result.locally_sorted = all_sorted;
+  result.boundaries_ok = boundaries_ok;
+  result.permutation_ok = total.in_sum == total.out_sum &&
+                          total.in_xor == total.out_xor &&
+                          total.in_count == total.out_count;
+  result.total_elements = total.out_count;
+
+  if (require_exact_partition) {
+    uint64_t n = total.out_count;
+    int p = comm.rank();
+    int np = comm.size();
+    uint64_t expect_begin = n / np * p + std::min<uint64_t>(n % np, p);
+    uint64_t expect_end =
+        n / np * (p + 1) + std::min<uint64_t>(n % np, p + 1);
+    bool mine_exact = num_elements == expect_end - expect_begin;
+    result.partition_exact = comm.AllreduceAnd(mine_exact);
+  } else {
+    result.partition_exact = true;
+  }
+  return result;
+}
+
+/// Collective validation of a globally striped stream (§III output format):
+/// PE-owned blocks are read locally; per-block summaries (first/last record,
+/// sortedness, checksum) are allgathered and chained in global block order.
+template <typename R>
+ValidationResult ValidateStripedCollective(
+    core::PeContext& ctx, const std::map<uint64_t, io::BlockId>& my_blocks,
+    uint64_t total_elements, const MultisetChecksum& input_checksum) {
+  using Less = typename core::RecordTraits<R>::Less;
+  Less less;
+  net::Comm& comm = *ctx.comm;
+  io::BlockManager* bm = ctx.bm;
+  const size_t epb = bm->block_size() / sizeof(R);
+
+  struct BlockSummary {
+    uint64_t g;
+    R first;
+    R last;
+    uint32_t count;
+    uint8_t sorted;
+  };
+  static_assert(std::is_trivially_copyable_v<BlockSummary>);
+
+  MultisetChecksum output_checksum;
+  std::vector<BlockSummary> mine;
+  AlignedBuffer buffer(bm->block_size());
+  for (const auto& [g, id] : my_blocks) {
+    bm->ReadSync(id, buffer.data());
+    uint64_t start = g * epb;
+    uint32_t count = static_cast<uint32_t>(
+        std::min<uint64_t>(epb, total_elements - start));
+    const R* records = reinterpret_cast<const R*>(buffer.data());
+    bool sorted = true;
+    for (uint32_t i = 0; i < count; ++i) {
+      if (i > 0 && less(records[i], records[i - 1])) sorted = false;
+      output_checksum.AddRecord(&records[i], sizeof(R));
+    }
+    mine.push_back(BlockSummary{g, records[0], records[count - 1], count,
+                                static_cast<uint8_t>(sorted ? 1 : 0)});
+  }
+
+  std::vector<std::vector<BlockSummary>> all = comm.AllgatherV(mine);
+  std::vector<BlockSummary> blocks;
+  for (auto& part : all) blocks.insert(blocks.end(), part.begin(), part.end());
+  std::sort(blocks.begin(), blocks.end(),
+            [](const BlockSummary& a, const BlockSummary& b) {
+              return a.g < b.g;
+            });
+
+  ValidationResult result;
+  result.locally_sorted = true;
+  result.boundaries_ok = true;
+  uint64_t expect_blocks = (total_elements + epb - 1) / epb;
+  if (blocks.size() != expect_blocks) result.boundaries_ok = false;
+  uint64_t counted = 0;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].g != i) result.boundaries_ok = false;
+    if (!blocks[i].sorted) result.locally_sorted = false;
+    if (i > 0 && less(blocks[i].first, blocks[i - 1].last)) {
+      result.boundaries_ok = false;
+    }
+    counted += blocks[i].count;
+  }
+  if (counted != total_elements) result.boundaries_ok = false;
+
+  struct Sums {
+    uint64_t in_sum, in_xor, in_count;
+    uint64_t out_sum, out_xor, out_count;
+  };
+  Sums my_sums{input_checksum.sum(),   input_checksum.xor_fold(),
+               input_checksum.count(), output_checksum.sum(),
+               output_checksum.xor_fold(), output_checksum.count()};
+  std::vector<Sums> sums = comm.Allgather(my_sums);
+  Sums total{0, 0, 0, 0, 0, 0};
+  for (const Sums& s : sums) {
+    total.in_sum += s.in_sum;
+    total.in_xor ^= s.in_xor;
+    total.in_count += s.in_count;
+    total.out_sum += s.out_sum;
+    total.out_xor ^= s.out_xor;
+    total.out_count += s.out_count;
+  }
+  result.permutation_ok = total.in_sum == total.out_sum &&
+                          total.in_xor == total.out_xor &&
+                          total.in_count == total.out_count;
+  result.total_elements = total.out_count;
+  result.partition_exact = true;  // not applicable to striped output
+  return result;
+}
+
+}  // namespace demsort::workload
+
+#endif  // DEMSORT_WORKLOAD_VALIDATOR_H_

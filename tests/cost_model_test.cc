@@ -1,0 +1,108 @@
+// Cost model sanity: monotonicity in volumes, the documented phase
+// composition rules, and the paper's bandwidth-degradation curve.
+#include <gtest/gtest.h>
+
+#include "core/phase_stats.h"
+#include "sim/cost_model.h"
+
+namespace demsort::sim {
+namespace {
+
+using core::Phase;
+using core::PhaseStats;
+
+PhaseStats MakeStats(double io_s, uint64_t sent, uint64_t recv,
+                     uint64_t sorted, uint64_t merged) {
+  PhaseStats s;
+  s.io_busy_max_disk_s = io_s;
+  s.net.bytes_sent = sent;
+  s.net.bytes_received = recv;
+  s.net.messages_sent = 1;
+  s.elements_sorted = sorted;
+  s.elements_merged = merged;
+  s.merge_ways = 8;
+  return s;
+}
+
+TEST(ClusterModelTest, BandwidthDegrades) {
+  ClusterModel m;
+  EXPECT_DOUBLE_EQ(m.NetBandwidthMBs(1), 1300.0);
+  EXPECT_DOUBLE_EQ(m.NetBandwidthMBs(8), 1300.0);
+  EXPECT_LT(m.NetBandwidthMBs(16), 1300.0);
+  EXPECT_GE(m.NetBandwidthMBs(64), 400.0);
+  EXPECT_DOUBLE_EQ(m.NetBandwidthMBs(200), 400.0);
+}
+
+TEST(CostModelTest, RunFormationOverlapsIoWithComputeAndComm) {
+  CostModel model;
+  // I/O-bound case: total == io.
+  PhaseTime t1 = model.PhaseSeconds(Phase::kRunFormation,
+                                    MakeStats(10.0, 1000, 1000, 0, 0), 4);
+  EXPECT_DOUBLE_EQ(t1.total_s, 10.0);
+  // Compute-bound case: total == cpu + comm > io.
+  PhaseTime t2 = model.PhaseSeconds(
+      Phase::kRunFormation,
+      MakeStats(0.001, 4000000000ull, 4000000000ull, 1000000000ull, 0), 4);
+  EXPECT_GT(t2.total_s, t2.io_s);
+  EXPECT_NEAR(t2.total_s, t2.cpu_s + t2.comm_s, 1e-9);
+}
+
+TEST(CostModelTest, AllToAllIsMaxOfIoAndComm) {
+  CostModel model;
+  PhaseTime t = model.PhaseSeconds(Phase::kAllToAll,
+                                   MakeStats(5.0, 1000, 1000, 0, 0), 4);
+  EXPECT_DOUBLE_EQ(t.total_s, 5.0);
+  PhaseTime t2 = model.PhaseSeconds(
+      Phase::kAllToAll, MakeStats(0.1, 40000000000ull, 0, 0, 0), 64);
+  EXPECT_GT(t2.comm_s, t2.io_s);
+  EXPECT_DOUBLE_EQ(t2.total_s, t2.comm_s);
+}
+
+TEST(CostModelTest, MergeOverlapsIoWithComputePlusComm) {
+  CostModel model;
+  // I/O-bound merge (canonical: no communication).
+  PhaseTime t = model.PhaseSeconds(Phase::kFinalMerge,
+                                   MakeStats(3.0, 0, 0, 0, 100), 4);
+  EXPECT_DOUBLE_EQ(t.total_s, 3.0);
+  // Communication-bound merge (striped batch merge).
+  PhaseTime t2 = model.PhaseSeconds(
+      Phase::kFinalMerge, MakeStats(0.1, 40'000'000'000ull, 0, 0, 100), 4);
+  EXPECT_GT(t2.total_s, t2.io_s);
+  EXPECT_NEAR(t2.total_s, t2.cpu_s + t2.comm_s, 1e-9);
+}
+
+TEST(CostModelTest, MonotoneInIoVolume) {
+  CostModel model;
+  double prev = 0;
+  for (double io = 1.0; io < 100.0; io *= 2) {
+    PhaseTime t = model.PhaseSeconds(Phase::kFinalMerge,
+                                     MakeStats(io, 0, 0, 0, 0), 4);
+    EXPECT_GT(t.total_s, prev);
+    prev = t.total_s;
+  }
+}
+
+TEST(CostModelTest, ClusterTimeIsMaxOverPes) {
+  CostModel model;
+  std::vector<core::SortReport> reports(2);
+  reports[0].num_pes = 2;
+  reports[1].num_pes = 2;
+  reports[0].phase[static_cast<int>(Phase::kFinalMerge)] =
+      MakeStats(1.0, 0, 0, 0, 0);
+  reports[1].phase[static_cast<int>(Phase::kFinalMerge)] =
+      MakeStats(9.0, 0, 0, 0, 0);
+  PhaseTime t = model.ClusterPhaseSeconds(Phase::kFinalMerge, reports);
+  EXPECT_DOUBLE_EQ(t.total_s, 9.0);
+  EXPECT_GT(model.TotalSeconds(reports), 9.0 - 1e-12);
+}
+
+TEST(CostModelTest, SelectionChargesLatencyPerRound) {
+  CostModel model;
+  PhaseStats s;
+  s.selection_rounds = 1000;
+  PhaseTime t = model.PhaseSeconds(Phase::kMultiwaySelection, s, 4);
+  EXPECT_NEAR(t.total_s, 1000 * model.cluster().alpha_s, 1e-9);
+}
+
+}  // namespace
+}  // namespace demsort::sim

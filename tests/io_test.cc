@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "io/backend.h"
+#include "io/block_manager.h"
+#include "io/disk.h"
+#include "io/striped_writer.h"
+#include "util/aligned_buffer.h"
+
+namespace demsort::io {
+namespace {
+
+constexpr size_t kBlock = 4096;
+
+AlignedBuffer PatternBlock(uint8_t tag) {
+  AlignedBuffer buf(kBlock);
+  std::memset(buf.data(), tag, kBlock);
+  return buf;
+}
+
+// ------------------------------------------------------------ Backend ----
+
+TEST(MemoryBackendTest, RoundTrip) {
+  MemoryBackend backend(kBlock);
+  AlignedBuffer w = PatternBlock(0xAB);
+  ASSERT_TRUE(backend.WriteBlock(5, w.data()).ok());
+  AlignedBuffer r(kBlock);
+  ASSERT_TRUE(backend.ReadBlock(5, r.data()).ok());
+  EXPECT_EQ(std::memcmp(w.data(), r.data(), kBlock), 0);
+}
+
+TEST(MemoryBackendTest, ReadBeforeWriteFails) {
+  MemoryBackend backend(kBlock);
+  AlignedBuffer r(kBlock);
+  EXPECT_EQ(backend.ReadBlock(0, r.data()).code(), StatusCode::kNotFound);
+}
+
+TEST(MemoryBackendTest, OverwriteReplaces) {
+  MemoryBackend backend(kBlock);
+  AlignedBuffer a = PatternBlock(1), b = PatternBlock(2), r(kBlock);
+  ASSERT_TRUE(backend.WriteBlock(0, a.data()).ok());
+  ASSERT_TRUE(backend.WriteBlock(0, b.data()).ok());
+  ASSERT_TRUE(backend.ReadBlock(0, r.data()).ok());
+  EXPECT_EQ(r.data()[17], 2);
+}
+
+TEST(FileBackendTest, RoundTrip) {
+  std::string path = std::filesystem::temp_directory_path() /
+                     "demsort_file_backend_test.bin";
+  auto created = FileBackend::Create(path, kBlock);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto backend = std::move(created).value();
+  AlignedBuffer w = PatternBlock(0xCD), r(kBlock);
+  ASSERT_TRUE(backend->WriteBlock(9, w.data()).ok());
+  ASSERT_TRUE(backend->ReadBlock(9, r.data()).ok());
+  EXPECT_EQ(std::memcmp(w.data(), r.data(), kBlock), 0);
+}
+
+// --------------------------------------------------------- VirtualDisk ----
+
+TEST(VirtualDiskTest, AsyncRoundTrip) {
+  VirtualDisk disk(std::make_unique<MemoryBackend>(kBlock), {});
+  AlignedBuffer w = PatternBlock(0x11), r(kBlock);
+  disk.WriteAsync(3, w.data()).WaitOk();
+  disk.ReadAsync(3, r.data()).WaitOk();
+  EXPECT_EQ(std::memcmp(w.data(), r.data(), kBlock), 0);
+}
+
+TEST(VirtualDiskTest, SyncModeWorks) {
+  VirtualDisk::Options options;
+  options.async = false;
+  VirtualDisk disk(std::make_unique<MemoryBackend>(kBlock), options);
+  AlignedBuffer w = PatternBlock(0x22), r(kBlock);
+  Request wr = disk.WriteAsync(0, w.data());
+  EXPECT_TRUE(wr.done());  // inline execution completes immediately
+  disk.ReadAsync(0, r.data()).WaitOk();
+  EXPECT_EQ(r.data()[0], 0x22);
+}
+
+TEST(VirtualDiskTest, FifoOrderPreservesReadAfterWrite) {
+  VirtualDisk disk(std::make_unique<MemoryBackend>(kBlock), {});
+  // Queue many write/read pairs to the same block; FIFO must serialize.
+  for (int round = 0; round < 50; ++round) {
+    AlignedBuffer w = PatternBlock(static_cast<uint8_t>(round));
+    AlignedBuffer r(kBlock);
+    Request wreq = disk.WriteAsync(0, w.data());
+    Request rreq = disk.ReadAsync(0, r.data());
+    rreq.WaitOk();
+    EXPECT_EQ(r.data()[100], static_cast<uint8_t>(round));
+    wreq.WaitOk();
+  }
+}
+
+TEST(VirtualDiskTest, StatsCountOpsAndBytes) {
+  VirtualDisk disk(std::make_unique<MemoryBackend>(kBlock), {});
+  AlignedBuffer buf = PatternBlock(1);
+  for (uint64_t b = 0; b < 10; ++b) disk.WriteAsync(b, buf.data()).WaitOk();
+  for (uint64_t b = 0; b < 4; ++b) disk.ReadAsync(b, buf.data()).WaitOk();
+  disk.Drain();
+  IoStatsSnapshot stats = disk.Stats();
+  EXPECT_EQ(stats.writes, 10u);
+  EXPECT_EQ(stats.reads, 4u);
+  EXPECT_EQ(stats.bytes_written, 10 * kBlock);
+  EXPECT_EQ(stats.bytes_read, 4 * kBlock);
+  EXPECT_GT(stats.model_busy_ns, 0u);
+}
+
+TEST(VirtualDiskTest, SequentialAccessAvoidsSeeks) {
+  VirtualDisk disk(std::make_unique<MemoryBackend>(kBlock), {});
+  AlignedBuffer buf = PatternBlock(1);
+  for (uint64_t b = 0; b < 20; ++b) disk.WriteAsync(b, buf.data()).WaitOk();
+  uint64_t seq_seeks = disk.Stats().seeks;
+  EXPECT_EQ(seq_seeks, 1u);  // only the first access seeks
+
+  for (uint64_t b = 0; b < 20; b += 2) {
+    disk.ReadAsync(19 - b, buf.data()).WaitOk();
+  }
+  EXPECT_GT(disk.Stats().seeks, seq_seeks + 5);
+}
+
+TEST(VirtualDiskTest, ReadErrorSurfaces) {
+  VirtualDisk disk(std::make_unique<MemoryBackend>(kBlock), {});
+  AlignedBuffer r(kBlock);
+  Status s = disk.ReadAsync(99, r.data()).Wait();
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(DiskModelTest, TransferTimeScalesWithBytes) {
+  DiskModel model;
+  EXPECT_NEAR(model.TransferSeconds(67 * 1024 * 1024), 1.0, 1e-9);
+  EXPECT_GT(model.SeekSeconds(), 0.0);
+}
+
+// -------------------------------------------------------- BlockManager ----
+
+BlockManager::Options SmallBm(uint32_t disks = 3) {
+  BlockManager::Options options;
+  options.num_disks = disks;
+  options.block_size = kBlock;
+  return options;
+}
+
+TEST(BlockManagerTest, AllocationStripesAcrossDisks) {
+  BlockManager bm(SmallBm(3));
+  std::vector<BlockId> ids = bm.AllocateMany(9);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(ids[i].disk, static_cast<uint32_t>(i % 3));
+  }
+}
+
+TEST(BlockManagerTest, FreeListIsReused) {
+  BlockManager bm(SmallBm(1));
+  BlockId a = bm.Allocate();
+  bm.Free(a);
+  BlockId b = bm.Allocate();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(bm.blocks_in_use(), 1u);
+}
+
+TEST(BlockManagerTest, PeakTracksHighWater) {
+  BlockManager bm(SmallBm(2));
+  std::vector<BlockId> ids = bm.AllocateMany(10);
+  for (const BlockId& id : ids) bm.Free(id);
+  bm.AllocateMany(3);
+  EXPECT_EQ(bm.blocks_in_use(), 3u);
+  EXPECT_EQ(bm.peak_blocks_in_use(), 10u);
+}
+
+TEST(BlockManagerTest, ReadWriteThroughIds) {
+  BlockManager bm(SmallBm(2));
+  std::vector<BlockId> ids = bm.AllocateMany(4);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    AlignedBuffer w = PatternBlock(static_cast<uint8_t>(i + 1));
+    bm.WriteSync(ids[i], w.data());
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    AlignedBuffer r(kBlock);
+    bm.ReadSync(ids[i], r.data());
+    EXPECT_EQ(r.data()[0], static_cast<uint8_t>(i + 1));
+  }
+}
+
+TEST(BlockManagerTest, FileBackendEndToEnd) {
+  BlockManager::Options options = SmallBm(2);
+  options.backend = BlockManager::BackendKind::kFile;
+  options.file_dir = std::filesystem::temp_directory_path().string();
+  options.pe_id = 77;
+  BlockManager bm(options);
+  std::vector<BlockId> ids = bm.AllocateMany(6);
+  AlignedBuffer w = PatternBlock(0x5A), r(kBlock);
+  bm.WriteSync(ids[5], w.data());
+  bm.ReadSync(ids[5], r.data());
+  EXPECT_EQ(std::memcmp(w.data(), r.data(), kBlock), 0);
+}
+
+TEST(BlockManagerTest, AllocateOnDiskPins) {
+  BlockManager bm(SmallBm(3));
+  BlockId id = bm.AllocateOnDisk(2);
+  EXPECT_EQ(id.disk, 2u);
+}
+
+TEST(BlockManagerTest, TotalStatsAggregatesDisks) {
+  BlockManager bm(SmallBm(2));
+  std::vector<BlockId> ids = bm.AllocateMany(8);
+  AlignedBuffer w = PatternBlock(1);
+  for (const BlockId& id : ids) bm.WriteSync(id, w.data());
+  EXPECT_EQ(bm.TotalStats().writes, 8u);
+  EXPECT_EQ(bm.DiskStats(0).writes + bm.DiskStats(1).writes, 8u);
+}
+
+// ------------------------------------------------------- StripedWriter ----
+
+TEST(StripedWriterTest, WritesAndTracksFirstRecords) {
+  BlockManager bm(SmallBm(2));
+  StripedWriter<uint64_t> writer(&bm);
+  const size_t epb = kBlock / sizeof(uint64_t);
+  for (uint64_t i = 0; i < 3 * epb + 7; ++i) writer.Append(i);
+  writer.Finish();
+  EXPECT_EQ(writer.total_appended(), 3 * epb + 7);
+  ASSERT_EQ(writer.blocks().size(), 4u);
+  EXPECT_EQ(writer.block_first_records()[1], epb);
+  EXPECT_EQ(writer.last_block_fill(), 7u);
+
+  AlignedBuffer r(kBlock);
+  bm.ReadSync(writer.blocks()[2], r.data());
+  EXPECT_EQ(reinterpret_cast<uint64_t*>(r.data())[0], 2 * epb);
+}
+
+TEST(StripedWriterTest, EmptyFinishIsSafe) {
+  BlockManager bm(SmallBm(2));
+  StripedWriter<uint64_t> writer(&bm);
+  writer.Finish();
+  EXPECT_EQ(writer.total_appended(), 0u);
+  EXPECT_TRUE(writer.blocks().empty());
+}
+
+TEST(StripedWriterTest, ExactBlockBoundary) {
+  BlockManager bm(SmallBm(1));
+  StripedWriter<uint64_t> writer(&bm);
+  const size_t epb = kBlock / sizeof(uint64_t);
+  for (uint64_t i = 0; i < 2 * epb; ++i) writer.Append(i);
+  writer.Finish();
+  EXPECT_EQ(writer.blocks().size(), 2u);
+  EXPECT_EQ(writer.last_block_fill(), epb);
+}
+
+}  // namespace
+}  // namespace demsort::io

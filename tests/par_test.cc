@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/record.h"
+#include "par/loser_tree.h"
+#include "par/multiway_merge.h"
+#include "par/parallel_sort.h"
+#include "par/thread_pool.h"
+#include "util/random.h"
+
+namespace demsort::par {
+namespace {
+
+using demsort::core::KV16;
+using KVLess = demsort::core::RecordTraits<KV16>::Less;
+
+struct IntLess {
+  bool operator()(int a, int b) const { return a < b; }
+};
+
+// --------------------------------------------------------- ThreadPool ----
+
+TEST(ThreadPoolTest, InlineWhenZeroThreads) {
+  ThreadPool pool(0);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, RunsAllTasksOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SequentialBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(7, [&](size_t) { count++; });
+    EXPECT_EQ(count.load(), 7);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelChunksCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelChunks(0, 1000, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyWorkIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t) { FAIL(); });
+  pool.ParallelChunks(5, 5, [&](size_t, size_t) { FAIL(); });
+}
+
+// ---------------------------------------------------------- LoserTree ----
+
+TEST(LoserTreeTest, SingleSource) {
+  LoserTree<int, IntLess> tree(1);
+  tree.InitSource(0, 7);
+  tree.Build();
+  EXPECT_FALSE(tree.Empty());
+  EXPECT_EQ(tree.Winner(), 7);
+  tree.ExhaustWinner();
+  EXPECT_TRUE(tree.Empty());
+}
+
+TEST(LoserTreeTest, AllSourcesExhausted) {
+  LoserTree<int, IntLess> tree(3);
+  tree.Build();
+  EXPECT_TRUE(tree.Empty());
+}
+
+TEST(LoserTreeTest, MergesTwoSources) {
+  LoserTree<int, IntLess> tree(2);
+  tree.InitSource(0, 2);
+  tree.InitSource(1, 1);
+  tree.Build();
+  EXPECT_EQ(tree.WinnerSource(), 1u);
+  EXPECT_EQ(tree.Winner(), 1);
+  tree.ReplaceWinner(3);
+  EXPECT_EQ(tree.Winner(), 2);
+}
+
+TEST(LoserTreeTest, TieBreaksBySourceIndex) {
+  LoserTree<int, IntLess> tree(4);
+  for (size_t s = 0; s < 4; ++s) tree.InitSource(s, 5);
+  tree.Build();
+  for (size_t expect = 0; expect < 4; ++expect) {
+    EXPECT_EQ(tree.WinnerSource(), expect);
+    tree.ExhaustWinner();
+  }
+  EXPECT_TRUE(tree.Empty());
+}
+
+TEST(LoserTreeTest, NonPowerOfTwoSources) {
+  for (size_t k : {3u, 5u, 6u, 7u, 9u, 13u}) {
+    LoserTree<int, IntLess> tree(k);
+    for (size_t s = 0; s < k; ++s) {
+      tree.InitSource(s, static_cast<int>(k - s));
+    }
+    tree.Build();
+    // Winner should be the largest s (smallest value k-s).
+    EXPECT_EQ(tree.WinnerSource(), k - 1) << "k=" << k;
+  }
+}
+
+// ------------------------------------------------------ MultiwayMerge ----
+
+std::vector<std::vector<int>> MakeSortedSequences(size_t k, size_t avg_len,
+                                                  uint64_t seed,
+                                                  int key_range = 1000000) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> seqs(k);
+  for (auto& s : seqs) {
+    size_t len = rng.Below(2 * avg_len + 1);
+    s.resize(len);
+    for (auto& x : s) x = static_cast<int>(rng.Below(key_range));
+    std::sort(s.begin(), s.end());
+  }
+  return seqs;
+}
+
+TEST(MultiwayMergeTest, MatchesStdSort) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    auto seqs = MakeSortedSequences(1 + seed % 7, 50, seed);
+    std::vector<std::span<const int>> spans;
+    std::vector<int> expect;
+    for (auto& s : seqs) {
+      spans.emplace_back(s.data(), s.size());
+      expect.insert(expect.end(), s.begin(), s.end());
+    }
+    std::sort(expect.begin(), expect.end());
+    std::vector<int> out(expect.size());
+    size_t n = MultiwayMerge<int, IntLess>(spans, out.data());
+    EXPECT_EQ(n, expect.size());
+    EXPECT_EQ(out, expect);
+  }
+}
+
+TEST(MultiwayMergeTest, EmptyInputs) {
+  std::vector<std::span<const int>> spans;
+  std::vector<int> out;
+  EXPECT_EQ((MultiwayMerge<int, IntLess>(spans, out.data())), 0u);
+
+  std::vector<int> empty;
+  spans.assign(3, std::span<const int>(empty.data(), 0));
+  EXPECT_EQ((MultiwayMerge<int, IntLess>(spans, out.data())), 0u);
+}
+
+TEST(MultiwayMergeTest, HeavyDuplicates) {
+  auto seqs = MakeSortedSequences(5, 200, 99, /*key_range=*/3);
+  std::vector<std::span<const int>> spans;
+  std::vector<int> expect;
+  for (auto& s : seqs) {
+    spans.emplace_back(s.data(), s.size());
+    expect.insert(expect.end(), s.begin(), s.end());
+  }
+  std::sort(expect.begin(), expect.end());
+  std::vector<int> out(expect.size());
+  MultiwayMerge<int, IntLess>(spans, out.data());
+  EXPECT_EQ(out, expect);
+}
+
+TEST(MultiwayMergeTest, StableAcrossSources) {
+  // Equal keys must come out in source order: merge KV16 with equal keys
+  // and per-source values; output values must be grouped by source.
+  std::vector<std::vector<KV16>> seqs(3);
+  for (uint64_t s = 0; s < 3; ++s) {
+    for (int i = 0; i < 4; ++i) seqs[s].push_back({7, s});
+  }
+  std::vector<std::span<const KV16>> spans;
+  for (auto& s : seqs) spans.emplace_back(s.data(), s.size());
+  std::vector<KV16> out(12);
+  MultiwayMerge<KV16, KVLess>(spans, out.data());
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(out[i].value, static_cast<uint64_t>(i / 4));
+  }
+}
+
+TEST(ParallelMultiwayMergeTest, MatchesSequential) {
+  ThreadPool pool(4);
+  auto seqs = MakeSortedSequences(6, 5000, 1234);
+  std::vector<std::span<const int>> spans;
+  size_t total = 0;
+  for (auto& s : seqs) {
+    spans.emplace_back(s.data(), s.size());
+    total += s.size();
+  }
+  std::vector<int> seq_out(total), par_out(total);
+  MultiwayMerge<int, IntLess>(spans, seq_out.data());
+  ParallelMultiwayMerge<int, IntLess>(pool, spans, par_out.data());
+  EXPECT_EQ(par_out, seq_out);
+}
+
+// ------------------------------------------------------- ParallelSort ----
+
+class ParallelSortParamTest
+    : public ::testing::TestWithParam<std::tuple<int, size_t, int>> {};
+
+TEST_P(ParallelSortParamTest, MatchesStdSort) {
+  auto [threads, n, key_range] = GetParam();
+  ThreadPool pool(threads);
+  Rng rng(n * 31 + threads);
+  std::vector<KV16> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i].key = rng.Below(static_cast<uint64_t>(key_range));
+    data[i].value = i;
+  }
+  std::vector<KV16> expect = data;
+  std::stable_sort(expect.begin(), expect.end(), KVLess());
+  ParallelSort<KV16, KVLess>(pool, std::span<KV16>(data));
+  ASSERT_EQ(data.size(), expect.size());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(data[i].key, expect[i].key) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelSortParamTest,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values<size_t>(0, 1, 100, 10000, 50000),
+                       ::testing::Values(2, 1000000)));
+
+TEST(ParallelSortTest, AlreadySorted) {
+  ThreadPool pool(4);
+  std::vector<KV16> data(20000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = {i, i};
+  ParallelSort<KV16, KVLess>(pool, std::span<KV16>(data));
+  for (size_t i = 0; i < data.size(); ++i) EXPECT_EQ(data[i].key, i);
+}
+
+TEST(ParallelSortTest, ReverseSorted) {
+  ThreadPool pool(2);
+  std::vector<KV16> data(30000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = {data.size() - i, i};
+  }
+  ParallelSort<KV16, KVLess>(pool, std::span<KV16>(data));
+  for (size_t i = 1; i < data.size(); ++i) {
+    EXPECT_LE(data[i - 1].key, data[i].key);
+  }
+}
+
+}  // namespace
+}  // namespace demsort::par

@@ -1,0 +1,108 @@
+// Pipelined sorting (§VII): producer-driven input, consumer-driven sorted
+// output, still exact.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "core/pipelined.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace demsort::core {
+namespace {
+
+using test::KVLess;
+
+TEST(PipelinedSortTest, StreamsSortedOutput) {
+  const int P = 3;
+  const uint64_t chunks_per_pe = 4;
+  SortConfig config = test::SmallConfig();
+  std::mutex mu;
+  std::vector<std::vector<KV16>> outputs(P);
+  std::vector<std::vector<KV16>> inputs(P);
+
+  test::RunPes(P, config, [&](PeContext& ctx, const SortConfig& cfg) {
+    size_t m = cfg.ElementsPerPeMemory<KV16>();
+    Rng rng(cfg.seed + ctx.rank());
+    uint64_t produced = 0;
+    auto producer = [&]() {
+      std::vector<KV16> chunk;
+      if (produced / m >= chunks_per_pe) return chunk;
+      chunk.resize(m);
+      for (auto& r : chunk) {
+        r = {rng.Next(), produced++};
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      inputs[ctx.rank()].insert(inputs[ctx.rank()].end(), chunk.begin(),
+                                chunk.end());
+      return chunk;
+    };
+    auto consumer = [&](const KV16& rec) {
+      std::lock_guard<std::mutex> lock(mu);
+      outputs[ctx.rank()].push_back(rec);
+    };
+    PipelinedResult<KV16> result =
+        PipelinedSort<KV16>(ctx, cfg, producer, consumer);
+    EXPECT_EQ(result.num_runs, chunks_per_pe);
+    EXPECT_EQ(result.consumed_elements,
+              result.global_end - result.global_begin);
+  });
+
+  // Concatenated consumer streams == sorted concatenated producer streams.
+  std::vector<KV16> got, expect;
+  for (auto& o : outputs) got.insert(got.end(), o.begin(), o.end());
+  for (auto& i : inputs) expect.insert(expect.end(), i.begin(), i.end());
+  ASSERT_EQ(got.size(), expect.size());
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end(), KVLess()));
+  std::vector<uint64_t> got_keys, expect_keys;
+  for (auto& r : got) got_keys.push_back(r.key);
+  for (auto& r : expect) expect_keys.push_back(r.key);
+  std::sort(expect_keys.begin(), expect_keys.end());
+  EXPECT_EQ(got_keys, expect_keys);
+}
+
+TEST(PipelinedSortTest, UnevenProducers) {
+  const int P = 2;
+  SortConfig config = test::SmallConfig();
+  std::mutex mu;
+  std::vector<uint64_t> counts(P, 0);
+  test::RunPes(P, config, [&](PeContext& ctx, const SortConfig& cfg) {
+    size_t m = cfg.ElementsPerPeMemory<KV16>();
+    // PE 0 produces 3 chunks, PE 1 only 1.
+    uint64_t quota = ctx.rank() == 0 ? 3 : 1;
+    Rng rng(cfg.seed * 3 + ctx.rank());
+    uint64_t produced_chunks = 0;
+    auto producer = [&]() {
+      std::vector<KV16> chunk;
+      if (produced_chunks >= quota) return chunk;
+      ++produced_chunks;
+      chunk.resize(m);
+      for (auto& r : chunk) r = {rng.Next(), rng.Next()};
+      return chunk;
+    };
+    auto consumer = [&](const KV16&) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++counts[ctx.rank()];
+    };
+    PipelinedSort<KV16>(ctx, cfg, producer, consumer);
+  });
+  size_t m = config.ElementsPerPeMemory<KV16>();
+  EXPECT_EQ(counts[0] + counts[1], 4 * m);
+  EXPECT_EQ(counts[0], counts[1]);  // exact equal split regardless of skew
+}
+
+TEST(PipelinedSortTest, EmptyProducers) {
+  const int P = 2;
+  SortConfig config = test::SmallConfig();
+  test::RunPes(P, config, [&](PeContext& ctx, const SortConfig& cfg) {
+    auto producer = [] { return std::vector<KV16>(); };
+    auto consumer = [](const KV16&) { FAIL() << "no data expected"; };
+    PipelinedResult<KV16> result =
+        PipelinedSort<KV16>(ctx, cfg, producer, consumer);
+    EXPECT_EQ(result.consumed_elements, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace demsort::core

@@ -1,0 +1,115 @@
+// GLOBALSTRIPEDMERGESORT (§III): output must be a sorted permutation laid
+// out block-striped over all P*D disks, for all P / size / distribution
+// combinations, and its communication volume must be a multiple of
+// CANONICALMERGESORT's (the paper's §III vs §IV contrast).
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <tuple>
+
+#include "core/canonical_mergesort.h"
+#include "core/striped_mergesort.h"
+#include "test_util.h"
+#include "workload/generators.h"
+#include "workload/validator.h"
+
+namespace demsort::core {
+namespace {
+
+using workload::Distribution;
+
+class StripedSortParamTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t, Distribution>> {
+};
+
+TEST_P(StripedSortParamTest, SortsToValidStripedStream) {
+  auto [P, n, dist] = GetParam();
+  SortConfig config = test::SmallConfig();
+  test::RunPes(P, config, [&](PeContext& ctx, const SortConfig& cfg) {
+    auto gen = workload::GenerateKV16(ctx.bm, dist, n, ctx.rank(), P,
+                                      cfg.seed);
+    StripedSortOutput<KV16> out =
+        StripedMergeSort<KV16>(ctx, cfg, gen.input);
+    EXPECT_EQ(out.stream.total_elements, static_cast<uint64_t>(P) * n);
+    auto v = workload::ValidateStripedCollective<KV16>(
+        ctx, out.stream.my_blocks, out.stream.total_elements, gen.checksum);
+    EXPECT_TRUE(v.locally_sorted) << v.ToString();
+    EXPECT_TRUE(v.boundaries_ok) << v.ToString();
+    EXPECT_TRUE(v.permutation_ok) << v.ToString();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StripedSortParamTest,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 3, 4),
+        ::testing::Values<uint64_t>(100, 2048, 5000),
+        ::testing::Values(Distribution::kUniform,
+                          Distribution::kWorstCaseLocal,
+                          Distribution::kReversedRanges,
+                          Distribution::kAllEqual, Distribution::kZipf)));
+
+TEST(StripedSortTest, BlocksAreOwnedByStripe) {
+  const int P = 4;
+  SortConfig config = test::SmallConfig();
+  test::RunPes(P, config, [&](PeContext& ctx, const SortConfig& cfg) {
+    auto gen = workload::GenerateKV16(ctx.bm, Distribution::kUniform, 2048,
+                                      ctx.rank(), P, cfg.seed);
+    auto out = StripedMergeSort<KV16>(ctx, cfg, gen.input);
+    uint64_t stripe = static_cast<uint64_t>(P) * cfg.disks_per_pe;
+    for (const auto& [g, id] : out.stream.my_blocks) {
+      EXPECT_EQ(static_cast<int>((g % stripe) / cfg.disks_per_pe),
+                ctx.rank());
+      EXPECT_EQ(id.disk, static_cast<uint32_t>(g % stripe % cfg.disks_per_pe));
+    }
+    // Ownership counts are balanced to within one stripe period.
+    uint64_t mine = out.stream.my_blocks.size();
+    uint64_t max = ctx.comm->AllreduceMax<uint64_t>(mine);
+    uint64_t min = ctx.comm->AllreduceMin<uint64_t>(mine);
+    EXPECT_LE(max - min, cfg.disks_per_pe + 1);
+  });
+}
+
+TEST(StripedSortTest, CommunicatesSeveralTimesMoreThanCanonical) {
+  // §III vs §IV: the striped algorithm moves the data ~4x over the network
+  // (sort + striped write, twice); canonical moves it ~once.
+  const int P = 4;
+  const uint64_t n = 4096;
+  uint64_t striped_bytes = 0, canonical_bytes = 0;
+  for (int which = 0; which < 2; ++which) {
+    SortConfig config = test::SmallConfig();
+    auto stats = net::Cluster::RunWithStats(P, [&](net::Comm& comm) {
+      PeResources resources(&comm, config);
+      PeContext& ctx = resources.ctx();
+      auto gen = workload::GenerateKV16(ctx.bm, Distribution::kUniform, n,
+                                        ctx.rank(), P, config.seed);
+      if (which == 0) {
+        StripedMergeSort<KV16>(ctx, config, gen.input);
+      } else {
+        CanonicalMergeSort<KV16>(ctx, config, gen.input);
+      }
+    });
+    uint64_t sum = 0;
+    for (auto& s : stats) sum += s.bytes_sent;
+    (which == 0 ? striped_bytes : canonical_bytes) = sum;
+  }
+  EXPECT_GT(striped_bytes, canonical_bytes * 2);
+}
+
+TEST(StripedSortTest, EmptyAndTinyInputs) {
+  const int P = 2;
+  SortConfig config = test::SmallConfig();
+  test::RunPes(P, config, [&](PeContext& ctx, const SortConfig& cfg) {
+    uint64_t n = ctx.rank() == 0 ? 3 : 0;
+    auto gen = workload::GenerateKV16(ctx.bm, Distribution::kUniform, n,
+                                      ctx.rank(), P, cfg.seed);
+    auto out = StripedMergeSort<KV16>(ctx, cfg, gen.input);
+    EXPECT_EQ(out.stream.total_elements, 3u);
+    auto v = workload::ValidateStripedCollective<KV16>(
+        ctx, out.stream.my_blocks, out.stream.total_elements, gen.checksum);
+    EXPECT_TRUE(v.ok()) << v.ToString();
+  });
+}
+
+}  // namespace
+}  // namespace demsort::core

@@ -1,0 +1,46 @@
+// Shared helpers for the pipeline tests: spin up a P-PE cluster where every
+// PE owns a BlockManager and ThreadPool per the SortConfig, and hand the
+// test body a ready PeContext.
+#ifndef DEMSORT_TESTS_TEST_UTIL_H_
+#define DEMSORT_TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/pe_context.h"
+#include "core/record.h"
+#include "net/cluster.h"
+#include "net/comm.h"
+
+namespace demsort::test {
+
+/// A small geometry that still produces several runs and several blocks per
+/// piece: 64-byte... 1 KiB blocks of KV16 (64 elements), 8 KiB memory per PE
+/// (512 elements/run-piece), two disks.
+inline core::SortConfig SmallConfig() {
+  core::SortConfig config;
+  config.block_size = 1024;        // 64 KV16 per block
+  config.memory_per_pe = 8 * 1024;  // 512 KV16 per PE per run
+  config.disks_per_pe = 2;
+  config.threads_per_pe = 1;
+  config.seed = 424242;
+  return config;
+}
+
+inline void RunPes(
+    int num_pes, const core::SortConfig& config,
+    const std::function<void(core::PeContext&, const core::SortConfig&)>&
+        body) {
+  net::Cluster::Run(num_pes, [&](net::Comm& comm) {
+    core::PeResources resources(&comm, config);
+    body(resources.ctx(), config);
+  });
+}
+
+/// Comparator shorthand.
+using KVLess = core::RecordTraits<core::KV16>::Less;
+
+}  // namespace demsort::test
+
+#endif  // DEMSORT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,241 @@
+// Workload generators and the collective validator: determinism,
+// distribution shapes, and — crucially — that the validator actually
+// *catches* broken outputs (negative tests).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/block_io.h"
+#include "test_util.h"
+#include "workload/generators.h"
+#include "workload/validator.h"
+
+namespace demsort::workload {
+namespace {
+
+using core::Gray100;
+using core::KV16;
+using core::PeContext;
+using core::SortConfig;
+
+std::vector<KV16> ReadAll(PeContext& ctx, const core::LocalInput& input,
+                          const SortConfig& config) {
+  size_t epb = config.ElementsPerBlock<KV16>();
+  std::vector<size_t> counts(input.blocks.size());
+  uint64_t remaining = input.num_elements;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = static_cast<size_t>(std::min<uint64_t>(epb, remaining));
+    remaining -= counts[i];
+  }
+  return core::ReadBlocks<KV16>(ctx.bm, input.blocks, counts);
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  SortConfig config = test::SmallConfig();
+  std::vector<uint64_t> keys[2];
+  for (int round = 0; round < 2; ++round) {
+    test::RunPes(1, config, [&](PeContext& ctx, const SortConfig& cfg) {
+      auto gen = GenerateKV16(ctx.bm, Distribution::kUniform, 500, 0, 1,
+                              cfg.seed);
+      for (auto& r : ReadAll(ctx, gen.input, cfg)) {
+        keys[round].push_back(r.key);
+      }
+    });
+  }
+  EXPECT_EQ(keys[0], keys[1]);
+}
+
+TEST(GeneratorTest, ValuesAreUniqueGlobalIds) {
+  SortConfig config = test::SmallConfig();
+  test::RunPes(2, config, [&](PeContext& ctx, const SortConfig& cfg) {
+    auto gen = GenerateKV16(ctx.bm, Distribution::kUniform, 100,
+                            ctx.rank(), 2, cfg.seed);
+    auto data = ReadAll(ctx, gen.input, cfg);
+    for (size_t i = 0; i < data.size(); ++i) {
+      EXPECT_EQ(data[i].value, static_cast<uint64_t>(ctx.rank()) * 100 + i);
+    }
+  });
+}
+
+TEST(GeneratorTest, WorstCaseIsLocallySorted) {
+  SortConfig config = test::SmallConfig();
+  test::RunPes(2, config, [&](PeContext& ctx, const SortConfig& cfg) {
+    auto gen = GenerateKV16(ctx.bm, Distribution::kWorstCaseLocal, 1000,
+                            ctx.rank(), 2, cfg.seed);
+    auto data = ReadAll(ctx, gen.input, cfg);
+    EXPECT_TRUE(std::is_sorted(data.begin(), data.end(), test::KVLess()));
+  });
+}
+
+TEST(GeneratorTest, SortedGlobalIsGloballySorted) {
+  SortConfig config = test::SmallConfig();
+  test::RunPes(3, config, [&](PeContext& ctx, const SortConfig& cfg) {
+    auto gen = GenerateKV16(ctx.bm, Distribution::kSortedGlobal, 100,
+                            ctx.rank(), 3, cfg.seed);
+    auto data = ReadAll(ctx, gen.input, cfg);
+    for (size_t i = 0; i < data.size(); ++i) {
+      EXPECT_EQ(data[i].key, static_cast<uint64_t>(ctx.rank()) * 100 + i);
+    }
+  });
+}
+
+TEST(GeneratorTest, ReversedRangesAreDisjointAndReversed) {
+  SortConfig config = test::SmallConfig();
+  const int P = 4;
+  test::RunPes(P, config, [&](PeContext& ctx, const SortConfig& cfg) {
+    auto gen = GenerateKV16(ctx.bm, Distribution::kReversedRanges, 500,
+                            ctx.rank(), P, cfg.seed);
+    auto data = ReadAll(ctx, gen.input, cfg);
+    uint64_t span = UINT64_MAX / P;
+    uint64_t lo = span * static_cast<uint64_t>(P - 1 - ctx.rank());
+    for (auto& r : data) {
+      EXPECT_GE(r.key, lo);
+      EXPECT_LT(r.key, lo + span);
+    }
+  });
+}
+
+TEST(GeneratorTest, ZipfIsSkewed) {
+  SortConfig config = test::SmallConfig();
+  test::RunPes(1, config, [&](PeContext& ctx, const SortConfig& cfg) {
+    auto gen = GenerateKV16(ctx.bm, Distribution::kZipf, 5000, 0, 1,
+                            cfg.seed);
+    auto data = ReadAll(ctx, gen.input, cfg);
+    // The most frequent key should hold a large share.
+    std::vector<uint64_t> keys;
+    for (auto& r : data) keys.push_back(r.key);
+    std::sort(keys.begin(), keys.end());
+    size_t best = 1, cur = 1;
+    for (size_t i = 1; i < keys.size(); ++i) {
+      cur = keys[i] == keys[i - 1] ? cur + 1 : 1;
+      best = std::max(best, cur);
+    }
+    EXPECT_GT(best, data.size() / 20);
+  });
+}
+
+TEST(GeneratorTest, Gray100KeysAndPayload) {
+  SortConfig config = test::SmallConfig();
+  config.block_size = 2000;
+  test::RunPes(1, config, [&](PeContext& ctx, const SortConfig& cfg) {
+    auto gen = GenerateGray100(ctx.bm, 100, 0, 1, cfg.seed);
+    EXPECT_EQ(gen.input.num_elements, 100u);
+    EXPECT_EQ(gen.checksum.count(), 100u);
+    size_t epb = cfg.block_size / sizeof(Gray100);
+    EXPECT_EQ(gen.input.blocks.size(), (100 + epb - 1) / epb);
+  });
+}
+
+// ------------------------------------------------- validator negatives ----
+
+TEST(ValidatorTest, AcceptsCorrectOutput) {
+  SortConfig config = test::SmallConfig();
+  test::RunPes(2, config, [&](PeContext& ctx, const SortConfig&) {
+    // Build trivially correct "output": PE 0 holds small keys, PE 1 large.
+    std::vector<KV16> data(100);
+    MultisetChecksum checksum;
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = {static_cast<uint64_t>(ctx.rank()) * 1000 + i, i};
+      checksum.AddRecord(&data[i], sizeof(KV16));
+    }
+    io::StripedWriter<KV16> writer(ctx.bm);
+    for (auto& r : data) writer.Append(r);
+    writer.Finish();
+    auto v = ValidateCollective<KV16>(ctx, writer.blocks(), data.size(),
+                                      checksum);
+    EXPECT_TRUE(v.ok());
+    EXPECT_TRUE(v.partition_exact);
+  });
+}
+
+TEST(ValidatorTest, CatchesUnsortedOutput) {
+  SortConfig config = test::SmallConfig();
+  test::RunPes(1, config, [&](PeContext& ctx, const SortConfig&) {
+    std::vector<KV16> data = {{5, 0}, {3, 1}, {9, 2}};
+    MultisetChecksum checksum;
+    for (auto& r : data) checksum.AddRecord(&r, sizeof(KV16));
+    io::StripedWriter<KV16> writer(ctx.bm);
+    for (auto& r : data) writer.Append(r);
+    writer.Finish();
+    auto v = ValidateCollective<KV16>(ctx, writer.blocks(), 3, checksum);
+    EXPECT_FALSE(v.locally_sorted);
+    EXPECT_FALSE(v.ok());
+  });
+}
+
+TEST(ValidatorTest, CatchesBadBoundaries) {
+  SortConfig config = test::SmallConfig();
+  test::RunPes(2, config, [&](PeContext& ctx, const SortConfig&) {
+    // PE 0 gets LARGE keys, PE 1 small: locally sorted, globally broken.
+    std::vector<KV16> data(10);
+    MultisetChecksum checksum;
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = {(1 - static_cast<uint64_t>(ctx.rank())) * 1000 + i, i};
+      checksum.AddRecord(&data[i], sizeof(KV16));
+    }
+    io::StripedWriter<KV16> writer(ctx.bm);
+    for (auto& r : data) writer.Append(r);
+    writer.Finish();
+    auto v = ValidateCollective<KV16>(ctx, writer.blocks(), data.size(),
+                                      checksum);
+    EXPECT_TRUE(v.locally_sorted);
+    EXPECT_FALSE(v.boundaries_ok);
+  });
+}
+
+TEST(ValidatorTest, CatchesDroppedRecord) {
+  SortConfig config = test::SmallConfig();
+  test::RunPes(1, config, [&](PeContext& ctx, const SortConfig&) {
+    std::vector<KV16> data = {{1, 0}, {2, 1}, {3, 2}};
+    MultisetChecksum checksum;
+    for (auto& r : data) checksum.AddRecord(&r, sizeof(KV16));
+    // Write only two of the three records.
+    io::StripedWriter<KV16> writer(ctx.bm);
+    writer.Append(data[0]);
+    writer.Append(data[1]);
+    writer.Finish();
+    auto v = ValidateCollective<KV16>(ctx, writer.blocks(), 2, checksum);
+    EXPECT_FALSE(v.permutation_ok);
+  });
+}
+
+TEST(ValidatorTest, CatchesCorruptedRecord) {
+  SortConfig config = test::SmallConfig();
+  test::RunPes(1, config, [&](PeContext& ctx, const SortConfig&) {
+    std::vector<KV16> data = {{1, 0}, {2, 1}};
+    MultisetChecksum checksum;
+    for (auto& r : data) checksum.AddRecord(&r, sizeof(KV16));
+    data[1].value = 999;  // corrupt payload, keys still sorted
+    io::StripedWriter<KV16> writer(ctx.bm);
+    for (auto& r : data) writer.Append(r);
+    writer.Finish();
+    auto v = ValidateCollective<KV16>(ctx, writer.blocks(), 2, checksum);
+    EXPECT_TRUE(v.locally_sorted);
+    EXPECT_FALSE(v.permutation_ok);
+  });
+}
+
+TEST(ValidatorTest, FlagsInexactPartition) {
+  SortConfig config = test::SmallConfig();
+  test::RunPes(2, config, [&](PeContext& ctx, const SortConfig&) {
+    // 10 total elements split 7/3 instead of 5/5.
+    size_t n = ctx.rank() == 0 ? 7 : 3;
+    std::vector<KV16> data(n);
+    MultisetChecksum checksum;
+    for (size_t i = 0; i < n; ++i) {
+      data[i] = {static_cast<uint64_t>(ctx.rank()) * 1000 + i, i};
+      checksum.AddRecord(&data[i], sizeof(KV16));
+    }
+    io::StripedWriter<KV16> writer(ctx.bm);
+    for (auto& r : data) writer.Append(r);
+    writer.Finish();
+    auto v = ValidateCollective<KV16>(ctx, writer.blocks(), n, checksum,
+                                      /*require_exact_partition=*/true);
+    EXPECT_TRUE(v.ok());
+    EXPECT_FALSE(v.partition_exact);
+  });
+}
+
+}  // namespace
+}  // namespace demsort::workload
