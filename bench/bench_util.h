@@ -26,6 +26,7 @@
 #include "core/phase_stats.h"
 #include "core/record.h"
 #include "net/cluster.h"
+#include "net/tcp_transport.h"
 #include "sim/cost_model.h"
 #include "util/flags.h"
 #include "util/timer.h"
@@ -58,16 +59,49 @@ struct SortRunResult {
   uint64_t total_elements = 0;
 };
 
+/// How a bench run drives its PEs over the substrate.
+struct RunOptions {
+  net::TransportKind transport = net::TransportKind::kInProc;
+  /// In-process fabric only: per-channel in-flight byte cap (0 = off).
+  size_t channel_cap_bytes = 0;
+};
+
+/// Parses --transport / --channel-cap; a bad value aborts the bench (a
+/// silent inproc fallback would mislabel every measured number).
+inline RunOptions RunOptionsFromFlags(const FlagParser& flags) {
+  RunOptions options;
+  auto kind = net::ParseTransportKind(flags.GetString("transport", "inproc"));
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    std::exit(2);
+  }
+  options.transport = kind.value();
+  int64_t cap = ParseSize(flags.GetString("channel-cap", "0"));
+  if (cap < 0) {
+    std::fprintf(stderr, "--channel-cap must be >= 0\n");
+    std::exit(2);
+  }
+  options.channel_cap_bytes = static_cast<size_t>(cap);
+  if (options.transport == net::TransportKind::kTcp &&
+      options.channel_cap_bytes != 0) {
+    std::fprintf(stderr,
+                 "--channel-cap applies to the in-process fabric only\n");
+    std::exit(2);
+  }
+  return options;
+}
+
 /// Runs CANONICALMERGESORT on P emulated PEs and validates the output.
 inline SortRunResult RunCanonical(int num_pes, workload::Distribution dist,
                                   const core::SortConfig& config,
-                                  uint64_t elements_per_pe) {
+                                  uint64_t elements_per_pe,
+                                  const RunOptions& run_options = {}) {
   SortRunResult result;
   result.reports.resize(num_pes);
   std::mutex mu;
   bool all_valid = true;
   int64_t start = NowNanos();
-  net::Cluster::Run(num_pes, [&](net::Comm& comm) {
+  auto body = [&](net::Comm& comm) {
     core::PeResources resources(&comm, config);
     core::PeContext& ctx = resources.ctx();
     auto gen = workload::GenerateKV16(ctx.bm, dist, elements_per_pe,
@@ -79,7 +113,11 @@ inline SortRunResult RunCanonical(int num_pes, workload::Distribution dist,
     std::lock_guard<std::mutex> lock(mu);
     result.reports[comm.rank()] = out.report;
     if (!v.ok() || !v.partition_exact) all_valid = false;
-  });
+  };
+  net::Cluster::Options cluster_options;
+  cluster_options.num_pes = num_pes;
+  cluster_options.channel_cap_bytes = run_options.channel_cap_bytes;
+  net::RunOverTransport(run_options.transport, cluster_options, body);
   result.wall_ms = (NowNanos() - start) * 1e-6;
   result.valid = all_valid;
   result.total_elements = static_cast<uint64_t>(num_pes) * elements_per_pe;

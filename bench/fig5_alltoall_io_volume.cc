@@ -35,6 +35,11 @@ int main(int argc, char** argv) {
   size_t block_default =
       static_cast<size_t>(flags.GetInt("block-size", 4 * 1024));
   size_t block_small = block_default / 4;  // the paper's 8 MiB vs 2 MiB
+  // --transport=tcp runs every sweep point over real loopback sockets;
+  // --channel-cap=<size> bounds the in-process fabric's per-channel
+  // buffering (I/O volumes must be identical either way — the figure is
+  // about the algorithm, the substrate only moves the bytes).
+  bench::RunOptions run_options = bench::RunOptionsFromFlags(flags);
 
   struct Series {
     const char* name;
@@ -65,7 +70,8 @@ int main(int argc, char** argv) {
       core::SortConfig config = bench::FigureConfig(s.block);
       config.randomize_blocks = s.randomize;
       bench::SortRunResult run =
-          bench::RunCanonical(p, s.dist, config, elements_per_pe);
+          bench::RunCanonical(p, s.dist, config, elements_per_pe,
+                              run_options);
       std::printf("  %18.5f", run.valid ? AllToAllIoOverN(run) : -1.0);
       std::fflush(stdout);
     }

@@ -1,21 +1,33 @@
 // Microbenchmarks of the message-passing substrate: point-to-point
-// round-trips, barrier, allgather, and the 64-bit alltoallv.
+// round-trips, barrier, allgather, and the 64-bit alltoallv — each measured
+// over BOTH transports (in-process fabric mailboxes vs. real loopback TCP
+// sockets), so the cost of leaving the address space is visible.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <vector>
 
 #include "net/cluster.h"
 #include "net/comm.h"
+#include "net/tcp_transport.h"
 
 namespace {
 
 using demsort::net::Cluster;
 using demsort::net::Comm;
+using demsort::net::TransportKind;
 
-void BM_PingPong(benchmark::State& state) {
+void RunWith(TransportKind kind, int pes,
+             const std::function<void(Comm&)>& body) {
+  Cluster::Options options;
+  options.num_pes = pes;
+  demsort::net::RunOverTransport(kind, options, body);
+}
+
+void PingPong(benchmark::State& state, TransportKind kind) {
   size_t bytes = state.range(0);
   for (auto _ : state) {
-    Cluster::Run(2, [&](Comm& comm) {
+    RunWith(kind, 2, [&](Comm& comm) {
       std::vector<uint8_t> payload(bytes, 1);
       for (int i = 0; i < 100; ++i) {
         if (comm.rank() == 0) {
@@ -30,24 +42,31 @@ void BM_PingPong(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() * 200 * bytes);
 }
-BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(1 << 20)->Iterations(10);
+BENCHMARK_CAPTURE(PingPong, inproc, TransportKind::kInProc)
+    ->Arg(64)->Arg(4096)->Arg(1 << 20)->Iterations(10);
+BENCHMARK_CAPTURE(PingPong, tcp, TransportKind::kTcp)
+    ->Arg(64)->Arg(4096)->Arg(1 << 20)->Iterations(10);
 
-void BM_Barrier(benchmark::State& state) {
+void Barrier(benchmark::State& state, TransportKind kind) {
   int pes = state.range(0);
   for (auto _ : state) {
-    Cluster::Run(pes, [](Comm& comm) {
+    RunWith(kind, pes, [](Comm& comm) {
       for (int i = 0; i < 50; ++i) comm.Barrier();
     });
   }
   state.SetItemsProcessed(state.iterations() * 50);
 }
-BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(32)->Iterations(10);
+BENCHMARK_CAPTURE(Barrier, inproc, TransportKind::kInProc)
+    ->Arg(2)->Arg(8)->Arg(32)->Iterations(10);
+BENCHMARK_CAPTURE(Barrier, tcp, TransportKind::kTcp)
+    ->Arg(2)->Arg(8)->Iterations(10);
 
-void BM_Alltoallv(benchmark::State& state) {
+/// The acceptance metric: Alltoallv throughput per transport.
+void Alltoallv(benchmark::State& state, TransportKind kind) {
   int pes = state.range(0);
   size_t per_pair = 4096;
   for (auto _ : state) {
-    Cluster::Run(pes, [&](Comm& comm) {
+    RunWith(kind, pes, [&](Comm& comm) {
       std::vector<std::vector<uint64_t>> sends(comm.size());
       for (auto& s : sends) s.assign(per_pair / 8, comm.rank());
       for (int i = 0; i < 10; ++i) {
@@ -58,7 +77,29 @@ void BM_Alltoallv(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() * 10 * pes * pes * per_pair);
 }
-BENCHMARK(BM_Alltoallv)->Arg(2)->Arg(8)->Arg(16)->Iterations(10);
+BENCHMARK_CAPTURE(Alltoallv, inproc, TransportKind::kInProc)
+    ->Arg(2)->Arg(8)->Arg(16)->Iterations(10);
+BENCHMARK_CAPTURE(Alltoallv, tcp, TransportKind::kTcp)
+    ->Arg(2)->Arg(8)->Arg(16)->Iterations(10);
+
+/// Bulk single-pair bandwidth: one 64 MiB message each way.
+void Bandwidth(benchmark::State& state, TransportKind kind) {
+  const size_t bytes = 64u << 20;
+  for (auto _ : state) {
+    RunWith(kind, 2, [&](Comm& comm) {
+      std::vector<uint8_t> payload(bytes, 2);
+      if (comm.rank() == 0) {
+        comm.Send(1, 1, payload.data(), payload.size());
+        comm.Recv(1, 2);
+      } else {
+        comm.Recv(0, 1);
+        comm.Send(0, 2, payload.data(), payload.size());
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * bytes);
+}
+BENCHMARK_CAPTURE(Bandwidth, inproc, TransportKind::kInProc)->Iterations(5);
+BENCHMARK_CAPTURE(Bandwidth, tcp, TransportKind::kTcp)->Iterations(5);
 
 }  // namespace
-

@@ -4,75 +4,87 @@
 //
 //   ./sortbench_cli --pes 8 --records-per-pe 50000 --algo canonical
 //   ./sortbench_cli --algo striped --skewed
+//   ./sortbench_cli --transport=tcp --pes 4     # PEs as separate processes
+//
+// With --transport=tcp every PE is a forked OS process with its own address
+// space, connected over loopback sockets through net::TcpTransport — the
+// same sort code, nothing shared but messages. Reports and the validation
+// verdict travel to rank 0 over the same transport.
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 
 #include "core/canonical_mergesort.h"
 #include "core/striped_mergesort.h"
 #include "net/cluster.h"
+#include "net/tcp_transport.h"
 #include "sim/cost_model.h"
 #include "util/flags.h"
 #include "util/timer.h"
 #include "workload/generators.h"
 #include "workload/validator.h"
 
-int main(int argc, char** argv) {
-  using namespace demsort;
-  FlagParser flags(argc, argv);
-  const int pes = static_cast<int>(flags.GetInt("pes", 8));
-  const uint64_t records = static_cast<uint64_t>(
-      flags.GetInt("records-per-pe", 50000));
-  const std::string algo = flags.GetString("algo", "canonical");
-  const bool skewed = flags.GetBool("skewed", false);
+namespace {
 
-  // Paper-like node geometry: large blocks so the spinning-disk model is
-  // transfer-bound (the reason DEMSort ran with B = 8 MiB), 4 disks/node.
+using namespace demsort;
+
+struct CliOptions {
+  int pes = 8;
+  uint64_t records = 50000;
+  std::string algo = "canonical";
+  bool skewed = false;
+  net::TransportKind transport = net::TransportKind::kInProc;
   core::SortConfig config;
-  config.block_size = 1024 * 1024;
-  config.memory_per_pe = 4 * 1024 * 1024;
-  config.disks_per_pe = 4;
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 2009));
+};
 
-  std::printf("gensort : %llu records x 100 B on %d PEs (%s keys)\n",
-              static_cast<unsigned long long>(records) * pes, pes,
-              skewed ? "skewed" : "uniform");
+struct PeOutcome {
+  core::SortReport report;
+  bool ok = false;
+};
+static_assert(std::is_trivially_copyable_v<core::SortReport>);
 
-  std::mutex mu;
-  std::vector<core::SortReport> reports(pes);
-  bool ok = true;
-  int64_t start = NowNanos();
-  net::Cluster::Run(pes, [&](net::Comm& comm) {
-    core::PeResources resources(&comm, config);
-    core::PeContext& ctx = resources.ctx();
-    auto gen = workload::GenerateGray100(ctx.bm, records, comm.rank(), pes,
-                                         config.seed, skewed);
-    workload::ValidationResult v;
-    core::SortReport report;
-    if (algo == "striped") {
-      auto out =
-          core::StripedMergeSort<core::Gray100>(ctx, config, gen.input);
-      v = workload::ValidateStripedCollective<core::Gray100>(
-          ctx, out.stream.my_blocks, out.stream.total_elements,
-          gen.checksum);
-      report = out.report;
-    } else {
-      auto out =
-          core::CanonicalMergeSort<core::Gray100>(ctx, config, gen.input);
-      v = workload::ValidateCollective<core::Gray100>(
-          ctx, out.blocks, out.num_elements, gen.checksum);
-      report = out.report;
-    }
-    std::lock_guard<std::mutex> lock(mu);
-    reports[comm.rank()] = report;
-    if (!v.ok()) ok = false;
-  });
-  double wall_s = (NowNanos() - start) * 1e-9;
+/// The SPMD body each PE runs, over whichever transport backs `comm`.
+PeOutcome RunOnePe(net::Comm& comm, const CliOptions& options) {
+  core::PeResources resources(&comm, options.config);
+  core::PeContext& ctx = resources.ctx();
+  auto gen = workload::GenerateGray100(ctx.bm, options.records, comm.rank(),
+                                       comm.size(), options.config.seed,
+                                       options.skewed);
+  workload::ValidationResult v;
+  PeOutcome outcome;
+  if (options.algo == "striped") {
+    auto out = core::StripedMergeSort<core::Gray100>(ctx, options.config,
+                                                     gen.input);
+    v = workload::ValidateStripedCollective<core::Gray100>(
+        ctx, out.stream.my_blocks, out.stream.total_elements, gen.checksum);
+    outcome.report = out.report;
+  } else {
+    auto out = core::CanonicalMergeSort<core::Gray100>(ctx, options.config,
+                                                       gen.input);
+    v = workload::ValidateCollective<core::Gray100>(ctx, out.blocks,
+                                                    out.num_elements,
+                                                    gen.checksum);
+    outcome.report = out.report;
+  }
+  outcome.ok = v.ok();
+  return outcome;
+}
 
+void PrintSummary(const CliOptions& options,
+                  const std::vector<core::SortReport>& reports, bool ok,
+                  double wall_s) {
   sim::CostModel model;
   double modeled_s = model.TotalSeconds(reports);
-  double gb = static_cast<double>(pes) * records * 100.0 / 1e9;
-  std::printf("%s : sorted %.3f GB\n", algo.c_str(), gb);
+  double gb =
+      static_cast<double>(options.pes) * options.records * 100.0 / 1e9;
+  std::printf("%s : sorted %.3f GB over %s transport\n", options.algo.c_str(),
+              gb, net::TransportKindName(options.transport));
   std::printf("valsort : %s\n", ok ? "SUCCESS - all records in order, "
                                      "checksums match"
                                    : "FAILURE");
@@ -80,9 +92,161 @@ int main(int argc, char** argv) {
   std::printf(
       "timing  : emulation wall %.2f s | modeled on the paper's testbed "
       "%.3f s (%.1f GB/min, %.2f GB/min/node)\n",
-      wall_s, modeled_s, gb_per_min, gb_per_min / pes);
+      wall_s, modeled_s, gb_per_min, gb_per_min / options.pes);
   std::printf(
       "paper   : DEMSort GraySort 2009 = 564 GB/min on 195 nodes "
       "(2.89 GB/min/node)\n");
+}
+
+/// Threads-in-one-process mode (the emulation default).
+int RunInProc(const CliOptions& options) {
+  std::mutex mu;
+  std::vector<core::SortReport> reports(options.pes);
+  bool ok = true;
+  int64_t start = NowNanos();
+  net::Cluster::Run(options.pes, [&](net::Comm& comm) {
+    PeOutcome outcome = RunOnePe(comm, options);
+    std::lock_guard<std::mutex> lock(mu);
+    reports[comm.rank()] = outcome.report;
+    if (!outcome.ok) ok = false;
+  });
+  double wall_s = (NowNanos() - start) * 1e-9;
+  PrintSummary(options, reports, ok, wall_s);
   return ok ? 0 : 1;
+}
+
+/// Multi-process mode: fork one OS process per PE; the mesh runs over
+/// loopback TCP. Listeners are created before forking so no connect can
+/// race a bind; rank 0 gathers per-PE reports over the transport itself
+/// and prints the summary.
+int RunTcp(const CliOptions& options) {
+  const int P = options.pes;
+  auto listeners = net::CreateLoopbackListeners(P);
+  if (!listeners.ok()) {
+    std::fprintf(stderr, "listener setup failed: %s\n",
+                 listeners.status().ToString().c_str());
+    return 2;
+  }
+  auto peers = net::LoopbackPeers(listeners.value());
+
+  int64_t start = NowNanos();
+  std::fflush(stdout);  // children inherit the stdio buffer; don't let
+  std::fflush(stderr);  // them re-flush the banner
+  std::vector<pid_t> children;
+  for (int rank = 0; rank < P; ++rank) {
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      // Already-forked ranks are blocked in mesh setup waiting for peers
+      // that will never exist — reap them before giving up.
+      for (pid_t child : children) ::kill(child, SIGKILL);
+      for (pid_t child : children) ::waitpid(child, nullptr, 0);
+      for (int r = 0; r < P; ++r) ::close(listeners.value()[r].fd);
+      return 2;
+    }
+    if (pid == 0) {
+      // Child: keep only my listener; everything else arrives via sockets.
+      for (int other = 0; other < P; ++other) {
+        if (other != rank) ::close(listeners.value()[other].fd);
+      }
+      auto transport = net::TcpTransport::Connect(
+          rank, P, listeners.value()[rank].fd, peers);
+      if (!transport.ok()) {
+        std::fprintf(stderr, "rank %d: %s\n", rank,
+                     transport.status().ToString().c_str());
+        std::_Exit(2);
+      }
+      int exit_code = 0;
+      {
+        net::Comm comm(rank, P, transport.value().get());
+        PeOutcome outcome = RunOnePe(comm, options);
+
+        constexpr int kReportTag = 1;
+        constexpr int kOkTag = 2;
+        if (rank == 0) {
+          std::vector<core::SortReport> reports(P);
+          reports[0] = outcome.report;
+          bool ok = outcome.ok;
+          for (int p = 1; p < P; ++p) {
+            reports[p] = comm.RecvValue<core::SortReport>(p, kReportTag);
+            // No short-circuit: every posted ok message must be drained.
+            uint8_t peer_ok = comm.RecvValue<uint8_t>(p, kOkTag);
+            ok = ok && peer_ok != 0;
+          }
+          double wall_s = (NowNanos() - start) * 1e-9;
+          PrintSummary(options, reports, ok, wall_s);
+          exit_code = ok ? 0 : 1;
+        } else {
+          comm.SendValue<core::SortReport>(0, kReportTag, outcome.report);
+          comm.SendValue<uint8_t>(0, kOkTag, outcome.ok ? 1 : 0);
+        }
+        comm.Barrier();  // no teardown while a peer still exchanges reports
+      }
+      std::fflush(stdout);
+      std::fflush(stderr);
+      std::_Exit(exit_code);  // forked child: skip parent-inherited atexit
+    }
+    children.push_back(pid);
+  }
+  for (int rank = 0; rank < P; ++rank) {
+    ::close(listeners.value()[rank].fd);
+  }
+  // Reap in completion order and fail fast: if any rank dies (mesh setup
+  // error, validation CHECK), the survivors are blocked on it forever —
+  // kill the remaining mesh instead of hanging the launcher.
+  int exit_code = 0;
+  std::vector<pid_t> alive = children;
+  while (!alive.empty()) {
+    int status = 0;
+    pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) break;
+    alive.erase(std::remove(alive.begin(), alive.end(), pid), alive.end());
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      if (exit_code == 0) {
+        exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 2;
+      }
+      for (pid_t survivor : alive) ::kill(survivor, SIGKILL);
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  CliOptions options;
+  options.pes = static_cast<int>(flags.GetInt("pes", 8));
+  if (options.pes < 1) {
+    std::fprintf(stderr, "--pes must be >= 1 (got %d)\n", options.pes);
+    return 2;  // the tcp launcher would otherwise fork nothing and
+               // report success without sorting a single record
+  }
+  options.records =
+      static_cast<uint64_t>(flags.GetInt("records-per-pe", 50000));
+  options.algo = flags.GetString("algo", "canonical");
+  options.skewed = flags.GetBool("skewed", false);
+  auto kind = net::ParseTransportKind(flags.GetString("transport", "inproc"));
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 2;
+  }
+  options.transport = kind.value();
+
+  // Paper-like node geometry: large blocks so the spinning-disk model is
+  // transfer-bound (the reason DEMSort ran with B = 8 MiB), 4 disks/node.
+  options.config.block_size = 1024 * 1024;
+  options.config.memory_per_pe = 4 * 1024 * 1024;
+  options.config.disks_per_pe = 4;
+  options.config.seed = static_cast<uint64_t>(flags.GetInt("seed", 2009));
+
+  std::printf("gensort : %llu records x 100 B on %d PEs (%s keys, %s)\n",
+              static_cast<unsigned long long>(options.records) * options.pes,
+              options.pes, options.skewed ? "skewed" : "uniform",
+              options.transport == net::TransportKind::kTcp
+                  ? "multi-process tcp"
+                  : "in-process threads");
+
+  return options.transport == net::TransportKind::kTcp ? RunTcp(options)
+                                                       : RunInProc(options);
 }

@@ -17,11 +17,20 @@
 //    inputs nearly free — Figs. 2, 4, 5);
 //  * piece blocks not referenced by the local extent are freed as soon as
 //    their last byte has been shipped.
+//
+// The exchange itself runs on the nonblocking transport layer: within a
+// sub-step, all receives are posted first, then each destination's frames
+// are packed (disk reads) and Isent immediately — so the network transfer
+// to destination t overlaps the disk reads for destination t+1 — and
+// incoming payloads are unpacked and written (async) as they are taken, so
+// receiving from the next source overlaps this source's disk writes. This
+// is the in-phase communication/I/O overlap the paper engineers for.
 #ifndef DEMSORT_CORE_EXTERNAL_ALLTOALL_H_
 #define DEMSORT_CORE_EXTERNAL_ALLTOALL_H_
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -31,6 +40,7 @@
 #include "core/phase_stats.h"
 #include "core/run_formation.h"
 #include "core/run_index.h"
+#include "net/transport.h"
 #include "util/aligned_buffer.h"
 #include "util/logging.h"
 
@@ -158,59 +168,100 @@ AllToAllResult<R> ExternalAllToAll(PeContext& ctx, const SortConfig& config,
     assembly[j].resize(P);
   }
 
-  // ---- sub-steps.
+  // ---- sub-steps, each a request-based exchange on the transport layer.
   for (uint64_t s = 0; s < k; ++s) {
-    // Pack outgoing frames run-major with a one-block read cursor per run.
-    std::vector<std::vector<uint8_t>> outgoing(P);
-    for (size_t j = 0; j < num_runs; ++j) {
-      const RunPiece<R>& piece = rf.runs.pieces[j];
-      // One-block cache for reading my piece.
-      AlignedBuffer block_buf(bs);
-      size_t cached_block = SIZE_MAX;
-      auto read_elements = [&](uint64_t from, uint64_t to, R* dst) {
+    int tag = comm.AllocateCollectiveTag();
+
+    // Post all receives first: frames can land (and park in the mailbox)
+    // while this PE is still reading its own piece blocks off disk.
+    std::vector<net::RecvRequest> recvs(P);
+    for (int off = 1; off < P; ++off) {
+      int src = (me - off + P) % P;
+      recvs[src] = comm.Irecv(src, tag);
+    }
+
+    // Pack one destination at a time, run-major, in rank-rotated order, and
+    // put its frames on the wire immediately: the transfer to destination t
+    // rides alongside the disk reads for destination t+1.
+    std::vector<net::SendRequest> sends;
+    sends.reserve(P - 1);
+    {
+      // One cached block per run, persisting across destinations: within a
+      // run, consecutive destinations' ranges are position-adjacent, so the
+      // block straddling a destination boundary is still cached when the
+      // next destination's fragment starts — every piece block is read at
+      // most once per sub-step, same read volume as run-major packing.
+      // The cache is FIFO-bounded by the sub-step budget so its memory
+      // stays within the invariant the sub-stepping exists to enforce;
+      // runs beyond the bound fall back to at most one boundary re-read
+      // per destination (the regime where fragments ≪ block anyway).
+      const size_t cache_cap =
+          std::max<size_t>(1, static_cast<size_t>(budget / bs));
+      std::vector<AlignedBuffer> run_buf(num_runs);
+      std::vector<size_t> run_cached(num_runs, SIZE_MAX);
+      std::deque<size_t> resident;
+      auto read_elements = [&](const RunPiece<R>& piece, size_t j,
+                               uint64_t from, uint64_t to, R* dst) {
         // [from, to) are run positions inside my piece.
         for (uint64_t pos = from; pos < to;) {
           uint64_t rel = pos - piece.global_start;
           size_t bi = static_cast<size_t>(rel / epb);
-          if (bi != cached_block) {
-            bm->ReadSync(piece.blocks[bi], block_buf.data());
-            cached_block = bi;
+          if (bi != run_cached[j]) {
+            if (run_buf[j].data() == nullptr) {
+              if (resident.size() >= cache_cap) {
+                size_t evict = resident.front();
+                resident.pop_front();
+                run_buf[j] = std::move(run_buf[evict]);
+                run_cached[evict] = SIZE_MAX;
+              } else {
+                run_buf[j] = AlignedBuffer(bs);
+              }
+              resident.push_back(j);
+            }
+            bm->ReadSync(piece.blocks[bi], run_buf[j].data());
+            run_cached[j] = bi;
           }
           uint64_t in_block = rel % epb;
           uint64_t take = std::min<uint64_t>(epb - in_block, to - pos);
-          std::memcpy(dst, block_buf.data() + in_block * sizeof(R),
+          std::memcpy(dst, run_buf[j].data() + in_block * sizeof(R),
                       take * sizeof(R));
           dst += take;
           pos += take;
         }
       };
-      for (int t = 0; t < P; ++t) {
-        if (t == me) continue;
-        auto [a, b] = send_range[j][t];
-        if (a >= b) continue;
-        uint64_t len = b - a;
-        uint64_t from = a + len * s / k;
-        uint64_t to = a + len * (s + 1) / k;
-        if (from >= to) continue;
-        Header header{static_cast<uint32_t>(j), from,
-                      static_cast<uint32_t>(to - from)};
-        size_t old = outgoing[t].size();
-        outgoing[t].resize(old + sizeof(header) + (to - from) * sizeof(R));
-        std::memcpy(outgoing[t].data() + old, &header, sizeof(header));
-        read_elements(from, to,
-                      reinterpret_cast<R*>(outgoing[t].data() + old +
-                                           sizeof(header)));
+      std::vector<uint8_t> outgoing;
+      for (int off = 1; off < P; ++off) {
+        int t = (me + off) % P;
+        outgoing.clear();
+        for (size_t j = 0; j < num_runs; ++j) {
+          const RunPiece<R>& piece = rf.runs.pieces[j];
+          auto [a, b] = send_range[j][t];
+          if (a >= b) continue;
+          uint64_t len = b - a;
+          uint64_t from = a + len * s / k;
+          uint64_t to = a + len * (s + 1) / k;
+          if (from >= to) continue;
+          Header header{static_cast<uint32_t>(j), from,
+                        static_cast<uint32_t>(to - from)};
+          size_t old = outgoing.size();
+          outgoing.resize(old + sizeof(header) + (to - from) * sizeof(R));
+          std::memcpy(outgoing.data() + old, &header, sizeof(header));
+          read_elements(piece, j, from, to,
+                        reinterpret_cast<R*>(outgoing.data() + old +
+                                             sizeof(header)));
+        }
+        // Isend copies the bytes out, so `outgoing` is reusable right away;
+        // an empty payload still travels (the receive is already posted).
+        sends.push_back(comm.Isend(t, tag, outgoing.data(), outgoing.size()));
       }
     }
 
-    std::vector<std::vector<uint8_t>> incoming =
-        comm.Alltoallv<uint8_t>(outgoing);
-    outgoing.clear();
-    outgoing.shrink_to_fit();
-
-    // Unpack into per-(run, source) assemblies.
-    for (int src = 0; src < P; ++src) {
-      const std::vector<uint8_t>& data = incoming[src];
+    // Drain sources in rotated order, unpacking into per-(run, source)
+    // assemblies; full blocks go to disk asynchronously, so the next
+    // source's transfer overlaps this source's writes.
+    for (int off = 1; off < P; ++off) {
+      int src = (me - off + P) % P;
+      std::vector<uint8_t> data = recvs[src].Take();
       size_t offset = 0;
       while (offset < data.size()) {
         Header header;
@@ -248,6 +299,7 @@ AllToAllResult<R> ExternalAllToAll(PeContext& ctx, const SortConfig& config,
       }
       DEMSORT_CHECK_EQ(offset, data.size());
     }
+    for (net::SendRequest& sr : sends) sr.Wait();
     // Reap completed writes each sub-step to bound buffer memory.
     for (size_t j = 0; j < num_runs; ++j) {
       for (auto& as : assembly[j]) {

@@ -11,10 +11,11 @@
 //    loop of par::MultiwaySelect does.
 //  * Exact refinement runs the same pivot loop with exact counts; counts
 //    touch at most the one or two blocks per run the sample leaves
-//    uncertain. Blocks are fetched from their owner PEs in BSP rounds
-//    (request alltoallv, serve from local disk, response alltoallv) and kept
-//    in a bounded cache, so repeated probes are free ("we cache the most
-//    recently accessed disk blocks").
+//    uncertain. Blocks are fetched from their owner PEs in BSP rounds,
+//    pipelined over the nonblocking transport (requests out, each peer's
+//    frames served from local disk and Isent as they are packed, incoming
+//    frames ingested as they land) and kept in a bounded cache, so repeated
+//    probes are free ("we cache the most recently accessed disk blocks").
 // All P selections proceed simultaneously, one per PE, sharing the fetch
 // rounds; convergence is detected with an allreduce.
 #ifndef DEMSORT_CORE_EXTERNAL_SELECTION_H_
@@ -34,6 +35,7 @@
 #include "core/record.h"
 #include "core/run_formation.h"
 #include "core/run_index.h"
+#include "net/transport.h"
 #include "util/aligned_buffer.h"
 #include "util/logging.h"
 
@@ -111,25 +113,62 @@ class ExternalSelector {
       if (all_done) break;
       ++rounds;
 
-      // Request round: group needed blocks by owner.
+      // Fetch round, pipelined on the nonblocking layer: my block requests
+      // go out per owner, each peer's requests are served (local disk
+      // reads) and the frames Isent the moment they are packed — so one
+      // peer's frames cross the network while the next peer's blocks are
+      // still being read — and incoming frames are ingested as they land.
+      // My own blocks are served locally without touching the transport.
+      const int me = comm.rank();
+      int req_tag = comm.AllocateCollectiveTag();
+      int frame_tag = comm.AllocateCollectiveTag();
       std::vector<std::vector<ReqEntry>> requests(P);
       for (const BlockKey& key : needed) {
         int owner = rf_.table.FindOwner(key.run, key.start_pos);
         requests[owner].push_back(ReqEntry{key.run, key.start_pos});
       }
-      std::vector<std::vector<ReqEntry>> incoming =
-          comm.Alltoallv<ReqEntry>(requests);
 
-      // Serve round: read each requested local block and frame it.
-      std::vector<std::vector<uint8_t>> responses(P);
-      for (int p = 0; p < P; ++p) {
-        for (const ReqEntry& req : incoming[p]) {
-          AppendBlockFrame(req, &responses[p]);
-        }
+      std::vector<net::RecvRequest> req_recvs(P), frame_recvs(P);
+      for (int off = 1; off < P; ++off) {
+        int src = (me - off + P) % P;
+        frame_recvs[src] = comm.Irecv(src, frame_tag);
+        req_recvs[src] = comm.Irecv(src, req_tag);
       }
-      std::vector<std::vector<uint8_t>> frames =
-          comm.Alltoallv<uint8_t>(responses);
-      for (int p = 0; p < P; ++p) IngestFrames(frames[p]);
+      std::vector<net::SendRequest> sends;
+      sends.reserve(2 * (P - 1));
+      for (int off = 1; off < P; ++off) {
+        int owner = (me + off) % P;
+        sends.push_back(comm.Isend(
+            owner, req_tag, requests[owner].data(),
+            requests[owner].size() * sizeof(ReqEntry)));
+      }
+      {
+        std::vector<uint8_t> local_frames;
+        for (const ReqEntry& req : requests[me]) {
+          AppendBlockFrame(req, &local_frames);
+        }
+        IngestFrames(local_frames);
+      }
+      std::vector<uint8_t> response;
+      for (int off = 1; off < P; ++off) {
+        int src = (me - off + P) % P;
+        std::vector<uint8_t> bytes = req_recvs[src].Take();
+        DEMSORT_CHECK_EQ(bytes.size() % sizeof(ReqEntry), 0u);
+        response.clear();
+        const ReqEntry* entries =
+            reinterpret_cast<const ReqEntry*>(bytes.data());
+        size_t count = bytes.size() / sizeof(ReqEntry);
+        for (size_t i = 0; i < count; ++i) {
+          AppendBlockFrame(entries[i], &response);
+        }
+        sends.push_back(
+            comm.Isend(src, frame_tag, response.data(), response.size()));
+      }
+      for (int off = 1; off < P; ++off) {
+        int src = (me - off + P) % P;
+        IngestFrames(frame_recvs[src].Take());
+      }
+      for (net::SendRequest& sr : sends) sr.Wait();
 
       needed.clear();
       if (!done) done = TryAdvance(&needed);

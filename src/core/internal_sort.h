@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "core/record.h"
 #include "core/run_index.h"
 #include "core/sample_bounds.h"
+#include "net/transport.h"
 #include "par/multiway_merge.h"
 #include "par/multiway_select.h"
 #include "par/parallel_sort.h"
@@ -182,18 +184,34 @@ InternalSortResult<R> InternalParallelSort(PeContext& ctx, std::vector<R> local,
   if (stats != nullptr) stats->selection_rounds += rounds;
 
   // split rows for ranks r_1..r_{P-1}; add r_0 = 0 and r_P = sizes.
-  std::vector<std::vector<R>> sends(P);
-  for (int t = 0; t < P; ++t) {
+  // Request-based redistribution straight out of `local` (not
+  // Comm::Alltoallv: Isend copies each slice before returning, so no
+  // per-destination staging vectors are built, and `local` can be freed
+  // before the receives are drained). Sends honor the same in-flight
+  // window bound as the built-in collectives.
+  int tag = comm.AllocateCollectiveTag();
+  std::vector<net::RecvRequest> recvs(P);
+  for (int p = 0; p < P; ++p) recvs[p] = comm.Irecv(p, tag);
+  net::WindowedSends window(comm.send_window_bytes());
+  for (int off = 1; off <= P; ++off) {
+    int t = (me + off) % P;
     uint64_t begin = t == 0 ? 0 : split[t - 1][me];
     uint64_t end = t == P - 1 ? local.size() : split[t][me];
     DEMSORT_CHECK_LE(begin, end);
-    sends[t].assign(local.begin() + begin, local.begin() + end);
+    size_t bytes = (end - begin) * sizeof(R);
+    window.Add(comm.Isend(t, tag, local.data() + begin, bytes), bytes);
   }
   local.clear();
   local.shrink_to_fit();
-  std::vector<std::vector<R>> received = comm.Alltoallv<R>(sends);
-  sends.clear();
-  sends.shrink_to_fit();
+  std::vector<std::vector<R>> received(P);
+  for (int off = 1; off <= P; ++off) {
+    int p = (me - off % P + P) % P;
+    std::vector<uint8_t> bytes = recvs[p].Take();
+    DEMSORT_CHECK_EQ(bytes.size() % sizeof(R), 0u);
+    received[p].resize(bytes.size() / sizeof(R));
+    std::memcpy(received[p].data(), bytes.data(), bytes.size());
+  }
+  window.WaitAll();
 
   size_t piece_size = 0;
   std::vector<std::span<const R>> sources;

@@ -34,23 +34,56 @@ Status MemoryBackend::WriteBlock(uint64_t index, const void* buf) {
 }
 
 StatusOr<std::unique_ptr<FileBackend>> FileBackend::Create(
-    const std::string& path, size_t block_size) {
+    const std::string& path, size_t block_size, bool unlink_on_close) {
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status::IoError("open(" + path + "): " + std::strerror(errno));
   }
   return std::unique_ptr<FileBackend>(
-      new FileBackend(fd, path, block_size));
+      new FileBackend(fd, path, block_size, unlink_on_close));
+}
+
+StatusOr<std::unique_ptr<FileBackend>> FileBackend::Open(
+    const std::string& path, size_t block_size) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    Status status = errno == ENOENT
+                        ? Status::NotFound("open(" + path + "): no such file")
+                        : Status::IoError("open(" + path + "): " +
+                                          std::strerror(errno));
+    return status;
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError("lseek(" + path + "): " + std::strerror(errno));
+  }
+  auto backend = std::unique_ptr<FileBackend>(
+      new FileBackend(fd, path, block_size, /*unlink_on_close=*/false));
+  // Round UP: a partial trailing block still holds data — reading it then
+  // surfaces an honest short-read IoError instead of a false NotFound.
+  backend->written_.assign(
+      static_cast<size_t>((static_cast<uint64_t>(size) + block_size - 1) /
+                          block_size),
+      true);
+  return backend;
 }
 
 FileBackend::~FileBackend() {
   if (fd_ >= 0) {
     ::close(fd_);
-    ::unlink(path_.c_str());
+    if (unlink_on_close_) ::unlink(path_.c_str());
   }
 }
 
 Status FileBackend::ReadBlock(uint64_t index, void* buf) {
+  {
+    std::lock_guard<std::mutex> lock(written_mu_);
+    if (index >= written_.size() || !written_[index]) {
+      return Status::NotFound("read of never-written block " +
+                              std::to_string(index));
+    }
+  }
   ssize_t n = ::pread(fd_, buf, block_size_,
                       static_cast<off_t>(index * block_size_));
   if (n != static_cast<ssize_t>(block_size_)) {
@@ -67,6 +100,9 @@ Status FileBackend::WriteBlock(uint64_t index, const void* buf) {
     return Status::IoError("pwrite block " + std::to_string(index) + ": " +
                            (n < 0 ? std::strerror(errno) : "short write"));
   }
+  std::lock_guard<std::mutex> lock(written_mu_);
+  if (index >= written_.size()) written_.resize(index + 1, false);
+  written_[index] = true;
   return Status::OK();
 }
 

@@ -47,19 +47,34 @@ class MemoryBackend : public StorageBackend {
 
 class FileBackend : public StorageBackend {
  public:
-  /// Creates (or truncates) the backing file.
+  /// Creates (or truncates) the backing file. By default the file is a
+  /// scratch disk: it is unlinked when the backend is destroyed. Pass
+  /// `unlink_on_close = false` to keep it for a later Open().
   static StatusOr<std::unique_ptr<FileBackend>> Create(
-      const std::string& path, size_t block_size);
+      const std::string& path, size_t block_size,
+      bool unlink_on_close = true);
+  /// Opens an existing backing file without truncating; every block within
+  /// the current file size counts as written. The file is kept on close.
+  static StatusOr<std::unique_ptr<FileBackend>> Open(const std::string& path,
+                                                     size_t block_size);
   ~FileBackend() override;
 
   Status ReadBlock(uint64_t index, void* buf) override;
   Status WriteBlock(uint64_t index, const void* buf) override;
 
  private:
-  FileBackend(int fd, std::string path, size_t block_size)
-      : StorageBackend(block_size), fd_(fd), path_(std::move(path)) {}
+  FileBackend(int fd, std::string path, size_t block_size, bool unlink_on_close)
+      : StorageBackend(block_size),
+        fd_(fd),
+        path_(std::move(path)),
+        unlink_on_close_(unlink_on_close) {}
   int fd_;
   std::string path_;
+  bool unlink_on_close_;
+  /// Blocks ever written (read-before-write is a pipeline bug; fail loudly
+  /// instead of silently returning filesystem-hole zeros).
+  std::mutex written_mu_;
+  std::vector<bool> written_;
 };
 
 }  // namespace demsort::io

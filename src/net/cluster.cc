@@ -8,55 +8,77 @@
 
 namespace demsort::net {
 
-Fabric::Fabric(int num_pes) : num_pes_(num_pes) {
-  DEMSORT_CHECK_GT(num_pes, 0);
-  channels_.resize(static_cast<size_t>(num_pes) * num_pes);
-  for (auto& ch : channels_) ch = std::make_unique<Channel>();
-  stats_.resize(num_pes);
+Fabric::Fabric(const Options& options)
+    : num_pes_(options.num_pes),
+      channel_cap_bytes_(options.channel_cap_bytes) {
+  DEMSORT_CHECK_GT(num_pes_, 0);
+  channels_.resize(static_cast<size_t>(num_pes_) * num_pes_);
+  for (auto& ch : channels_) {
+    ch = std::make_unique<internal::TagChannel>(channel_cap_bytes_);
+  }
+  stats_.resize(num_pes_);
   for (auto& s : stats_) s = std::make_unique<NetStats>();
 }
 
-void Fabric::Send(int src, int dst, int tag, const void* data, size_t bytes) {
+SendRequest Fabric::Isend(int src, int dst, int tag, const void* data,
+                          size_t bytes) {
   DEMSORT_CHECK_GE(dst, 0);
   DEMSORT_CHECK_LT(dst, num_pes_);
-  Message msg;
-  msg.tag = tag;
-  msg.payload.assign(static_cast<const uint8_t*>(data),
-                     static_cast<const uint8_t*>(data) + bytes);
-  Channel& ch = channel(src, dst);
-  {
-    std::lock_guard<std::mutex> lock(ch.mu);
-    ch.queue.push_back(std::move(msg));
+  std::vector<uint8_t> payload(static_cast<const uint8_t*>(data),
+                               static_cast<const uint8_t*>(data) + bytes);
+  if (src != dst) {
+    // Counters record logical traffic at hand-off; the physical flow is
+    // observable via SendRequest completion and max_channel_queued_bytes.
+    stats_[src]->RecordSend(bytes);
+    stats_[dst]->RecordRecv(bytes);
   }
-  ch.cv.notify_all();
-  if (src != dst) stats_[src]->RecordSend(bytes);
+  return channel(src, dst).Offer(tag, std::move(payload),
+                                 /*exempt_from_cap=*/src == dst);
+}
+
+RecvRequest Fabric::Irecv(int dst, int src, int tag) {
+  DEMSORT_CHECK_GE(src, 0);
+  DEMSORT_CHECK_LT(src, num_pes_);
+  return channel(src, dst).PostRecv(tag);
+}
+
+void Fabric::Send(int src, int dst, int tag, const void* data, size_t bytes) {
+  Isend(src, dst, tag, data, bytes).Wait();
 }
 
 std::vector<uint8_t> Fabric::Recv(int dst, int src, int tag) {
-  DEMSORT_CHECK_GE(src, 0);
-  DEMSORT_CHECK_LT(src, num_pes_);
-  Channel& ch = channel(src, dst);
-  std::unique_lock<std::mutex> lock(ch.mu);
-  while (true) {
-    for (auto it = ch.queue.begin(); it != ch.queue.end(); ++it) {
-      if (it->tag == tag) {
-        std::vector<uint8_t> payload = std::move(it->payload);
-        ch.queue.erase(it);
-        if (src != dst) stats_[dst]->RecordRecv(payload.size());
-        return payload;
-      }
+  return Irecv(dst, src, tag).Take();
+}
+
+uint64_t Fabric::max_channel_queued_bytes() const {
+  uint64_t max_bytes = 0;
+  for (int src = 0; src < num_pes_; ++src) {
+    for (int dst = 0; dst < num_pes_; ++dst) {
+      if (src == dst) continue;
+      uint64_t b =
+          channels_[static_cast<size_t>(src) * num_pes_ + dst]
+              ->max_queued_bytes();
+      if (b > max_bytes) max_bytes = b;
     }
-    ch.cv.wait(lock);
   }
+  return max_bytes;
 }
 
 void Cluster::Run(int num_pes, const PeBody& body) {
-  RunWithStats(num_pes, body);
+  Run(Options{num_pes, 0}, body);
 }
 
 std::vector<NetStatsSnapshot> Cluster::RunWithStats(int num_pes,
                                                     const PeBody& body) {
-  Fabric fabric(num_pes);
+  return Run(Options{num_pes, 0}, body).stats;
+}
+
+Cluster::Result Cluster::Run(const Options& options, const PeBody& body) {
+  Fabric::Options fabric_options;
+  fabric_options.num_pes = options.num_pes;
+  fabric_options.channel_cap_bytes = options.channel_cap_bytes;
+  Fabric fabric(fabric_options);
+  const int num_pes = options.num_pes;
   std::vector<std::thread> threads;
   threads.reserve(num_pes);
   std::vector<std::exception_ptr> errors(num_pes);
@@ -77,12 +99,13 @@ std::vector<NetStatsSnapshot> Cluster::RunWithStats(int num_pes,
       std::rethrow_exception(errors[pe]);
     }
   }
-  std::vector<NetStatsSnapshot> stats;
-  stats.reserve(num_pes);
+  Result result;
+  result.stats.reserve(num_pes);
   for (int pe = 0; pe < num_pes; ++pe) {
-    stats.push_back(fabric.stats(pe).Snapshot());
+    result.stats.push_back(fabric.stats(pe).Snapshot());
   }
-  return stats;
+  result.max_channel_queued_bytes = fabric.max_channel_queued_bytes();
+  return result;
 }
 
 }  // namespace demsort::net

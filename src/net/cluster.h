@@ -2,50 +2,70 @@
 // Comm handle onto a shared in-process Fabric of byte-copying mailboxes.
 //
 // This is the distributed-memory emulation substrate: the algorithms written
-// against Comm would run unchanged over a socket or MPI transport, because
-// nothing except explicit messages crosses PE boundaries.
+// against Comm run unchanged over any net::Transport — Fabric here, real
+// sockets via net::TcpTransport (tcp_transport.h) — because nothing except
+// explicit messages crosses PE boundaries.
 #ifndef DEMSORT_NET_CLUSTER_H_
 #define DEMSORT_NET_CLUSTER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "net/message.h"
 #include "net/net_stats.h"
+#include "net/transport.h"
 
 namespace demsort::net {
 
 class Comm;
 
-/// The shared state behind a running cluster: P*P FIFO channels with
-/// MPI-style (source, tag) matching, plus per-PE traffic counters.
-class Fabric {
+/// The in-process Transport: P*P FIFO channels with MPI-style (source, tag)
+/// matching, plus per-PE traffic counters.
+///
+/// By default mailboxes are unbounded (a send is admitted instantly and the
+/// sorting algorithms bound in-flight volume themselves, exactly as the
+/// paper's external all-to-all does). Setting `channel_cap_bytes` bounds the
+/// delivered-but-unreceived bytes of every src→dst channel: further Isends
+/// park until the receiver drains, modeling real link backpressure.
+/// Self-sends (src == dst) are exempt — they are local memory traffic in a
+/// real cluster. A capped fabric requires receivers to actually drain their
+/// mailboxes (collectives do; see comm.cc).
+class Fabric : public Transport {
  public:
-  explicit Fabric(int num_pes);
+  struct Options {
+    int num_pes = 1;
+    /// 0 = unbounded (compatible default).
+    size_t channel_cap_bytes = 0;
+  };
 
+  explicit Fabric(int num_pes) : Fabric(Options{num_pes, 0}) {}
+  explicit Fabric(const Options& options);
+
+  int num_pes() const override { return num_pes_; }
+  SendRequest Isend(int src, int dst, int tag, const void* data,
+                    size_t bytes) override;
+  RecvRequest Irecv(int dst, int src, int tag) override;
+  NetStats& stats(int pe) override { return *stats_[pe]; }
+
+  /// Blocking conveniences (Isend admission wait / Irecv payload wait).
   void Send(int src, int dst, int tag, const void* data, size_t bytes);
   std::vector<uint8_t> Recv(int dst, int src, int tag);
 
-  int num_pes() const { return num_pes_; }
-  NetStats& stats(int pe) { return *stats_[pe]; }
+  /// High-water mark of queued bytes over all cross-PE channels — what a
+  /// bounded-memory router would have had to buffer. Self-channels are
+  /// excluded (local memory, not network buffering).
+  uint64_t max_channel_queued_bytes() const;
 
  private:
-  struct Channel {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Message> queue;
-  };
-  Channel& channel(int src, int dst) {
+  internal::TagChannel& channel(int src, int dst) {
     return *channels_[static_cast<size_t>(src) * num_pes_ + dst];
   }
 
   int num_pes_;
-  std::vector<std::unique_ptr<Channel>> channels_;
+  size_t channel_cap_bytes_;
+  std::vector<std::unique_ptr<internal::TagChannel>> channels_;
   std::vector<std::unique_ptr<NetStats>> stats_;
 };
 
@@ -56,12 +76,27 @@ class Cluster {
  public:
   using PeBody = std::function<void(Comm&)>;
 
+  struct Options {
+    int num_pes = 1;
+    /// Per-channel in-flight byte cap; 0 = unbounded. See Fabric::Options.
+    size_t channel_cap_bytes = 0;
+  };
+
+  struct Result {
+    std::vector<NetStatsSnapshot> stats;
+    /// Fabric::max_channel_queued_bytes() at the end of the run.
+    uint64_t max_channel_queued_bytes = 0;
+  };
+
   /// Blocks until all PEs finish. Rethrows the first PE exception.
   static void Run(int num_pes, const PeBody& body);
 
   /// As Run, but also returns each PE's final traffic counters.
   static std::vector<NetStatsSnapshot> RunWithStats(int num_pes,
                                                     const PeBody& body);
+
+  /// Full-control variant: fabric options in, traffic + buffering peaks out.
+  static Result Run(const Options& options, const PeBody& body);
 };
 
 }  // namespace demsort::net

@@ -1,35 +1,39 @@
 #include "net/comm.h"
 
-#include "net/cluster.h"
+#include <algorithm>
 
 namespace demsort::net {
 
 void Comm::Send(int dst, int tag, const void* data, size_t bytes) {
-  fabric_->Send(rank_, dst, tag, data, bytes);
+  Isend(dst, tag, data, bytes).Wait();
 }
 
 std::vector<uint8_t> Comm::Recv(int src, int tag) {
-  return fabric_->Recv(rank_, src, tag);
+  return Irecv(src, tag).Take();
 }
 
 void Comm::Barrier() {
   // Dissemination barrier: in round k, PE i signals (i + 2^k) mod P and
   // waits for (i - 2^k) mod P. O(log P) rounds, no central bottleneck.
-  int tag = NextCollectiveTag();
+  // The receive is posted before the send so a capped fabric always has a
+  // drain in place.
+  int tag = AllocateCollectiveTag();
   for (int step = 1; step < size_; step <<= 1) {
     int to = (rank_ + step) % size_;
     int from = (rank_ - step % size_ + size_) % size_;
+    RecvRequest rr = Irecv(from, tag);
     uint8_t token = 1;
-    Send(to, tag, &token, 1);
-    (void)Recv(from, tag);
+    Isend(to, tag, &token, 1).Wait();
+    rr.Wait();
   }
 }
 
 void Comm::Broadcast(int root, std::vector<uint8_t>& data) {
   // Binomial tree rooted at `root`, in root-relative rank space: PE `rel`
   // receives from `rel` with its highest set bit cleared, then forwards to
-  // rel + b for every power of two b above its own highest bit.
-  int tag = NextCollectiveTag();
+  // rel + b for every power of two b above its own highest bit. Forwarding
+  // uses nonblocking sends: both children receive concurrently.
+  int tag = AllocateCollectiveTag();
   int rel = (rank_ - root + size_) % size_;
   int first_child_bit = 1;
   if (rel != 0) {
@@ -39,10 +43,12 @@ void Comm::Broadcast(int root, std::vector<uint8_t>& data) {
     data = Recv(parent, tag);
     first_child_bit = high << 1;
   }
+  std::vector<SendRequest> forwards;
   for (int b = first_child_bit; rel + b < size_; b <<= 1) {
     int dst = (rel + b + root) % size_;
-    Send(dst, tag, data.data(), data.size());
+    forwards.push_back(Isend(dst, tag, data.data(), data.size()));
   }
+  for (SendRequest& f : forwards) f.Wait();
 }
 
 std::vector<std::vector<uint8_t>> Comm::AllgatherBytes(
@@ -69,15 +75,26 @@ std::vector<std::vector<uint8_t>> Comm::AllgatherBytes(
       max_size = std::max(max_size, s);
     }
     if (max_size > kAllgatherDirectThresholdBytes) {
-      int tag = NextCollectiveTag();
+      // Direct exchange on the nonblocking layer: receives posted first,
+      // sends rank-rotated, then drain in arrival-friendly rotated order.
+      int tag = AllocateCollectiveTag();
+      std::vector<RecvRequest> recvs(size_);
       for (int p = 0; p < size_; ++p) {
-        if (p != rank_) Send(p, tag, local.data(), local.size());
+        if (p != rank_) recvs[p] = Irecv(p, tag);
+      }
+      std::vector<SendRequest> sends;
+      sends.reserve(size_ - 1);
+      for (int off = 1; off < size_; ++off) {
+        int p = (rank_ + off) % size_;
+        sends.push_back(Isend(p, tag, local.data(), local.size()));
       }
       std::vector<std::vector<uint8_t>> out(size_);
       out[rank_] = local;
-      for (int p = 0; p < size_; ++p) {
-        if (p != rank_) out[p] = Recv(p, tag);
+      for (int off = 1; off < size_; ++off) {
+        int p = (rank_ - off + size_) % size_;
+        out[p] = recvs[p].Take();
       }
+      for (SendRequest& s : sends) s.Wait();
       return out;
     }
   }
@@ -86,7 +103,7 @@ std::vector<std::vector<uint8_t>> Comm::AllgatherBytes(
 
 std::vector<std::vector<uint8_t>> Comm::TreeAllgatherBytes(
     const std::vector<uint8_t>& local) {
-  int tag = NextCollectiveTag();
+  int tag = AllocateCollectiveTag();
 
   // parts this PE has accumulated so far, keyed by contributor rank.
   std::vector<std::pair<uint32_t, std::vector<uint8_t>>> parts;
@@ -169,7 +186,7 @@ uint64_t Comm::ExclusiveScanSum(uint64_t local) {
 }
 
 NetStatsSnapshot Comm::StatsSnapshot() const {
-  return fabric_->stats(rank_).Snapshot();
+  return transport_->stats(rank_).Snapshot();
 }
 
 }  // namespace demsort::net

@@ -1,13 +1,21 @@
-// Comm: the per-PE handle onto the message-passing fabric (the MPI role).
+// Comm: the per-PE handle onto the message-passing substrate (the MPI role),
+// layered over a pluggable net::Transport (in-process Fabric or TCP).
 //
 // Semantics follow MPI where it matters to the algorithms:
-//  * Send(dst, tag, bytes) is buffered and never blocks (the fabric has
-//    unbounded mailboxes; the sorting algorithms bound in-flight volume
-//    themselves, exactly as the paper's external all-to-all does).
-//  * Recv(src, tag) blocks until a message from `src` with `tag` arrives;
-//    messages from the same (src, tag) pair are delivered in send order.
+//  * Isend(dst, tag, data, bytes) copies the payload before returning (the
+//    caller's buffer is immediately reusable) and returns a SendRequest
+//    that completes when the transport has accepted the bytes — the
+//    flow-control credit under bounded channels.
+//  * Irecv(src, tag) posts a receive and returns a RecvRequest carrying the
+//    payload on completion; messages from the same (src, tag) pair are
+//    delivered in send order.
+//  * Send/Recv are the blocking forms (admission wait / payload wait). With
+//    an unbounded fabric, Send never blocks — the compatible default.
 //  * Collectives must be called by all PEs of the cluster in the same order
 //    (SPMD discipline); each call internally uses a fresh reserved tag.
+//    They are built on Isend/Irecv with receives posted before sends and a
+//    bounded volume of in-flight sends, so they neither deadlock under
+//    capped channels nor buffer more than the window per peer.
 //
 // Unlike MPI's int counts (the paper had to re-implement MPI_Alltoallv to
 // move >2 GiB), all sizes here are 64-bit native.
@@ -21,11 +29,10 @@
 
 #include "net/message.h"
 #include "net/net_stats.h"
+#include "net/transport.h"
 #include "util/logging.h"
 
 namespace demsort::net {
-
-class Fabric;  // defined in cluster.h
 
 class Comm {
  public:
@@ -33,14 +40,29 @@ class Comm {
   /// allgather instead of the latency-optimized tree (see comm.cc).
   static constexpr size_t kAllgatherDirectThresholdBytes = 1024;
 
-  Comm(int rank, int size, Fabric* fabric)
-      : rank_(rank), size_(size), fabric_(fabric) {}
+  /// Default bound on un-completed Isend bytes inside one collective: large
+  /// enough to keep every link busy, small enough that a collective's
+  /// buffering footprint stays bounded on capped/socket transports.
+  static constexpr size_t kDefaultSendWindowBytes = size_t{64} << 20;
+
+  Comm(int rank, int size, Transport* transport)
+      : rank_(rank), size_(size), transport_(transport) {}
 
   int rank() const { return rank_; }
   int size() const { return size_; }
 
   // ------------------------------------------------------------ pt2pt ----
-  /// Buffered send of a byte payload. Never blocks.
+  /// Nonblocking send; the payload is copied out before return.
+  SendRequest Isend(int dst, int tag, const void* data, size_t bytes) {
+    return transport_->Isend(rank_, dst, tag, data, bytes);
+  }
+  /// Nonblocking posted receive for the next (src, tag) message.
+  RecvRequest Irecv(int src, int tag) {
+    return transport_->Irecv(rank_, src, tag);
+  }
+
+  /// Blocking send: waits for transport admission (never blocks on an
+  /// unbounded fabric).
   void Send(int dst, int tag, const void* data, size_t bytes);
   /// Blocking receive of the next message from (src, tag), in send order.
   std::vector<uint8_t> Recv(int src, int tag);
@@ -153,27 +175,57 @@ class Comm {
   /// 64-bit all-to-all: element `sends[p]` goes to PE p; returns the vector
   /// of payloads received, indexed by source PE. This is the primitive the
   /// paper re-implemented over MPI to escape the 31-bit count limit.
+  ///
+  /// Built on the nonblocking layer: all receives are posted first, sends
+  /// go out in rank-rotated order (PE i starts with i+1, avoiding the
+  /// everyone-hits-PE-0 hotspot) with at most `send_window_bytes()` of
+  /// un-admitted data in flight, then payloads are drained in rotated order.
   template <typename T>
   std::vector<std::vector<T>> Alltoallv(
       const std::vector<std::vector<T>>& sends) {
     static_assert(std::is_trivially_copyable_v<T>);
     DEMSORT_CHECK_EQ(sends.size(), static_cast<size_t>(size_));
-    int tag = NextCollectiveTag();
-    for (int p = 0; p < size_; ++p) {
-      Send(p, tag, sends[p].data(), sends[p].size() * sizeof(T));
+    int tag = AllocateCollectiveTag();
+
+    std::vector<RecvRequest> recvs(size_);
+    for (int p = 0; p < size_; ++p) recvs[p] = Irecv(p, tag);
+
+    WindowedSends window(send_window_bytes_);
+    for (int off = 1; off <= size_; ++off) {
+      int p = (rank_ + off) % size_;
+      size_t bytes = sends[p].size() * sizeof(T);
+      window.Add(Isend(p, tag, sends[p].data(), bytes), bytes);
     }
+
     std::vector<std::vector<T>> received(size_);
-    for (int p = 0; p < size_; ++p) {
-      std::vector<uint8_t> bytes = Recv(p, tag);
+    for (int off = 1; off <= size_; ++off) {
+      int p = (rank_ - off % size_ + size_) % size_;
+      std::vector<uint8_t> bytes = recvs[p].Take();
       DEMSORT_CHECK_EQ(bytes.size() % sizeof(T), 0u);
       received[p].resize(bytes.size() / sizeof(T));
       std::memcpy(received[p].data(), bytes.data(), bytes.size());
     }
+    window.WaitAll();
     return received;
   }
 
   /// Exclusive prefix sum over one uint64 per PE.
   uint64_t ExclusiveScanSum(uint64_t local);
+
+  /// Reserves a fresh collective tag. Public so phase implementations can
+  /// run their own request-based exchanges (external all-to-all, selection
+  /// fetch rounds) under SPMD discipline without colliding with the
+  /// built-in collectives.
+  int AllocateCollectiveTag() {
+    // SPMD discipline keeps per-PE counters aligned across the cluster.
+    int tag = kCollectiveTagBase + (collective_seq_ & 0x7fffff);
+    ++collective_seq_;
+    return tag;
+  }
+
+  /// Bound on un-completed collective send bytes; 0 = unlimited.
+  size_t send_window_bytes() const { return send_window_bytes_; }
+  void set_send_window_bytes(size_t bytes) { send_window_bytes_ = bytes; }
 
   /// Per-PE communication counters (volume excludes self-sends, which are
   /// local memory traffic in a real cluster too... they are counted
@@ -185,17 +237,12 @@ class Comm {
       const std::vector<uint8_t>& local);
   std::vector<std::vector<uint8_t>> TreeAllgatherBytes(
       const std::vector<uint8_t>& local);
-  int NextCollectiveTag() {
-    // SPMD discipline keeps per-PE counters aligned across the cluster.
-    int tag = kCollectiveTagBase + (collective_seq_ & 0x7fffff);
-    ++collective_seq_;
-    return tag;
-  }
 
   int rank_;
   int size_;
-  Fabric* fabric_;
+  Transport* transport_;
   uint32_t collective_seq_ = 0;
+  size_t send_window_bytes_ = kDefaultSendWindowBytes;
 };
 
 template <typename T>

@@ -1,0 +1,359 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+
+#include "net/cluster.h"
+#include "net/comm.h"
+#include "util/logging.h"
+
+namespace demsort::net {
+
+namespace {
+
+// 12 bytes on the wire: {int32 tag, uint64 len}, serialized field by field
+// so no struct padding (uninitialized stack bytes) ever reaches a socket.
+constexpr size_t kFrameHeaderBytes = sizeof(int32_t) + sizeof(uint64_t);
+
+void EncodeFrameHeader(int32_t tag, uint64_t bytes,
+                       uint8_t out[kFrameHeaderBytes]) {
+  std::memcpy(out, &tag, sizeof(tag));
+  std::memcpy(out + sizeof(tag), &bytes, sizeof(bytes));
+}
+
+void DecodeFrameHeader(const uint8_t in[kFrameHeaderBytes], int32_t* tag,
+                       uint64_t* bytes) {
+  std::memcpy(tag, in, sizeof(*tag));
+  std::memcpy(bytes, in + sizeof(*tag), sizeof(*bytes));
+}
+
+Status WriteFull(int fd, const void* data, size_t bytes) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (bytes > 0) {
+    ssize_t n = ::send(fd, p, bytes, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    p += n;
+    bytes -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Returns NotFound on clean EOF before the first byte, IoError otherwise.
+Status ReadFull(int fd, void* data, size_t bytes) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < bytes) {
+    ssize_t n = ::recv(fd, p + got, bytes - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return got == 0 ? Status::NotFound("eof")
+                      : Status::IoError("eof mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int rank, int num_pes)
+    : rank_(rank), num_pes_(num_pes) {
+  links_.resize(num_pes);
+  for (auto& link : links_) link = std::make_unique<PeerLink>();
+  mailbox_ = std::vector<internal::TagChannel>(num_pes);
+}
+
+StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
+    int rank, int num_pes, int listen_fd, const std::vector<Peer>& peers) {
+  DEMSORT_CHECK_EQ(peers.size(), static_cast<size_t>(num_pes));
+  DEMSORT_CHECK_GE(rank, 0);
+  DEMSORT_CHECK_LT(rank, num_pes);
+  std::unique_ptr<TcpTransport> t(new TcpTransport(rank, num_pes));
+  // Ownership of listen_fd includes the error paths: already-connected
+  // link fds are reclaimed by ~TcpTransport, the listener here.
+  auto fail = [listen_fd](Status status) {
+    ::close(listen_fd);
+    return status;
+  };
+
+  // Deterministic mesh: connect to every lower rank (their listeners exist
+  // by precondition), then accept from every higher rank. A 4-byte rank
+  // handshake identifies each accepted connection.
+  for (int peer = 0; peer < rank; ++peer) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return fail(
+          Status::IoError(std::string("socket: ") + std::strerror(errno)));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(peers[peer].port);
+    if (::inet_pton(AF_INET, peers[peer].host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return fail(
+          Status::InvalidArgument("bad peer host " + peers[peer].host));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      return fail(Status::IoError("connect to rank " + std::to_string(peer) +
+                                  ": " + std::strerror(errno)));
+    }
+    uint32_t my_rank = static_cast<uint32_t>(rank);
+    Status handshake = WriteFull(fd, &my_rank, sizeof(my_rank));
+    if (!handshake.ok()) {
+      ::close(fd);
+      return fail(std::move(handshake));
+    }
+    SetNoDelay(fd);
+    t->links_[peer]->fd = fd;
+  }
+  for (int i = rank + 1; i < num_pes; ++i) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      return fail(
+          Status::IoError(std::string("accept: ") + std::strerror(errno)));
+    }
+    uint32_t peer_rank = 0;
+    Status handshake = ReadFull(fd, &peer_rank, sizeof(peer_rank));
+    if (!handshake.ok()) {
+      ::close(fd);
+      return fail(std::move(handshake));
+    }
+    if (peer_rank >= static_cast<uint32_t>(num_pes) ||
+        static_cast<int>(peer_rank) <= rank ||
+        t->links_[peer_rank]->fd != -1) {
+      ::close(fd);
+      return fail(Status::Internal("bad handshake rank " +
+                                   std::to_string(peer_rank)));
+    }
+    SetNoDelay(fd);
+    t->links_[peer_rank]->fd = fd;
+  }
+  ::close(listen_fd);
+
+  for (int peer = 0; peer < num_pes; ++peer) {
+    if (peer == rank) continue;
+    TcpTransport* raw = t.get();
+    t->links_[peer]->writer = std::thread([raw, peer] {
+      raw->WriterLoop(peer);
+    });
+    t->links_[peer]->reader = std::thread([raw, peer] {
+      raw->ReaderLoop(peer);
+    });
+  }
+  return t;
+}
+
+TcpTransport::~TcpTransport() {
+  // Phase 1: flush and stop writers, then half-close so peers see EOF only
+  // after every queued byte.
+  for (auto& link : links_) {
+    if (link->fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(link->mu);
+      link->closing = true;
+    }
+    link->cv.notify_all();
+  }
+  for (auto& link : links_) {
+    if (link->writer.joinable()) link->writer.join();
+    if (link->fd >= 0) ::shutdown(link->fd, SHUT_WR);
+  }
+  // Phase 2: readers drain inbound data until the peer's own half-close.
+  for (auto& link : links_) {
+    if (link->reader.joinable()) link->reader.join();
+    if (link->fd >= 0) ::close(link->fd);
+  }
+}
+
+void TcpTransport::WriterLoop(int peer) {
+  PeerLink& link = *links_[peer];
+  while (true) {
+    Outgoing out;
+    {
+      std::unique_lock<std::mutex> lock(link.mu);
+      link.cv.wait(lock, [&] { return !link.queue.empty() || link.closing; });
+      if (link.queue.empty()) return;  // closing and drained
+      out = std::move(link.queue.front());
+      link.queue.pop_front();
+    }
+    uint8_t header[kFrameHeaderBytes];
+    EncodeFrameHeader(out.tag, out.payload.size(), header);
+    Status s = WriteFull(link.fd, header, sizeof(header));
+    if (s.ok() && !out.payload.empty()) {
+      s = WriteFull(link.fd, out.payload.data(), out.payload.size());
+    }
+    DEMSORT_CHECK_OK(s);  // a dead peer mid-sort is unrecoverable
+    SendRequest::Complete(out.state);
+  }
+}
+
+void TcpTransport::ReaderLoop(int peer) {
+  PeerLink& link = *links_[peer];
+  while (true) {
+    uint8_t header[kFrameHeaderBytes];
+    Status s = ReadFull(link.fd, header, sizeof(header));
+    if (s.code() == StatusCode::kNotFound) return;  // clean peer EOF
+    DEMSORT_CHECK_OK(s);
+    int32_t tag;
+    uint64_t bytes;
+    DecodeFrameHeader(header, &tag, &bytes);
+    std::vector<uint8_t> payload(bytes);
+    if (bytes > 0) {
+      DEMSORT_CHECK_OK(ReadFull(link.fd, payload.data(), payload.size()));
+    }
+    stats_.RecordRecv(bytes);
+    // Cap 0: the socket itself is this transport's backpressure.
+    (void)mailbox_[peer].Offer(tag, std::move(payload),
+                               /*exempt_from_cap=*/true);
+  }
+}
+
+SendRequest TcpTransport::Isend(int src, int dst, int tag, const void* data,
+                                size_t bytes) {
+  DEMSORT_CHECK_EQ(src, rank_) << "TcpTransport endpoint serves one rank";
+  DEMSORT_CHECK_GE(dst, 0);
+  DEMSORT_CHECK_LT(dst, num_pes_);
+  std::vector<uint8_t> payload(static_cast<const uint8_t*>(data),
+                               static_cast<const uint8_t*>(data) + bytes);
+  if (dst == rank_) {
+    return mailbox_[rank_].Offer(tag, std::move(payload),
+                                 /*exempt_from_cap=*/true);
+  }
+  stats_.RecordSend(bytes);
+  auto state = std::make_shared<internal::SendState>();
+  PeerLink& link = *links_[dst];
+  {
+    std::lock_guard<std::mutex> lock(link.mu);
+    DEMSORT_CHECK(!link.closing) << "Isend after transport shutdown";
+    link.queue.push_back(Outgoing{tag, std::move(payload), state});
+  }
+  link.cv.notify_all();
+  return SendRequest(state);
+}
+
+RecvRequest TcpTransport::Irecv(int dst, int src, int tag) {
+  DEMSORT_CHECK_EQ(dst, rank_) << "TcpTransport endpoint serves one rank";
+  DEMSORT_CHECK_GE(src, 0);
+  DEMSORT_CHECK_LT(src, num_pes_);
+  return mailbox_[src].PostRecv(tag);
+}
+
+NetStats& TcpTransport::stats(int pe) {
+  DEMSORT_CHECK_EQ(pe, rank_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+
+StatusOr<std::vector<TcpListener>> CreateLoopbackListeners(int num_pes) {
+  std::vector<TcpListener> listeners(num_pes);
+  auto fail = [&](const std::string& what) -> Status {
+    // Build the message before cleanup: close() may clobber errno.
+    Status status = Status::IoError(what + ": " + std::strerror(errno));
+    for (TcpListener& l : listeners) {
+      if (l.fd >= 0) ::close(l.fd);
+    }
+    return status;
+  };
+  for (int i = 0; i < num_pes; ++i) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return fail("socket");
+    listeners[i].fd = fd;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      return fail("bind");
+    }
+    if (::listen(fd, num_pes) < 0) return fail("listen");
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+      return fail("getsockname");
+    }
+    listeners[i].port = ntohs(addr.sin_port);
+  }
+  return listeners;
+}
+
+std::vector<TcpTransport::Peer> LoopbackPeers(
+    const std::vector<TcpListener>& listeners) {
+  std::vector<TcpTransport::Peer> peers(listeners.size());
+  for (size_t i = 0; i < listeners.size(); ++i) {
+    peers[i] = TcpTransport::Peer{"127.0.0.1", listeners[i].port};
+  }
+  return peers;
+}
+
+void TcpCluster::Run(int num_pes, const PeBody& body) {
+  RunWithStats(num_pes, body);
+}
+
+std::vector<NetStatsSnapshot> TcpCluster::RunWithStats(int num_pes,
+                                                       const PeBody& body) {
+  auto listeners = CreateLoopbackListeners(num_pes);
+  DEMSORT_CHECK_OK(listeners.status());
+  std::vector<TcpTransport::Peer> peers = LoopbackPeers(listeners.value());
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_pes);
+  std::vector<std::exception_ptr> errors(num_pes);
+  std::vector<NetStatsSnapshot> stats(num_pes);
+  for (int pe = 0; pe < num_pes; ++pe) {
+    int listen_fd = listeners.value()[pe].fd;
+    threads.emplace_back([&, pe, listen_fd] {
+      try {
+        auto transport =
+            TcpTransport::Connect(pe, num_pes, listen_fd, peers);
+        DEMSORT_CHECK_OK(transport.status());
+        Comm comm(pe, num_pes, transport.value().get());
+        body(comm);
+        stats[pe] = transport.value()->stats(pe).Snapshot();
+      } catch (...) {
+        errors[pe] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int pe = 0; pe < num_pes; ++pe) {
+    if (errors[pe]) {
+      DEMSORT_LOG(kError) << "PE " << pe << " failed; rethrowing";
+      std::rethrow_exception(errors[pe]);
+    }
+  }
+  return stats;
+}
+
+void RunOverTransport(TransportKind kind, const Cluster::Options& options,
+                      const TcpCluster::PeBody& body) {
+  if (kind == TransportKind::kTcp) {
+    DEMSORT_CHECK_EQ(options.channel_cap_bytes, 0u)
+        << "channel caps apply to the in-process fabric only";
+    TcpCluster::Run(options.num_pes, body);
+  } else {
+    Cluster::Run(options, body);
+  }
+}
+
+}  // namespace demsort::net

@@ -1,0 +1,140 @@
+// TcpTransport: the socket implementation of net::Transport — one endpoint
+// per rank, connected in a full mesh, so PEs can run as separate OS
+// processes (or as threads against real loopback sockets in tests).
+//
+// Wire format per message: a 12-byte frame header {int32 tag, uint64 bytes}
+// followed by the payload. Lengths are 64-bit end to end, so a single
+// message may exceed 4 GiB — the limit the paper had to re-implement
+// MPI_Alltoallv to escape.
+//
+// Threading per endpoint: one writer thread per peer draining a send queue
+// (Isend completes when the bytes hit the socket), and one reader thread
+// per peer delivering frames into the (source, tag)-matched mailbox.
+// Destruction performs a two-phase shutdown — drain and join writers, then
+// SHUT_WR, then read peers to EOF — so no data is lost and no peer sees a
+// reset, without requiring an application-level barrier before teardown.
+// Teardown is therefore collective, like MPI_Finalize: every endpoint's
+// destructor blocks until its peers also begin destruction (the drain phase
+// ends at the peer's half-close). Destroy all endpoints of a mesh
+// concurrently; TcpCluster and the multi-process launcher do.
+//
+// Fault model (MPI-like): a peer dying mid-sort is unrecoverable. PEs
+// sending to it fail fast (write error → CHECK); PEs blocked on a receive
+// from it wait indefinitely (its death is a clean FIN, indistinguishable
+// from a legitimate early finisher) — run under a supervisor timeout if
+// that matters. Fault *injection* belongs at this seam; see ROADMAP.
+#ifndef DEMSORT_NET_TCP_TRANSPORT_H_
+#define DEMSORT_NET_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/cluster.h"
+#include "net/transport.h"
+#include "util/status.h"
+
+namespace demsort::net {
+
+class Comm;
+
+class TcpTransport : public Transport {
+ public:
+  struct Peer {
+    std::string host;
+    uint16_t port = 0;
+  };
+
+  /// Establishes the full mesh for `rank` of `num_pes`. `listen_fd` must
+  /// already be bound and listening on peers[rank] (create it before
+  /// launching the other ranks so connects never race the bind; ownership
+  /// passes to the transport, which closes it once the mesh is up). Blocks
+  /// until all peers are connected.
+  static StatusOr<std::unique_ptr<TcpTransport>> Connect(
+      int rank, int num_pes, int listen_fd, const std::vector<Peer>& peers);
+
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  int num_pes() const override { return num_pes_; }
+  SendRequest Isend(int src, int dst, int tag, const void* data,
+                    size_t bytes) override;
+  RecvRequest Irecv(int dst, int src, int tag) override;
+  NetStats& stats(int pe) override;
+
+  int rank() const { return rank_; }
+
+ private:
+  struct Outgoing {
+    int tag = 0;
+    std::vector<uint8_t> payload;
+    std::shared_ptr<internal::SendState> state;
+  };
+  struct PeerLink {
+    int fd = -1;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Outgoing> queue;
+    bool closing = false;
+    std::thread writer;
+    std::thread reader;
+  };
+
+  TcpTransport(int rank, int num_pes);
+
+  void WriterLoop(int peer);
+  void ReaderLoop(int peer);
+
+  int rank_;
+  int num_pes_;
+  NetStats stats_;
+  std::vector<std::unique_ptr<PeerLink>> links_;          // indexed by peer
+  std::vector<internal::TagChannel> mailbox_;             // indexed by source
+};
+
+/// One pre-bound listener per rank. Creating all listeners before any rank
+/// starts guarantees every Connect() succeeds without retries.
+struct TcpListener {
+  int fd = -1;
+  uint16_t port = 0;
+};
+
+/// Binds `num_pes` listening sockets on 127.0.0.1 with ephemeral ports.
+StatusOr<std::vector<TcpListener>> CreateLoopbackListeners(int num_pes);
+
+/// Peer list ("127.0.0.1", port) matching CreateLoopbackListeners' output.
+std::vector<TcpTransport::Peer> LoopbackPeers(
+    const std::vector<TcpListener>& listeners);
+
+/// Test/bench harness mirroring Cluster::Run, but every PE thread owns a
+/// real TcpTransport endpoint over loopback sockets — the same code path a
+/// multi-process deployment exercises, minus the address-space isolation.
+class TcpCluster {
+ public:
+  using PeBody = std::function<void(Comm&)>;
+
+  /// Blocks until all PEs finish. Rethrows the first PE exception.
+  static void Run(int num_pes, const PeBody& body);
+
+  /// As Run, but also returns each PE's final traffic counters.
+  static std::vector<NetStatsSnapshot> RunWithStats(int num_pes,
+                                                    const PeBody& body);
+};
+
+/// The one transport-kind dispatch for harnesses (benches, tests, tools):
+/// kInProc → Cluster with `options`, kTcp → TcpCluster. Channel caps are a
+/// fabric concept (sockets provide their own backpressure), so a nonzero
+/// cap with kTcp aborts instead of being silently dropped. New backends
+/// get wired in here once and every harness follows.
+void RunOverTransport(TransportKind kind, const Cluster::Options& options,
+                      const TcpCluster::PeBody& body);
+
+}  // namespace demsort::net
+
+#endif  // DEMSORT_NET_TCP_TRANSPORT_H_

@@ -1,0 +1,363 @@
+// Transport: the pluggable point-to-point byte layer under net::Comm.
+//
+// A Transport moves tagged byte payloads between PEs with MPI-style
+// (source, tag) matching and per-(source, tag) FIFO order. Both primitives
+// are nonblocking and return Request-style completion handles, mirroring
+// io::Request, so network transfers can overlap with disk I/O and
+// computation inside a phase:
+//
+//  * Isend copies the payload out of the caller's buffer BEFORE returning,
+//    so the buffer is immediately reusable. The returned SendRequest
+//    completes when the bytes have been admitted into the channel (in
+//    process) or flushed to the socket (TCP) — completion is a SENDER-side
+//    credit, not delivery. Only the capped in-process fabric turns that
+//    credit into receiver-side backpressure; the TCP reader currently
+//    drains its socket eagerly, so TCP receiver memory is bounded by the
+//    posted-receive discipline of the callers (collectives post receives
+//    before sends; a watermark-paused reader is future work, see ROADMAP).
+//  * Irecv posts a receive for (src, tag); the returned RecvRequest
+//    completes when a matching message arrives and carries the payload.
+//
+// Implementations:
+//  * net::Fabric (cluster.h)       — in-process byte-copying mailboxes,
+//    one object serving all PEs of an emulated cluster; optional bounded
+//    per-channel in-flight volume (backpressure).
+//  * net::TcpTransport (tcp_transport.h) — real sockets, one endpoint per
+//    OS process (or per thread in the loopback test harness).
+#ifndef DEMSORT_NET_TRANSPORT_H_
+#define DEMSORT_NET_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/message.h"
+#include "net/net_stats.h"
+#include "util/status.h"
+
+namespace demsort::net {
+
+namespace internal {
+
+struct SendState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+struct RecvState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::vector<uint8_t> payload;
+};
+
+}  // namespace internal
+
+/// Completion handle for a nonblocking send. Copyable; default-constructed
+/// handles are already complete (used for self-sends and the uncapped
+/// in-process fast path).
+class SendRequest {
+ public:
+  SendRequest() = default;
+  explicit SendRequest(std::shared_ptr<internal::SendState> state)
+      : state_(std::move(state)) {}
+
+  /// Blocks until the transport has accepted the bytes (flow control).
+  void Wait() const {
+    if (state_ == nullptr) return;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+
+  bool done() const {
+    if (state_ == nullptr) return true;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+  }
+
+  static void Complete(const std::shared_ptr<internal::SendState>& state) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<internal::SendState> state_;
+};
+
+/// Completion handle for a nonblocking receive; carries the payload once
+/// complete. Copyable, but the payload can be Take()n only once.
+class RecvRequest {
+ public:
+  RecvRequest() = default;
+  explicit RecvRequest(std::shared_ptr<internal::RecvState> state)
+      : state_(std::move(state)) {}
+
+  void Wait() const {
+    if (state_ == nullptr) return;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+
+  bool done() const {
+    if (state_ == nullptr) return true;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+  }
+
+  /// Blocks until the message arrives, then moves the payload out.
+  std::vector<uint8_t> Take() {
+    if (state_ == nullptr) return {};
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    return std::move(state_->payload);
+  }
+
+  static void Complete(const std::shared_ptr<internal::RecvState>& state,
+                       std::vector<uint8_t> payload) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->payload = std::move(payload);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<internal::RecvState> state_;
+};
+
+/// Flow-control accounting for a stream of Isends: completed volume is
+/// reclaimed oldest-first until the un-waited bytes fit the window. The
+/// single implementation of the send-window bound shared by Comm's
+/// collectives and the phase exchanges that hand-roll their transfers.
+class WindowedSends {
+ public:
+  /// window_bytes == 0 means unbounded (never waits in Add).
+  explicit WindowedSends(size_t window_bytes) : window_(window_bytes) {}
+
+  void Add(SendRequest request, size_t bytes) {
+    sends_.push_back(std::move(request));
+    bytes_.push_back(bytes);
+    inflight_ += bytes;
+    while (window_ != 0 && inflight_ > window_ &&
+           next_wait_ < sends_.size()) {
+      sends_[next_wait_].Wait();
+      inflight_ -= bytes_[next_wait_];
+      ++next_wait_;
+    }
+  }
+
+  /// Waits for every tracked send (idempotent).
+  void WaitAll() {
+    for (SendRequest& s : sends_) s.Wait();
+  }
+
+ private:
+  size_t window_;
+  std::vector<SendRequest> sends_;
+  std::vector<size_t> bytes_;
+  size_t inflight_ = 0;
+  size_t next_wait_ = 0;
+};
+
+/// Abstract point-to-point byte transport. All sizes are 64-bit: unlike
+/// MPI's int counts (the paper re-implemented MPI_Alltoallv to move >2 GiB),
+/// a single message may exceed 4 GiB on every implementation.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int num_pes() const = 0;
+
+  /// Nonblocking tagged send from PE `src` to PE `dst`. The payload is
+  /// copied before return; the request completes when the transport has
+  /// accepted the bytes (see file comment).
+  virtual SendRequest Isend(int src, int dst, int tag, const void* data,
+                            size_t bytes) = 0;
+
+  /// Nonblocking posted receive at PE `dst` for the next message from
+  /// (src, tag), in send order.
+  virtual RecvRequest Irecv(int dst, int src, int tag) = 0;
+
+  /// Traffic counters for PE `pe`. In-process transports serve every PE;
+  /// socket transports only their own rank.
+  virtual NetStats& stats(int pe) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Transport selection (CLI flags, bench harnesses).
+
+enum class TransportKind {
+  kInProc,  ///< net::Fabric mailboxes, PEs are threads of one process
+  kTcp,     ///< net::TcpTransport sockets, PEs may be separate processes
+};
+
+inline const char* TransportKindName(TransportKind kind) {
+  return kind == TransportKind::kTcp ? "tcp" : "inproc";
+}
+
+inline StatusOr<TransportKind> ParseTransportKind(const std::string& name) {
+  if (name == "inproc" || name == "fabric" || name == "thread") {
+    return TransportKind::kInProc;
+  }
+  if (name == "tcp" || name == "socket") return TransportKind::kTcp;
+  return Status::InvalidArgument("unknown transport '" + name +
+                                 "' (expected inproc|tcp)");
+}
+
+namespace internal {
+
+/// One ordered (source → destination) stream: MPI-style per-tag FIFO
+/// matching between delivered messages and posted receives, plus an
+/// optional cap on queued (delivered but not yet received) bytes.
+///
+/// Shared by both transports: Fabric uses Offer() as the send path itself
+/// (the cap is the backpressure), the TCP receiver thread uses Offer() to
+/// park already-transferred bytes (cap 0 — the socket provides the
+/// backpressure).
+class TagChannel {
+ public:
+  explicit TagChannel(size_t cap_bytes = 0) : cap_bytes_(cap_bytes) {}
+
+  /// Delivers a message: hands it to the earliest posted receive with this
+  /// tag, else queues it — unless a cap is set and the queue is full, in
+  /// which case the message parks and the returned request stays pending
+  /// until a receive drains the queue. `exempt_from_cap` admits
+  /// unconditionally (self-sends: local memory traffic in a real cluster).
+  SendRequest Offer(int tag, std::vector<uint8_t> payload,
+                    bool exempt_from_cap) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (exempt_from_cap) {
+      // Exempt messages (self-sends; TCP delivery, where the socket already
+      // provided the backpressure) bypass the cap and the park queue.
+      DeliverUnconditionallyLocked(tag, std::move(payload));
+      return SendRequest();
+    }
+    // Fast path: nothing parked, delivery fits → done, no allocation.
+    if (parked_.empty() && TryDeliverLocked(tag, payload, /*exempt=*/false)) {
+      return SendRequest();
+    }
+    // Park behind any same-tag predecessor; the admission scan delivers
+    // whatever the per-tag FIFO and the cap allow.
+    auto state = std::make_shared<SendState>();
+    parked_.push_back(Parked{tag, std::move(payload), state});
+    AdmitParkedLocked();
+    return SendRequest(state);
+  }
+
+  /// Posts a receive for (this source, tag). Completes immediately if a
+  /// matching message is queued (admitting parked senders into the freed
+  /// space), else when one arrives.
+  RecvRequest PostRecv(int tag) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+      if (it->tag == tag) {
+        size_t n = it->payload.size();
+        auto state = std::make_shared<RecvState>();
+        RecvRequest::Complete(state, std::move(it->payload));
+        messages_.erase(it);
+        queued_bytes_ -= n;
+        AdmitParkedLocked();
+        return RecvRequest(state);
+      }
+    }
+    auto state = std::make_shared<RecvState>();
+    waiters_.push_back(Waiter{tag, state});
+    // The new waiter may be exactly what a parked message (blocked on the
+    // cap) is waiting for — hand it over directly, or receivers that take
+    // tags out of send order would deadlock against a full channel.
+    AdmitParkedLocked();
+    return RecvRequest(state);
+  }
+
+  /// High-water mark of queued (unreceived) bytes on this channel.
+  uint64_t max_queued_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_queued_bytes_;
+  }
+
+ private:
+  struct Waiter {
+    int tag;
+    std::shared_ptr<RecvState> state;
+  };
+  struct Parked {
+    int tag;
+    std::vector<uint8_t> payload;
+    std::shared_ptr<SendState> state;
+  };
+
+  void DeliverUnconditionallyLocked(int tag, std::vector<uint8_t> payload) {
+    // Exempt delivery never parks: the cap check is skipped entirely.
+    (void)TryDeliverLocked(tag, payload, /*exempt=*/true);
+  }
+
+  /// Matches a waiter or queues the message if the cap allows. Returns
+  /// false when the message must park (payload left intact).
+  bool TryDeliverLocked(int tag, std::vector<uint8_t>& payload, bool exempt) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (it->tag == tag) {
+        auto state = it->state;
+        waiters_.erase(it);
+        RecvRequest::Complete(state, std::move(payload));
+        return true;
+      }
+    }
+    size_t n = payload.size();
+    if (!exempt && cap_bytes_ != 0 && queued_bytes_ != 0 &&
+        queued_bytes_ + n > cap_bytes_) {
+      return false;  // full: an empty queue always admits (no livelock on
+                     // messages larger than the cap)
+    }
+    messages_.push_back(Message{tag, std::move(payload)});
+    queued_bytes_ += n;
+    if (queued_bytes_ > max_queued_bytes_) max_queued_bytes_ = queued_bytes_;
+    return true;
+  }
+
+  /// Delivers every parked message the contract allows: an entry may go
+  /// only if no EARLIER parked entry shares its tag (per-(src, tag) FIFO;
+  /// cross-tag order is not a contract) and a waiter or cap space exists.
+  void AdmitParkedLocked() {
+    std::vector<int> blocked_tags;
+    auto tag_blocked = [&](int tag) {
+      for (int t : blocked_tags) {
+        if (t == tag) return true;
+      }
+      return false;
+    };
+    for (auto it = parked_.begin(); it != parked_.end();) {
+      if (!tag_blocked(it->tag) &&
+          TryDeliverLocked(it->tag, it->payload, /*exempt=*/false)) {
+        SendRequest::Complete(it->state);
+        it = parked_.erase(it);
+      } else {
+        blocked_tags.push_back(it->tag);
+        ++it;
+      }
+    }
+  }
+
+  mutable std::mutex mu_;
+  size_t cap_bytes_;
+  std::deque<Message> messages_;
+  std::deque<Waiter> waiters_;
+  std::deque<Parked> parked_;
+  uint64_t queued_bytes_ = 0;
+  uint64_t max_queued_bytes_ = 0;
+};
+
+}  // namespace internal
+
+}  // namespace demsort::net
+
+#endif  // DEMSORT_NET_TRANSPORT_H_

@@ -178,6 +178,42 @@ TEST(AllToAllTest, SubstepsRespectBudget) {
   });
 }
 
+TEST(AllToAllTest, StaysWithinBudgetUnderChannelCap) {
+  // The paper's claim for the sub-stepped exchange is that in-flight volume
+  // is bounded by the configured memory budget. Enforce it from the other
+  // side: cap every fabric channel at the per-substep budget and require
+  // (a) the exchange still completes and validates, and (b) the fabric
+  // never had to buffer more than the budget per channel (+ one in-flight
+  // message, the empty-queue admission).
+  const int P = 4;
+  const uint64_t n = 3000;
+  SortConfig config = test::SmallConfig();
+  config.randomize_blocks = false;
+  config.alltoall_budget = 4 * config.block_size;  // forces several substeps
+
+  net::Cluster::Options options;
+  options.num_pes = P;
+  options.channel_cap_bytes = config.alltoall_budget;
+  net::Cluster::Result result = test::RunPesWithOptions(
+      options, config, [&](PeContext& ctx, const SortConfig& cfg) {
+        auto st = RunThroughAllToAll(ctx, cfg,
+                                     Distribution::kWorstCaseLocal, n);
+        EXPECT_GT(st.a2a.substeps, 1u);
+        // Extents must still tile my output ranges exactly (verified
+        // inside ExternalAllToAll via checks; spot-check coverage here).
+        uint64_t covered = 0;
+        for (auto& per_run : st.a2a.extents_per_run) {
+          for (auto& ext : per_run) covered += ext.count;
+        }
+        EXPECT_EQ(covered, st.a2a.my_end_rank - st.a2a.my_begin_rank);
+      });
+  // One sub-step ships at most `budget` bytes per (src, dst) pair, and the
+  // receiver drains within the step — so fabric buffering stays within the
+  // budget plus one admitted message.
+  EXPECT_LE(result.max_channel_queued_bytes,
+            config.alltoall_budget + config.alltoall_budget);
+}
+
 TEST(AllToAllTest, PartialBlockOverheadIsBounded) {
   const int P = 4;
   SortConfig config = test::SmallConfig();

@@ -59,6 +59,77 @@ TEST(FileBackendTest, RoundTrip) {
   EXPECT_EQ(std::memcmp(w.data(), r.data(), kBlock), 0);
 }
 
+TEST(FileBackendTest, ReadBeforeWriteFails) {
+  std::string path = std::filesystem::temp_directory_path() /
+                     "demsort_file_backend_rbw.bin";
+  auto created = FileBackend::Create(path, kBlock);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto backend = std::move(created).value();
+  AlignedBuffer w = PatternBlock(0x33), r(kBlock);
+  // Never-written block in a fresh file.
+  EXPECT_EQ(backend->ReadBlock(0, r.data()).code(), StatusCode::kNotFound);
+  // Writing block 5 leaves a filesystem hole at 0..4; reading the hole must
+  // still fail loudly instead of returning zeros.
+  ASSERT_TRUE(backend->WriteBlock(5, w.data()).ok());
+  EXPECT_EQ(backend->ReadBlock(3, r.data()).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(backend->ReadBlock(5, r.data()).ok());
+}
+
+TEST(FileBackendTest, CreateTruncatesScratchCleansUp) {
+  std::string path = std::filesystem::temp_directory_path() /
+                     "demsort_file_backend_scratch.bin";
+  {
+    auto created = FileBackend::Create(path, kBlock);
+    ASSERT_TRUE(created.ok());
+    AlignedBuffer w = PatternBlock(1);
+    ASSERT_TRUE(created.value()->WriteBlock(0, w.data()).ok());
+    EXPECT_TRUE(std::filesystem::exists(path));
+  }
+  // Default Create() semantics: scratch disk, unlinked on close.
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(FileBackendTest, ReopenPreservesContents) {
+  std::string path = std::filesystem::temp_directory_path() /
+                     "demsort_file_backend_reopen.bin";
+  {
+    auto created = FileBackend::Create(path, kBlock,
+                                       /*unlink_on_close=*/false);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    AlignedBuffer a = PatternBlock(0x41), b = PatternBlock(0x42);
+    ASSERT_TRUE(created.value()->WriteBlock(0, a.data()).ok());
+    ASSERT_TRUE(created.value()->WriteBlock(1, b.data()).ok());
+  }
+  ASSERT_TRUE(std::filesystem::exists(path));
+  {
+    auto reopened = FileBackend::Open(path, kBlock);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    AlignedBuffer r(kBlock);
+    ASSERT_TRUE(reopened.value()->ReadBlock(1, r.data()).ok());
+    EXPECT_EQ(r.data()[99], 0x42);
+    ASSERT_TRUE(reopened.value()->ReadBlock(0, r.data()).ok());
+    EXPECT_EQ(r.data()[99], 0x41);
+    // Beyond the reopened file's extent: never written.
+    EXPECT_EQ(reopened.value()->ReadBlock(7, r.data()).code(),
+              StatusCode::kNotFound);
+    // New writes extend the reopened file.
+    AlignedBuffer c = PatternBlock(0x43);
+    ASSERT_TRUE(reopened.value()->WriteBlock(7, c.data()).ok());
+    EXPECT_TRUE(reopened.value()->ReadBlock(7, r.data()).ok());
+  }
+  EXPECT_TRUE(std::filesystem::exists(path));  // Open never unlinks
+  std::filesystem::remove(path);
+}
+
+TEST(FileBackendTest, OpenMissingFileIsNotFound) {
+  std::string path = std::filesystem::temp_directory_path() /
+                     "demsort_file_backend_missing.bin";
+  std::filesystem::remove(path);
+  auto opened = FileBackend::Open(path, kBlock);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kNotFound);
+}
+
 // --------------------------------------------------------- VirtualDisk ----
 
 TEST(VirtualDiskTest, AsyncRoundTrip) {

@@ -38,6 +38,18 @@ inline void RunPes(
   });
 }
 
+/// As RunPes, but with full fabric options (channel caps); returns the
+/// cluster result so tests can assert on buffering high-water marks.
+inline net::Cluster::Result RunPesWithOptions(
+    const net::Cluster::Options& options, const core::SortConfig& config,
+    const std::function<void(core::PeContext&, const core::SortConfig&)>&
+        body) {
+  return net::Cluster::Run(options, [&](net::Comm& comm) {
+    core::PeResources resources(&comm, config);
+    body(resources.ctx(), config);
+  });
+}
+
 /// Comparator shorthand.
 using KVLess = core::RecordTraits<core::KV16>::Less;
 
