@@ -15,6 +15,8 @@
 #ifndef DEMSORT_BENCH_BENCH_UTIL_H_
 #define DEMSORT_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <mutex>
 #include <string>
@@ -64,10 +66,13 @@ struct RunOptions {
   net::TransportKind transport = net::TransportKind::kInProc;
   /// In-process fabric only: per-channel in-flight byte cap (0 = off).
   size_t channel_cap_bytes = 0;
+  /// TCP only: reader-thread mailbox watermark (0 = drain eagerly).
+  size_t tcp_recv_watermark_bytes = 0;
 };
 
-/// Parses --transport / --channel-cap; a bad value aborts the bench (a
-/// silent inproc fallback would mislabel every measured number).
+/// Parses --transport / --channel-cap / --recv-watermark; a bad value
+/// aborts the bench (a silent inproc fallback would mislabel every
+/// measured number).
 inline RunOptions RunOptionsFromFlags(const FlagParser& flags) {
   RunOptions options;
   auto kind = net::ParseTransportKind(flags.GetString("transport", "inproc"));
@@ -86,6 +91,18 @@ inline RunOptions RunOptionsFromFlags(const FlagParser& flags) {
       options.channel_cap_bytes != 0) {
     std::fprintf(stderr,
                  "--channel-cap applies to the in-process fabric only\n");
+    std::exit(2);
+  }
+  int64_t watermark = ParseSize(flags.GetString("recv-watermark", "0"));
+  if (watermark < 0) {
+    std::fprintf(stderr, "--recv-watermark must be >= 0\n");
+    std::exit(2);
+  }
+  options.tcp_recv_watermark_bytes = static_cast<size_t>(watermark);
+  if (options.transport != net::TransportKind::kTcp &&
+      options.tcp_recv_watermark_bytes != 0) {
+    std::fprintf(stderr,
+                 "--recv-watermark applies to the tcp transport only\n");
     std::exit(2);
   }
   return options;
@@ -117,6 +134,8 @@ inline SortRunResult RunCanonical(int num_pes, workload::Distribution dist,
   net::Cluster::Options cluster_options;
   cluster_options.num_pes = num_pes;
   cluster_options.channel_cap_bytes = run_options.channel_cap_bytes;
+  cluster_options.tcp_recv_watermark_bytes =
+      run_options.tcp_recv_watermark_bytes;
   net::RunOverTransport(run_options.transport, cluster_options, body);
   result.wall_ms = (NowNanos() - start) * 1e-6;
   result.valid = all_valid;
@@ -124,11 +143,26 @@ inline SortRunResult RunCanonical(int num_pes, workload::Distribution dist,
   return result;
 }
 
+/// Peak receive-side network buffering of a run: max over PEs and phases
+/// of the transport's delivered-but-unconsumed bytes — the footprint the
+/// streaming exchanges bound at O(chunk x sources).
+inline uint64_t PeakNetBufferBytes(const SortRunResult& run) {
+  uint64_t peak = 0;
+  for (const core::SortReport& report : run.reports) {
+    for (int p = 0; p < static_cast<int>(core::Phase::kNumPhases); ++p) {
+      peak = std::max(
+          peak,
+          report.Get(static_cast<core::Phase>(p)).net.recv_buffer_peak_bytes);
+    }
+  }
+  return peak;
+}
+
 /// Prints one figure row: modeled per-phase seconds + totals.
 inline void PrintPhaseHeader() {
-  std::printf("%4s  %12s  %10s  %10s  %11s  %9s  %12s  %6s\n", "P",
+  std::printf("%4s  %12s  %10s  %10s  %11s  %9s  %12s  %12s  %6s\n", "P",
               "run_form_s", "select_s", "alltoall_s", "final_mrg_s",
-              "total_s", "emul_wall_ms", "valid");
+              "total_s", "emul_wall_ms", "netbuf_KiB", "valid");
 }
 
 inline void PrintPhaseRow(int num_pes, const SortRunResult& run,
@@ -142,9 +176,11 @@ inline void PrintPhaseRow(int num_pes, const SortRunResult& run,
             .total_s;
     total += phase_s[p];
   }
-  std::printf("%4d  %12.3f  %10.4f  %10.3f  %11.3f  %9.3f  %12.0f  %6s\n",
-              num_pes, phase_s[0], phase_s[1], phase_s[2], phase_s[3], total,
-              run.wall_ms, run.valid ? "yes" : "NO");
+  std::printf(
+      "%4d  %12.3f  %10.4f  %10.3f  %11.3f  %9.3f  %12.0f  %12.1f  %6s\n",
+      num_pes, phase_s[0], phase_s[1], phase_s[2], phase_s[3], total,
+      run.wall_ms, static_cast<double>(PeakNetBufferBytes(run)) / 1024.0,
+      run.valid ? "yes" : "NO");
 }
 
 /// Standard weak-scaling PE list (paper: 1..64), trimmed by --max-pes.

@@ -39,7 +39,15 @@ int main(int argc, char** argv) {
   // --channel-cap=<size> bounds the in-process fabric's per-channel
   // buffering (I/O volumes must be identical either way — the figure is
   // about the algorithm, the substrate only moves the bytes).
+  // --stream-chunk=<size> sets the streamed exchange's chunk (0 = the
+  // 256 KiB default): smaller chunks shrink receive-side buffering of the
+  // all-to-all at a higher per-message overhead, I/O volume unchanged.
   bench::RunOptions run_options = bench::RunOptionsFromFlags(flags);
+  int64_t stream_chunk = ParseSize(flags.GetString("stream-chunk", "0"));
+  if (stream_chunk < 0) {
+    std::fprintf(stderr, "--stream-chunk must be >= 0\n");
+    return 2;
+  }
 
   struct Series {
     const char* name;
@@ -69,6 +77,7 @@ int main(int argc, char** argv) {
     for (const Series& s : series) {
       core::SortConfig config = bench::FigureConfig(s.block);
       config.randomize_blocks = s.randomize;
+      config.stream_chunk_bytes = static_cast<size_t>(stream_chunk);
       bench::SortRunResult run =
           bench::RunCanonical(p, s.dist, config, elements_per_pe,
                               run_options);

@@ -2,9 +2,23 @@
 // round-trips, barrier, allgather, and the 64-bit alltoallv — each measured
 // over BOTH transports (in-process fabric mailboxes vs. real loopback TCP
 // sockets), so the cost of leaving the address space is visible.
+//
+// The AlltoallvMode family compares the three exchange schedules head to
+// head on the in-process fabric — throughput AND peak receive-side
+// buffering (the peak_netbuf_B counter):
+//   buffered  — Comm::Alltoallv full mesh (every PE buffers P-1 payloads)
+//   stream    — Comm::AlltoallvStream chunked delivery (O(chunk x sources))
+//   pairwise  — Comm::AlltoallvPairwise rounds (one payload in flight)
+// Run one mode only with --alltoallv-mode={buffered,stream,pairwise}.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <functional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "net/cluster.h"
@@ -13,6 +27,7 @@
 
 namespace {
 
+using demsort::net::AlltoallAlgo;
 using demsort::net::Cluster;
 using demsort::net::Comm;
 using demsort::net::TransportKind;
@@ -82,6 +97,64 @@ BENCHMARK_CAPTURE(Alltoallv, inproc, TransportKind::kInProc)
 BENCHMARK_CAPTURE(Alltoallv, tcp, TransportKind::kTcp)
     ->Arg(2)->Arg(8)->Arg(16)->Iterations(10);
 
+/// The three exchange schedules, same payload, same fabric: throughput via
+/// SetBytesProcessed, peak receive-side transport buffering via the
+/// peak_netbuf_B counter. The streamed mode's peak stays O(chunk x
+/// sources) while the buffered full mesh parks whole payloads per source.
+void AlltoallvMode(benchmark::State& state, const std::string& mode) {
+  const int pes = static_cast<int>(state.range(0));
+  const size_t per_pair = static_cast<size_t>(state.range(1));
+  const size_t chunk = 16 << 10;
+  const int reps = 5;
+  uint64_t peak_netbuf = 0;
+  for (auto _ : state) {
+    Cluster::Options options;
+    options.num_pes = pes;
+    Cluster::Result result = Cluster::Run(options, [&](Comm& comm) {
+      std::vector<std::vector<uint64_t>> sends(comm.size());
+      for (int d = 0; d < comm.size(); ++d) {
+        sends[d].assign(per_pair / 8, comm.rank() * 1000 + d);
+      }
+      for (int i = 0; i < reps; ++i) {
+        if (mode == "stream") {
+          uint64_t received_bytes = 0;
+          comm.AlltoallvStream(
+              [&](int dst) {
+                return std::span<const uint8_t>(
+                    reinterpret_cast<const uint8_t*>(sends[dst].data()),
+                    sends[dst].size() * sizeof(uint64_t));
+              },
+              [&](int src, std::span<const uint8_t> data, bool last) {
+                (void)src;
+                (void)last;
+                received_bytes += data.size();
+              },
+              /*on_size=*/nullptr, chunk);
+          benchmark::DoNotOptimize(received_bytes);
+        } else {
+          comm.set_alltoallv_algo(mode == "pairwise"
+                                      ? AlltoallAlgo::kPairwise
+                                      : AlltoallAlgo::kFullMesh);
+          auto recv = comm.Alltoallv<uint64_t>(sends);
+          benchmark::DoNotOptimize(recv.size());
+        }
+      }
+    });
+    for (const auto& s : result.stats) {
+      peak_netbuf = std::max(peak_netbuf, s.recv_buffer_peak_bytes);
+    }
+  }
+  state.counters["peak_netbuf_B"] = static_cast<double>(peak_netbuf);
+  state.SetBytesProcessed(state.iterations() * reps * pes *
+                          (pes - 1) * per_pair);
+}
+BENCHMARK_CAPTURE(AlltoallvMode, buffered, "buffered")
+    ->Args({4, 256 << 10})->Args({8, 256 << 10})->Iterations(5);
+BENCHMARK_CAPTURE(AlltoallvMode, stream, "stream")
+    ->Args({4, 256 << 10})->Args({8, 256 << 10})->Iterations(5);
+BENCHMARK_CAPTURE(AlltoallvMode, pairwise, "pairwise")
+    ->Args({4, 256 << 10})->Args({8, 256 << 10})->Iterations(5);
+
 /// Bulk single-pair bandwidth: one 64 MiB message each way.
 void Bandwidth(benchmark::State& state, TransportKind kind) {
   const size_t bytes = 64u << 20;
@@ -103,3 +176,35 @@ BENCHMARK_CAPTURE(Bandwidth, inproc, TransportKind::kInProc)->Iterations(5);
 BENCHMARK_CAPTURE(Bandwidth, tcp, TransportKind::kTcp)->Iterations(5);
 
 }  // namespace
+
+/// Custom main (overrides benchmark_main's): --alltoallv-mode=<mode> runs
+/// only that schedule's comparison benchmark — the CI streaming smoke and
+/// the quickest way to A/B one schedule. All other flags pass through to
+/// Google Benchmark.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string filter_arg;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--alltoallv-mode=";
+    if (arg.rfind(prefix, 0) == 0) {
+      std::string mode = arg.substr(prefix.size());
+      if (mode != "buffered" && mode != "stream" && mode != "pairwise") {
+        std::fprintf(stderr,
+                     "unknown --alltoallv-mode '%s' "
+                     "(expected buffered|stream|pairwise)\n",
+                     mode.c_str());
+        return 2;
+      }
+      filter_arg = "--benchmark_filter=AlltoallvMode/" + mode;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!filter_arg.empty()) args.push_back(filter_arg.data());
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

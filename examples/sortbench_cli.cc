@@ -5,6 +5,8 @@
 //   ./sortbench_cli --pes 8 --records-per-pe 50000 --algo canonical
 //   ./sortbench_cli --algo striped --skewed
 //   ./sortbench_cli --transport=tcp --pes 4     # PEs as separate processes
+//   ./sortbench_cli --stats                     # per-phase I/O, net volume
+//                                               # and peak net buffering
 //
 // With --transport=tcp every PE is a forked OS process with its own address
 // space, connected over loopback sockets through net::TcpTransport — the
@@ -39,6 +41,7 @@ struct CliOptions {
   uint64_t records = 50000;
   std::string algo = "canonical";
   bool skewed = false;
+  bool stats = false;
   net::TransportKind transport = net::TransportKind::kInProc;
   core::SortConfig config;
 };
@@ -76,6 +79,33 @@ PeOutcome RunOnePe(net::Comm& comm, const CliOptions& options) {
   return outcome;
 }
 
+/// --stats: per-phase cluster totals, including the peak receive-side
+/// network buffering (max over PEs) — the number the streaming exchanges
+/// keep at O(chunk x sources) instead of O(sub-step payload).
+void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
+  std::printf("%-18s  %10s  %12s  %12s  %14s\n", "phase", "wall_max_s",
+              "io_MiB", "net_out_MiB", "peak_netbuf_KiB");
+  for (int p = 0; p < static_cast<int>(core::Phase::kNumPhases); ++p) {
+    core::Phase phase = static_cast<core::Phase>(p);
+    double wall_max_s = 0;
+    uint64_t io_bytes = 0;
+    uint64_t net_bytes = 0;
+    uint64_t peak_buf = 0;
+    for (const core::SortReport& r : reports) {
+      const core::PhaseStats& s = r.Get(phase);
+      wall_max_s = std::max(wall_max_s, s.wall_s);
+      io_bytes += s.io.bytes();
+      net_bytes += s.net.bytes_sent;
+      peak_buf = std::max(peak_buf, s.net.recv_buffer_peak_bytes);
+    }
+    std::printf("%-18s  %10.3f  %12.1f  %12.1f  %14.1f\n",
+                core::PhaseName(phase), wall_max_s,
+                static_cast<double>(io_bytes) / (1 << 20),
+                static_cast<double>(net_bytes) / (1 << 20),
+                static_cast<double>(peak_buf) / 1024.0);
+  }
+}
+
 void PrintSummary(const CliOptions& options,
                   const std::vector<core::SortReport>& reports, bool ok,
                   double wall_s) {
@@ -96,6 +126,7 @@ void PrintSummary(const CliOptions& options,
   std::printf(
       "paper   : DEMSort GraySort 2009 = 564 GB/min on 195 nodes "
       "(2.89 GB/min/node)\n");
+  if (options.stats) PrintPhaseStats(reports);
 }
 
 /// Threads-in-one-process mode (the emulation default).
@@ -226,6 +257,7 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt("records-per-pe", 50000));
   options.algo = flags.GetString("algo", "canonical");
   options.skewed = flags.GetBool("skewed", false);
+  options.stats = flags.GetBool("stats", false);
   auto kind = net::ParseTransportKind(flags.GetString("transport", "inproc"));
   if (!kind.ok()) {
     std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());

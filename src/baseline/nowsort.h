@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <span>
 #include <vector>
 
 #include "core/block_io.h"
@@ -51,6 +52,9 @@ NowSortOutput<R> NowSort(core::PeContext& ctx, const core::SortConfig& config,
   using Less = typename core::RecordTraits<R>::Less;
   Less less;
   net::Comm& comm = *ctx.comm;
+  if (config.stream_chunk_bytes != 0) {
+    comm.set_stream_chunk_bytes(config.stream_chunk_bytes);
+  }
   io::BlockManager* bm = ctx.bm;
   const int P = comm.size();
   const size_t epb = config.ElementsPerBlock<R>();
@@ -156,11 +160,27 @@ NowSortOutput<R> NowSort(core::PeContext& ctx, const core::SortConfig& config,
         consumed += count;
         bm->Free(input.blocks[b]);
       }
-      auto received = comm.Alltoallv<R>(sends);
-      for (auto& part : received) {
-        pending.insert(pending.end(), part.begin(), part.end());
-        partition_elements += part.size();
-      }
+      // Streaming exchange: each source's records are appended to the
+      // pending run buffer as their chunks land, so no per-source payload
+      // is staged and classification of the next chunk overlaps the wire.
+      // (Arrival order across sources varies; the stable sort in
+      // spill_run only keys on the record, so the runs stay valid.)
+      comm.AlltoallvStream(
+          [&](int t) -> std::span<const uint8_t> {
+            return std::span<const uint8_t>(
+                reinterpret_cast<const uint8_t*>(sends[t].data()),
+                sends[t].size() * sizeof(R));
+          },
+          [&](int src, std::span<const uint8_t> chunk, bool last) {
+            (void)src;
+            (void)last;
+            DEMSORT_CHECK_EQ(chunk.size() % sizeof(R), 0u);
+            const R* records = reinterpret_cast<const R*>(chunk.data());
+            size_t n = chunk.size() / sizeof(R);
+            pending.insert(pending.end(), records, records + n);
+            partition_elements += n;
+          },
+          /*on_size=*/nullptr, comm.AlignedStreamChunkBytes(sizeof(R)));
       if (pending.size() >= run_elems) spill_run();
     }
     if (!pending.empty()) spill_run();

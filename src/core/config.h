@@ -39,6 +39,12 @@ struct SortConfig {
   /// Per-sub-step memory budget of the external all-to-all (§IV-C), bytes;
   /// 0 means memory_per_pe.
   size_t alltoall_budget = 0;
+  /// Chunk of the streaming exchanges (external all-to-all, window
+  /// redistribution): each destination's payload travels as bounded chunks
+  /// the receiver unpacks as they land, so receive-side buffering is
+  /// O(stream_chunk_bytes x sources) instead of O(sub-step payload).
+  /// 0 = net::Comm::kDefaultStreamChunkBytes.
+  size_t stream_chunk_bytes = 0;
   PrefetchMode prefetch = PrefetchMode::kPrediction;
   /// Prefetch buffer pool size in blocks; 0 = auto.
   size_t prefetch_buffers = 0;

@@ -18,13 +18,17 @@
 //  * piece blocks not referenced by the local extent are freed as soon as
 //    their last byte has been shipped.
 //
-// The exchange itself runs on the nonblocking transport layer: within a
-// sub-step, all receives are posted first, then each destination's frames
-// are packed (disk reads) and Isent immediately — so the network transfer
-// to destination t overlaps the disk reads for destination t+1 — and
-// incoming payloads are unpacked and written (async) as they are taken, so
-// receiving from the next source overlaps this source's disk writes. This
-// is the in-phase communication/I/O overlap the paper engineers for.
+// The exchange itself runs as a streaming collective (Comm::AlltoallvStream):
+// within a sub-step, each destination's frames are packed (disk reads) and
+// chunked onto the wire immediately — so the network transfer to
+// destination t overlaps the disk reads for destination t+1 — and the
+// receiver assembles frames chunk by chunk AS THEY LAND, bulk-copying each
+// contiguous span into the open (run, source) block and issuing async disk
+// writes mid-transfer. No per-source sub-step payload is ever materialized:
+// receive-side memory is O(stream chunk x active sources), and unpack +
+// disk writes overlap the remainder of the transfer. This is the in-phase
+// communication/I/O overlap the paper engineers for, minus the RP'
+// assembly copy of a staged payload.
 #ifndef DEMSORT_CORE_EXTERNAL_ALLTOALL_H_
 #define DEMSORT_CORE_EXTERNAL_ALLTOALL_H_
 
@@ -32,6 +36,7 @@
 #include <cstring>
 #include <deque>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/config.h"
@@ -64,14 +69,31 @@ struct A2AFrameHeader {
   uint32_t count;
 };
 
-/// Receiver-side assembly of one (run, source) stream into an Extent.
+/// Receiver-side assembly of one (run, source) stream into an Extent. The
+/// open block is filled byte-wise (streamed chunks split records and even
+/// frame headers at arbitrary offsets), so the fill level is tracked in
+/// bytes and the block's first record is extracted once its first
+/// sizeof(R) bytes have landed.
 template <typename R>
 struct ExtentAssembly {
   Extent<R> extent;
   AlignedBuffer open;
-  size_t open_fill = 0;
+  size_t open_bytes = 0;
+  bool need_first_record = true;
   bool started = false;
   std::vector<std::pair<io::Request, AlignedBuffer>> pending;
+};
+
+/// Per-source parse state of one sub-step's frame stream: a frame header
+/// or record may straddle chunk boundaries, so partial header bytes are
+/// carried here and the open frame's remaining record bytes steer the bulk
+/// copies.
+template <typename R>
+struct FrameCursor {
+  uint8_t header_buf[sizeof(A2AFrameHeader)];
+  size_t header_fill = 0;
+  uint64_t frame_bytes_left = 0;
+  ExtentAssembly<R>* open_assembly = nullptr;
 };
 
 }  // namespace internal
@@ -168,138 +190,154 @@ AllToAllResult<R> ExternalAllToAll(PeContext& ctx, const SortConfig& config,
     assembly[j].resize(P);
   }
 
-  // ---- sub-steps, each a request-based exchange on the transport layer.
+  // ---- sub-steps, each a streaming exchange on the transport layer.
+  const size_t block_payload_bytes = epb * sizeof(R);
   for (uint64_t s = 0; s < k; ++s) {
-    int tag = comm.AllocateCollectiveTag();
-
-    // Post all receives first: frames can land (and park in the mailbox)
-    // while this PE is still reading its own piece blocks off disk.
-    std::vector<net::RecvRequest> recvs(P);
-    for (int off = 1; off < P; ++off) {
-      int src = (me - off + P) % P;
-      recvs[src] = comm.Irecv(src, tag);
-    }
-
-    // Pack one destination at a time, run-major, in rank-rotated order, and
-    // put its frames on the wire immediately: the transfer to destination t
-    // rides alongside the disk reads for destination t+1.
-    std::vector<net::SendRequest> sends;
-    sends.reserve(P - 1);
-    {
-      // One cached block per run, persisting across destinations: within a
-      // run, consecutive destinations' ranges are position-adjacent, so the
-      // block straddling a destination boundary is still cached when the
-      // next destination's fragment starts — every piece block is read at
-      // most once per sub-step, same read volume as run-major packing.
-      // The cache is FIFO-bounded by the sub-step budget so its memory
-      // stays within the invariant the sub-stepping exists to enforce;
-      // runs beyond the bound fall back to at most one boundary re-read
-      // per destination (the regime where fragments ≪ block anyway).
-      const size_t cache_cap =
-          std::max<size_t>(1, static_cast<size_t>(budget / bs));
-      std::vector<AlignedBuffer> run_buf(num_runs);
-      std::vector<size_t> run_cached(num_runs, SIZE_MAX);
-      std::deque<size_t> resident;
-      auto read_elements = [&](const RunPiece<R>& piece, size_t j,
-                               uint64_t from, uint64_t to, R* dst) {
-        // [from, to) are run positions inside my piece.
-        for (uint64_t pos = from; pos < to;) {
-          uint64_t rel = pos - piece.global_start;
-          size_t bi = static_cast<size_t>(rel / epb);
-          if (bi != run_cached[j]) {
-            if (run_buf[j].data() == nullptr) {
-              if (resident.size() >= cache_cap) {
-                size_t evict = resident.front();
-                resident.pop_front();
-                run_buf[j] = std::move(run_buf[evict]);
-                run_cached[evict] = SIZE_MAX;
-              } else {
-                run_buf[j] = AlignedBuffer(bs);
-              }
-              resident.push_back(j);
+    // One cached block per run, persisting across destinations: within a
+    // run, consecutive destinations' ranges are position-adjacent, so the
+    // block straddling a destination boundary is still cached when the
+    // next destination's fragment starts — every piece block is read at
+    // most once per sub-step, same read volume as run-major packing.
+    // The cache is FIFO-bounded by the sub-step budget so its memory
+    // stays within the invariant the sub-stepping exists to enforce;
+    // runs beyond the bound fall back to at most one boundary re-read
+    // per destination (the regime where fragments ≪ block anyway).
+    const size_t cache_cap =
+        std::max<size_t>(1, static_cast<size_t>(budget / bs));
+    std::vector<AlignedBuffer> run_buf(num_runs);
+    std::vector<size_t> run_cached(num_runs, SIZE_MAX);
+    std::deque<size_t> resident;
+    auto read_elements = [&](const RunPiece<R>& piece, size_t j,
+                             uint64_t from, uint64_t to, R* dst) {
+      // [from, to) are run positions inside my piece.
+      for (uint64_t pos = from; pos < to;) {
+        uint64_t rel = pos - piece.global_start;
+        size_t bi = static_cast<size_t>(rel / epb);
+        if (bi != run_cached[j]) {
+          if (run_buf[j].data() == nullptr) {
+            if (resident.size() >= cache_cap) {
+              size_t evict = resident.front();
+              resident.pop_front();
+              run_buf[j] = std::move(run_buf[evict]);
+              run_cached[evict] = SIZE_MAX;
+            } else {
+              run_buf[j] = AlignedBuffer(bs);
             }
-            bm->ReadSync(piece.blocks[bi], run_buf[j].data());
-            run_cached[j] = bi;
+            resident.push_back(j);
           }
-          uint64_t in_block = rel % epb;
-          uint64_t take = std::min<uint64_t>(epb - in_block, to - pos);
-          std::memcpy(dst, run_buf[j].data() + in_block * sizeof(R),
-                      take * sizeof(R));
-          dst += take;
-          pos += take;
+          bm->ReadSync(piece.blocks[bi], run_buf[j].data());
+          run_cached[j] = bi;
         }
-      };
-      std::vector<uint8_t> outgoing;
-      for (int off = 1; off < P; ++off) {
-        int t = (me + off) % P;
-        outgoing.clear();
-        for (size_t j = 0; j < num_runs; ++j) {
-          const RunPiece<R>& piece = rf.runs.pieces[j];
-          auto [a, b] = send_range[j][t];
-          if (a >= b) continue;
-          uint64_t len = b - a;
-          uint64_t from = a + len * s / k;
-          uint64_t to = a + len * (s + 1) / k;
-          if (from >= to) continue;
-          Header header{static_cast<uint32_t>(j), from,
-                        static_cast<uint32_t>(to - from)};
-          size_t old = outgoing.size();
-          outgoing.resize(old + sizeof(header) + (to - from) * sizeof(R));
-          std::memcpy(outgoing.data() + old, &header, sizeof(header));
-          read_elements(piece, j, from, to,
-                        reinterpret_cast<R*>(outgoing.data() + old +
-                                             sizeof(header)));
-        }
-        // Isend copies the bytes out, so `outgoing` is reusable right away;
-        // an empty payload still travels (the receive is already posted).
-        sends.push_back(comm.Isend(t, tag, outgoing.data(), outgoing.size()));
+        uint64_t in_block = rel % epb;
+        uint64_t take = std::min<uint64_t>(epb - in_block, to - pos);
+        std::memcpy(dst, run_buf[j].data() + in_block * sizeof(R),
+                    take * sizeof(R));
+        dst += take;
+        pos += take;
       }
-    }
+    };
 
-    // Drain sources in rotated order, unpacking into per-(run, source)
-    // assemblies; full blocks go to disk asynchronously, so the next
-    // source's transfer overlaps this source's writes.
-    for (int off = 1; off < P; ++off) {
-      int src = (me - off + P) % P;
-      std::vector<uint8_t> data = recvs[src].Take();
-      size_t offset = 0;
-      while (offset < data.size()) {
-        Header header;
-        std::memcpy(&header, data.data() + offset, sizeof(header));
-        offset += sizeof(header);
-        auto& as = assembly[header.run][src];
-        if (!as.started) {
-          as.started = true;
-          as.extent.run = header.run;
-          as.extent.start_pos = header.start_pos;
-          as.open = AlignedBuffer(bs);
-        }
-        DEMSORT_CHECK_EQ(header.start_pos,
-                         as.extent.start_pos + as.extent.count)
-            << "non-contiguous all-to-all frames";
-        const R* records =
-            reinterpret_cast<const R*>(data.data() + offset);
-        offset += header.count * sizeof(R);
-        for (uint32_t i = 0; i < header.count; ++i) {
-          if (as.open_fill == 0) {
-            as.extent.block_first_records.push_back(records[i]);
-          }
-          std::memcpy(as.open.data() + as.open_fill * sizeof(R), &records[i],
-                      sizeof(R));
-          ++as.extent.count;
-          if (++as.open_fill == epb) {
-            io::BlockId id = bm->Allocate();
-            as.extent.blocks.push_back(id);
-            as.pending.emplace_back(bm->WriteAsync(id, as.open.data()),
-                                    std::move(as.open));
+    // Packs one destination, run-major, on demand: AlltoallvStream calls
+    // this in rank-rotated order and puts the frames on the wire in
+    // bounded chunks immediately, so the transfer to destination t rides
+    // alongside the disk reads for destination t+1. The local range is
+    // never packed — it became zero-copy extents above.
+    std::vector<uint8_t> outgoing;
+    auto provide = [&](int t) -> std::span<const uint8_t> {
+      outgoing.clear();
+      if (t == me) return {};
+      for (size_t j = 0; j < num_runs; ++j) {
+        const RunPiece<R>& piece = rf.runs.pieces[j];
+        auto [a, b] = send_range[j][t];
+        if (a >= b) continue;
+        uint64_t len = b - a;
+        uint64_t from = a + len * s / k;
+        uint64_t to = a + len * (s + 1) / k;
+        if (from >= to) continue;
+        Header header{static_cast<uint32_t>(j), from,
+                      static_cast<uint32_t>(to - from)};
+        size_t old = outgoing.size();
+        outgoing.resize(old + sizeof(header) + (to - from) * sizeof(R));
+        std::memcpy(outgoing.data() + old, &header, sizeof(header));
+        read_elements(piece, j, from, to,
+                      reinterpret_cast<R*>(outgoing.data() + old +
+                                           sizeof(header)));
+      }
+      return std::span<const uint8_t>(outgoing.data(), outgoing.size());
+    };
+
+    // Assembles frames chunk by chunk as they land: headers (which may
+    // straddle chunks) open the per-(run, source) extent, record bytes go
+    // into the open block in bulk contiguous spans, and full blocks are
+    // written to disk asynchronously mid-transfer — the next chunks of
+    // every source overlap this block's write.
+    std::vector<internal::FrameCursor<R>> cursors(P);
+    auto consume = [&](int src, std::span<const uint8_t> data, bool last) {
+      (void)last;
+      internal::FrameCursor<R>& cur = cursors[src];
+      const uint8_t* p = data.data();
+      size_t left = data.size();
+      while (left > 0) {
+        if (cur.frame_bytes_left == 0) {
+          size_t take = std::min(left, sizeof(Header) - cur.header_fill);
+          std::memcpy(cur.header_buf + cur.header_fill, p, take);
+          cur.header_fill += take;
+          p += take;
+          left -= take;
+          if (cur.header_fill < sizeof(Header)) break;
+          Header header;
+          std::memcpy(&header, cur.header_buf, sizeof(header));
+          cur.header_fill = 0;
+          auto& as = assembly[header.run][src];
+          if (!as.started) {
+            as.started = true;
+            as.extent.run = header.run;
+            as.extent.start_pos = header.start_pos;
             as.open = AlignedBuffer(bs);
-            as.open_fill = 0;
           }
+          DEMSORT_CHECK_EQ(header.start_pos,
+                           as.extent.start_pos + as.extent.count)
+              << "non-contiguous all-to-all frames";
+          as.extent.count += header.count;
+          cur.frame_bytes_left = uint64_t{header.count} * sizeof(R);
+          cur.open_assembly = &as;
+          continue;
+        }
+        auto& as = *cur.open_assembly;
+        size_t take = static_cast<size_t>(std::min<uint64_t>(
+            std::min<uint64_t>(left, cur.frame_bytes_left),
+            block_payload_bytes - as.open_bytes));
+        std::memcpy(as.open.data() + as.open_bytes, p, take);
+        as.open_bytes += take;
+        p += take;
+        left -= take;
+        cur.frame_bytes_left -= take;
+        if (as.need_first_record && as.open_bytes >= sizeof(R)) {
+          R first;
+          std::memcpy(&first, as.open.data(), sizeof(R));
+          as.extent.block_first_records.push_back(first);
+          as.need_first_record = false;
+        }
+        if (as.open_bytes == block_payload_bytes) {
+          io::BlockId id = bm->Allocate();
+          as.extent.blocks.push_back(id);
+          as.pending.emplace_back(bm->WriteAsync(id, as.open.data()),
+                                  std::move(as.open));
+          as.open = AlignedBuffer(bs);
+          as.open_bytes = 0;
+          as.need_first_record = true;
         }
       }
-      DEMSORT_CHECK_EQ(offset, data.size());
+    };
+
+    comm.AlltoallvStream(provide, consume, /*on_size=*/nullptr,
+                         config.stream_chunk_bytes);
+    for (int src = 0; src < P; ++src) {
+      DEMSORT_CHECK_EQ(cursors[src].header_fill, 0u)
+          << "truncated all-to-all frame header from " << src;
+      DEMSORT_CHECK_EQ(cursors[src].frame_bytes_left, 0u)
+          << "truncated all-to-all frame from " << src;
     }
-    for (net::SendRequest& sr : sends) sr.Wait();
     // Reap completed writes each sub-step to bound buffer memory.
     for (size_t j = 0; j < num_runs; ++j) {
       for (auto& as : assembly[j]) {
@@ -314,7 +352,7 @@ AllToAllResult<R> ExternalAllToAll(PeContext& ctx, const SortConfig& config,
     for (int src = 0; src < P; ++src) {
       auto& as = assembly[j][src];
       if (!as.started) continue;
-      if (as.open_fill > 0) {
+      if (as.open_bytes > 0) {
         io::BlockId id = bm->Allocate();
         as.extent.blocks.push_back(id);
         bm->WriteSync(id, as.open.data());

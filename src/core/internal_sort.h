@@ -184,34 +184,37 @@ InternalSortResult<R> InternalParallelSort(PeContext& ctx, std::vector<R> local,
   if (stats != nullptr) stats->selection_rounds += rounds;
 
   // split rows for ranks r_1..r_{P-1}; add r_0 = 0 and r_P = sizes.
-  // Request-based redistribution straight out of `local` (not
-  // Comm::Alltoallv: Isend copies each slice before returning, so no
-  // per-destination staging vectors are built, and `local` can be freed
-  // before the receives are drained). Sends honor the same in-flight
-  // window bound as the built-in collectives.
-  int tag = comm.AllocateCollectiveTag();
-  std::vector<net::RecvRequest> recvs(P);
-  for (int p = 0; p < P; ++p) recvs[p] = comm.Irecv(p, tag);
-  net::WindowedSends window(comm.send_window_bytes());
-  for (int off = 1; off <= P; ++off) {
-    int t = (me + off) % P;
-    uint64_t begin = t == 0 ? 0 : split[t - 1][me];
-    uint64_t end = t == P - 1 ? local.size() : split[t][me];
-    DEMSORT_CHECK_LE(begin, end);
-    size_t bytes = (end - begin) * sizeof(R);
-    window.Add(comm.Isend(t, tag, local.data() + begin, bytes), bytes);
-  }
+  // Streaming redistribution straight out of `local` (no per-destination
+  // staging vectors: the provider hands AlltoallvStream zero-copy slice
+  // spans, which it chunks onto the wire itself). Each source's slice is
+  // appended to its receive vector chunk by chunk AS IT LANDS — the copy
+  // out of the transport overlaps the rest of the transfer, and no full
+  // per-source payload is ever staged in the mailbox. The size callback
+  // pre-sizes each vector so the appends never reallocate.
+  std::vector<std::vector<R>> received(P);
+  comm.AlltoallvStream(
+      [&](int t) -> std::span<const uint8_t> {
+        uint64_t begin = t == 0 ? 0 : split[t - 1][me];
+        uint64_t end = t == P - 1 ? local.size() : split[t][me];
+        DEMSORT_CHECK_LE(begin, end);
+        return std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(local.data() + begin),
+            (end - begin) * sizeof(R));
+      },
+      [&](int src, std::span<const uint8_t> chunk, bool last) {
+        (void)last;
+        DEMSORT_CHECK_EQ(chunk.size() % sizeof(R), 0u);
+        const R* records = reinterpret_cast<const R*>(chunk.data());
+        received[src].insert(received[src].end(), records,
+                             records + chunk.size() / sizeof(R));
+      },
+      [&](int src, uint64_t bytes) {
+        DEMSORT_CHECK_EQ(bytes % sizeof(R), 0u);
+        received[src].reserve(bytes / sizeof(R));
+      },
+      comm.AlignedStreamChunkBytes(sizeof(R)));
   local.clear();
   local.shrink_to_fit();
-  std::vector<std::vector<R>> received(P);
-  for (int off = 1; off <= P; ++off) {
-    int p = (me - off % P + P) % P;
-    std::vector<uint8_t> bytes = recvs[p].Take();
-    DEMSORT_CHECK_EQ(bytes.size() % sizeof(R), 0u);
-    received[p].resize(bytes.size() / sizeof(R));
-    std::memcpy(received[p].data(), bytes.data(), bytes.size());
-  }
-  window.WaitAll();
 
   size_t piece_size = 0;
   std::vector<std::span<const R>> sources;

@@ -29,6 +29,8 @@ void PhaseStats::Accumulate(const PhaseStats& other) {
   net.bytes_sent += other.net.bytes_sent;
   net.messages_received += other.net.messages_received;
   net.bytes_received += other.net.bytes_received;
+  net.recv_buffer_peak_bytes =
+      std::max(net.recv_buffer_peak_bytes, other.net.recv_buffer_peak_bytes);
   elements_sorted += other.elements_sorted;
   elements_merged += other.elements_merged;
   merge_ways = std::max(merge_ways, other.merge_ways);
@@ -55,6 +57,9 @@ void PhaseCollector::Begin(Phase phase) {
   phase_start_ns_ = NowNanos();
   io_at_begin_ = bm_->TotalStats();
   busy_at_begin_s_ = MaxDiskBusyS();
+  // The receive-buffer peak is a gauge: restart it so the phase reports
+  // its own high-water mark, not an earlier phase's.
+  comm_->ResetRecvBufferPeak();
   net_at_begin_ = comm_->StatsSnapshot();
 }
 
@@ -70,6 +75,8 @@ void PhaseCollector::End(Phase phase) {
   s.net.messages_received +=
       now.messages_received - net_at_begin_.messages_received;
   s.net.bytes_received += now.bytes_received - net_at_begin_.bytes_received;
+  s.net.recv_buffer_peak_bytes =
+      std::max(s.net.recv_buffer_peak_bytes, now.recv_buffer_peak_bytes);
 }
 
 PhaseStats PhaseCollector::Total() const {

@@ -12,12 +12,19 @@ Fabric::Fabric(const Options& options)
     : num_pes_(options.num_pes),
       channel_cap_bytes_(options.channel_cap_bytes) {
   DEMSORT_CHECK_GT(num_pes_, 0);
-  channels_.resize(static_cast<size_t>(num_pes_) * num_pes_);
-  for (auto& ch : channels_) {
-    ch = std::make_unique<internal::TagChannel>(channel_cap_bytes_);
-  }
   stats_.resize(num_pes_);
   for (auto& s : stats_) s = std::make_unique<NetStats>();
+  channels_.resize(static_cast<size_t>(num_pes_) * num_pes_);
+  for (int src = 0; src < num_pes_; ++src) {
+    for (int dst = 0; dst < num_pes_; ++dst) {
+      // Self-channels are local memory traffic: exempt from the cap and
+      // from the receiver-side buffering gauge, like the volume counters.
+      NetStats* recv_stats = src == dst ? nullptr : stats_[dst].get();
+      channels_[static_cast<size_t>(src) * num_pes_ + dst] =
+          std::make_unique<internal::TagChannel>(channel_cap_bytes_,
+                                                 recv_stats);
+    }
+  }
 }
 
 SendRequest Fabric::Isend(int src, int dst, int tag, const void* data,

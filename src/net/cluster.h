@@ -79,7 +79,12 @@ class Cluster {
   struct Options {
     int num_pes = 1;
     /// Per-channel in-flight byte cap; 0 = unbounded. See Fabric::Options.
+    /// In-process fabric only.
     size_t channel_cap_bytes = 0;
+    /// TCP only (used by RunOverTransport with TransportKind::kTcp): the
+    /// per-peer mailbox byte watermark at which the reader thread pauses;
+    /// 0 = drain eagerly. See TcpTransport::Options::recv_watermark_bytes.
+    size_t tcp_recv_watermark_bytes = 0;
   };
 
   struct Result {

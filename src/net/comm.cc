@@ -1,6 +1,10 @@
 #include "net/comm.h"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <utility>
 
 namespace demsort::net {
 
@@ -176,6 +180,240 @@ std::vector<std::vector<uint8_t>> Comm::TreeAllgatherBytes(
     out[rank] = std::move(bytes);
   }
   return out;
+}
+
+namespace {
+
+/// Posted chunk receives per source: 2 double-buffers arrival against
+/// consumption while keeping untaken payloads at O(chunk) per source.
+constexpr uint64_t kStreamRecvLookahead = 2;
+
+/// Receiver-driven flow control: a sender may have at most this many
+/// un-credited chunks in flight per destination; the receiver returns one
+/// (empty) credit message per chunk it consumes. This is what bounds
+/// receive-side buffering at O(credit x chunk) per source on EVERY
+/// transport — on an uncapped fabric the transport itself would otherwise
+/// admit the whole payload no matter how finely it is chunked.
+constexpr uint64_t kStreamSendCredit = Comm::kStreamSendCreditChunks;
+
+/// Stall pacing for the streaming poll loops: spin-yield while stalls are
+/// short (credits normally turn around in microseconds), then nap briefly
+/// so a long peer-side stall (a consumer blocked on disk, a paused TCP
+/// reader) does not cost a full core — which would steal cycles from the
+/// very consumer being waited on when PEs share a machine.
+class PollBackoff {
+ public:
+  void Idle() {
+    if (++idle_polls_ <= kSpinPolls) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  void Reset() { idle_polls_ = 0; }
+
+ private:
+  static constexpr int kSpinPolls = 64;
+  int idle_polls_ = 0;
+};
+
+}  // namespace
+
+void Comm::AlltoallvStream(const StreamSendProvider& send_for,
+                           const ChunkConsumer& consumer,
+                           const StreamSizeCallback& on_size,
+                           size_t chunk_bytes) {
+  const uint64_t chunk = chunk_bytes != 0 ? chunk_bytes : stream_chunk_bytes_;
+  DEMSORT_CHECK_GT(chunk, 0u);
+
+  // Self delivery is zero-copy: the provider's span goes straight to the
+  // consumer in chunk-size pieces (local memory traffic, like self-sends).
+  auto deliver_self = [&] {
+    std::span<const uint8_t> mine = send_for(rank_);
+    if (on_size) on_size(rank_, mine.size());
+    if (mine.empty()) {
+      consumer(rank_, {}, true);
+      return;
+    }
+    for (uint64_t off = 0; off < mine.size(); off += chunk) {
+      uint64_t n = std::min<uint64_t>(chunk, mine.size() - off);
+      consumer(rank_, mine.subspan(off, n), off + n == mine.size());
+    }
+  };
+  if (size_ == 1) {
+    deliver_self();
+    return;
+  }
+
+  int tag = AllocateCollectiveTag();
+  int credit_tag = AllocateCollectiveTag();
+
+  // Per-source receive state. The size header (first message on the pair's
+  // FIFO) is posted for every source up front; chunk receives follow with
+  // a bounded lookahead once the size is known.
+  struct SourceState {
+    RecvRequest header;
+    std::deque<RecvRequest> inflight;
+    uint64_t total = 0;
+    uint64_t chunks_total = 0;
+    uint64_t chunks_posted = 0;
+    uint64_t chunks_taken = 0;
+    bool size_known = false;
+    bool finished = false;
+  };
+  std::vector<SourceState> sources(size_);
+  int open_sources = 0;
+  for (int off = 1; off < size_; ++off) {
+    int s = (rank_ - off + size_) % size_;
+    sources[s].header = Irecv(s, tag);
+    ++open_sources;
+  }
+
+  // Nonblocking send window: same bound as WindowedSends, but a stall
+  // polls the receive side instead of parking the thread, so consumption
+  // continues while this PE waits for send credit.
+  std::deque<std::pair<SendRequest, size_t>> outstanding;
+  size_t inflight_bytes = 0;
+  auto reclaim_sends = [&] {
+    while (!outstanding.empty() && outstanding.front().first.done()) {
+      inflight_bytes -= outstanding.front().second;
+      outstanding.pop_front();
+    }
+  };
+  auto track_send = [&](SendRequest sr, size_t n) {
+    inflight_bytes += n;
+    outstanding.emplace_back(std::move(sr), n);
+  };
+
+  // Consumes every receive that has completed, without blocking, and
+  // returns one flow-control credit per consumed chunk (skipping the final
+  // kStreamSendCredit chunks, whose credit the sender never waits for).
+  // Returns whether anything landed.
+  auto poll_sources = [&]() -> bool {
+    bool progress = false;
+    for (int off = 1; off < size_; ++off) {
+      int s = (rank_ - off + size_) % size_;
+      SourceState& st = sources[s];
+      if (st.finished) continue;
+      if (!st.size_known) {
+        if (!st.header.done()) continue;
+        std::vector<uint8_t> hdr = st.header.Take();
+        DEMSORT_CHECK_EQ(hdr.size(), sizeof(uint64_t));
+        std::memcpy(&st.total, hdr.data(), sizeof(st.total));
+        st.size_known = true;
+        progress = true;
+        if (on_size) on_size(s, st.total);
+        st.chunks_total = (st.total + chunk - 1) / chunk;
+        if (st.chunks_total == 0) {
+          consumer(s, {}, true);
+          st.finished = true;
+          --open_sources;
+          continue;
+        }
+        while (st.chunks_posted <
+               std::min(st.chunks_total, kStreamRecvLookahead)) {
+          st.inflight.push_back(Irecv(s, tag));
+          ++st.chunks_posted;
+        }
+      }
+      while (!st.finished && !st.inflight.empty() &&
+             st.inflight.front().done()) {
+        std::vector<uint8_t> data = st.inflight.front().Take();
+        st.inflight.pop_front();
+        if (st.chunks_posted < st.chunks_total) {
+          st.inflight.push_back(Irecv(s, tag));
+          ++st.chunks_posted;
+        }
+        ++st.chunks_taken;
+        bool last = st.chunks_taken == st.chunks_total;
+        uint64_t expect =
+            last ? st.total - (st.chunks_total - 1) * chunk : chunk;
+        DEMSORT_CHECK_EQ(data.size(), expect);
+        consumer(s, std::span<const uint8_t>(data.data(), data.size()), last);
+        if (st.chunks_taken + kStreamSendCredit <= st.chunks_total) {
+          track_send(Isend(s, credit_tag, nullptr, 0), 0);
+        }
+        progress = true;
+        if (last) {
+          st.finished = true;
+          --open_sources;
+        }
+      }
+    }
+    return progress;
+  };
+
+  auto admit_send = [&](size_t n) {
+    if (send_window_bytes_ == 0) return;
+    reclaim_sends();
+    PollBackoff backoff;
+    while (inflight_bytes + n > send_window_bytes_ && !outstanding.empty()) {
+      if (poll_sources()) {
+        backoff.Reset();
+      } else {
+        backoff.Idle();
+      }
+      reclaim_sends();
+    }
+  };
+
+  // Stream out, rank-rotated, consuming arrivals between chunks so the
+  // receive side never waits for the send loop to finish. Chunk i needs
+  // credit i - kStreamSendCredit before it may go: the receiver's consumed
+  // volume, not the transport's admission, is what paces this loop.
+  for (int off = 1; off < size_; ++off) {
+    int dst = (rank_ + off) % size_;
+    std::span<const uint8_t> payload = send_for(dst);
+    uint64_t total = payload.size();
+    admit_send(sizeof(total));
+    track_send(Isend(dst, tag, &total, sizeof(total)), sizeof(total));
+    uint64_t chunk_index = 0;
+    for (uint64_t o = 0; o < total; o += chunk, ++chunk_index) {
+      if (chunk_index >= kStreamSendCredit) {
+        RecvRequest credit = Irecv(dst, credit_tag);
+        PollBackoff backoff;
+        while (!credit.done()) {
+          if (poll_sources()) {
+            backoff.Reset();
+          } else if (open_sources == 0) {
+            // Nothing left to consume locally: block on the credit
+            // outright instead of polling an empty receive side.
+            credit.Wait();
+          } else {
+            backoff.Idle();
+          }
+        }
+        credit.Take();
+      }
+      size_t n = static_cast<size_t>(std::min<uint64_t>(chunk, total - o));
+      admit_send(n);
+      track_send(Isend(dst, tag, payload.data() + o, n), n);
+      poll_sources();
+    }
+  }
+  deliver_self();
+
+  // Drain the remaining sources. When polling stalls, block on the next
+  // expected message of the rotated-first unfinished source — its receive
+  // is posted (headers up front, chunk lookahead >= 1 while unfinished),
+  // and every other source keeps its own posted lookahead, so no sender
+  // can be stuck behind this wait.
+  while (open_sources > 0) {
+    if (poll_sources()) continue;
+    for (int off = 1; off < size_; ++off) {
+      int s = (rank_ - off + size_) % size_;
+      SourceState& st = sources[s];
+      if (st.finished) continue;
+      if (!st.size_known) {
+        st.header.Wait();
+      } else {
+        DEMSORT_CHECK(!st.inflight.empty());
+        st.inflight.front().Wait();
+      }
+      break;
+    }
+  }
+  for (auto& [sr, n] : outstanding) sr.Wait();
 }
 
 uint64_t Comm::ExclusiveScanSum(uint64_t local) {

@@ -22,9 +22,11 @@
 #ifndef DEMSORT_NET_COMM_H_
 #define DEMSORT_NET_COMM_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "net/message.h"
@@ -33,6 +35,19 @@
 #include "util/logging.h"
 
 namespace demsort::net {
+
+/// Which exchange schedule Alltoallv uses.
+enum class AlltoallAlgo {
+  /// Full mesh below the pairwise threshold, pairwise at or above it.
+  kAuto,
+  /// All receives posted, rank-rotated sends — minimal latency, but every
+  /// PE buffers up to P-1 payloads at once.
+  kFullMesh,
+  /// P-1 rounds of single-partner exchanges (XOR partners when P is a
+  /// power of two, rotation otherwise): one payload in flight per PE, the
+  /// schedule for large P.
+  kPairwise,
+};
 
 class Comm {
  public:
@@ -44,6 +59,21 @@ class Comm {
   /// enough to keep every link busy, small enough that a collective's
   /// buffering footprint stays bounded on capped/socket transports.
   static constexpr size_t kDefaultSendWindowBytes = size_t{64} << 20;
+
+  /// Default chunk of the streaming Alltoallv: large enough to amortize
+  /// per-message overhead, small enough that receive-side buffering
+  /// (chunk x active sources) stays far below a sub-step payload.
+  static constexpr size_t kDefaultStreamChunkBytes = size_t{256} << 10;
+
+  /// P at or above which AlltoallAlgo::kAuto switches the buffered
+  /// Alltoallv to the pairwise schedule.
+  static constexpr int kDefaultPairwiseThreshold = 32;
+
+  /// Un-credited chunks a streaming sender may have in flight per
+  /// destination; the receiver's consumption returns the credits, so
+  /// receive-side buffering is bounded by roughly this many chunks per
+  /// active source (see AlltoallvStream).
+  static constexpr uint64_t kStreamSendCreditChunks = 4;
 
   Comm(int rank, int size, Transport* transport)
       : rank_(rank), size_(size), transport_(transport) {}
@@ -176,15 +206,18 @@ class Comm {
   /// of payloads received, indexed by source PE. This is the primitive the
   /// paper re-implemented over MPI to escape the 31-bit count limit.
   ///
-  /// Built on the nonblocking layer: all receives are posted first, sends
-  /// go out in rank-rotated order (PE i starts with i+1, avoiding the
-  /// everyone-hits-PE-0 hotspot) with at most `send_window_bytes()` of
-  /// un-admitted data in flight, then payloads are drained in rotated order.
+  /// Built on the nonblocking layer. Full-mesh schedule: all receives are
+  /// posted first, sends go out in rank-rotated order (PE i starts with
+  /// i+1, avoiding the everyone-hits-PE-0 hotspot) with at most
+  /// `send_window_bytes()` of un-admitted data in flight, then payloads are
+  /// drained in rotated order. For large P (see set_alltoallv_algo) the
+  /// pairwise schedule replaces the full mesh.
   template <typename T>
   std::vector<std::vector<T>> Alltoallv(
       const std::vector<std::vector<T>>& sends) {
     static_assert(std::is_trivially_copyable_v<T>);
     DEMSORT_CHECK_EQ(sends.size(), static_cast<size_t>(size_));
+    if (UsePairwiseAlltoallv()) return AlltoallvPairwise(sends);
     int tag = AllocateCollectiveTag();
 
     std::vector<RecvRequest> recvs(size_);
@@ -209,6 +242,86 @@ class Comm {
     return received;
   }
 
+  /// Pairwise-exchange Alltoallv: P-1 rounds, one partner each. Every
+  /// (src, dst) channel carries exactly one message for the whole
+  /// collective and at most one payload per PE is in flight, so buffering
+  /// stays O(payload) instead of O(P x payload) — the schedule of choice
+  /// when P is large. XOR partnering (power-of-two P) pairs the rounds
+  /// perfectly; otherwise a rotation schedule is used.
+  template <typename T>
+  std::vector<std::vector<T>> AlltoallvPairwise(
+      const std::vector<std::vector<T>>& sends) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DEMSORT_CHECK_EQ(sends.size(), static_cast<size_t>(size_));
+    int tag = AllocateCollectiveTag();
+    std::vector<std::vector<T>> received(size_);
+    received[rank_] = sends[rank_];
+    const bool pow2 = (size_ & (size_ - 1)) == 0;
+    for (int r = 1; r < size_; ++r) {
+      int to = pow2 ? (rank_ ^ r) : (rank_ + r) % size_;
+      int from = pow2 ? to : (rank_ - r + size_) % size_;
+      RecvRequest rr = Irecv(from, tag);
+      SendRequest sr =
+          Isend(to, tag, sends[to].data(), sends[to].size() * sizeof(T));
+      std::vector<uint8_t> bytes = rr.Take();
+      DEMSORT_CHECK_EQ(bytes.size() % sizeof(T), 0u);
+      received[from].resize(bytes.size() / sizeof(T));
+      std::memcpy(received[from].data(), bytes.data(), bytes.size());
+      sr.Wait();
+    }
+    return received;
+  }
+
+  // ------------------------------------------------- streaming a2a ------
+  /// Consumes one landed chunk: `chunk` is valid only for the duration of
+  /// the call; `last` marks the final chunk from `src` (an empty payload
+  /// still yields exactly one call with an empty span and last == true).
+  using ChunkConsumer =
+      std::function<void(int src, std::span<const uint8_t> chunk, bool last)>;
+  /// Supplies the payload for one destination. Called exactly once per
+  /// destination, remote ranks first in rank-rotated order, self last; the
+  /// returned span must stay valid until the next provider call (remote
+  /// payloads are copied out chunk by chunk during the call; the self
+  /// payload is handed to the consumer zero-copy).
+  using StreamSendProvider = std::function<std::span<const uint8_t>(int dst)>;
+  /// Optional: told each source's total payload size as soon as its stream
+  /// header lands (lets consumers pre-size their assembly).
+  using StreamSizeCallback = std::function<void(int src, uint64_t bytes)>;
+
+  /// Streaming 64-bit all-to-all with receiver-driven flow control: each
+  /// destination's payload travels as a size header plus ceil(bytes/chunk)
+  /// bounded chunks, receives are posted chunk-granular, and `consumer`
+  /// runs as each chunk lands — so unpacking, disk writes, and the tail of
+  /// the network transfer overlap. The receiver returns one credit message
+  /// per consumed chunk and a sender keeps at most a fixed number of
+  /// un-credited chunks in flight per destination, so receive-side
+  /// buffering is O(credit x chunk) per active source ON EVERY TRANSPORT —
+  /// chunking alone would not bound it on an uncapped fabric — instead of
+  /// O(payload) per source. Chunks from one source arrive in order; chunks
+  /// from different sources interleave in arrival order. `chunk_bytes` == 0
+  /// uses stream_chunk_bytes(). SPMD discipline as for every collective.
+  void AlltoallvStream(const StreamSendProvider& send_for,
+                       const ChunkConsumer& consumer,
+                       const StreamSizeCallback& on_size = nullptr,
+                       size_t chunk_bytes = 0);
+
+  /// Convenience overload for payloads that already exist in memory.
+  void AlltoallvStream(const std::vector<std::span<const uint8_t>>& sends,
+                       const ChunkConsumer& consumer,
+                       const StreamSizeCallback& on_size = nullptr,
+                       size_t chunk_bytes = 0) {
+    DEMSORT_CHECK_EQ(sends.size(), static_cast<size_t>(size_));
+    AlltoallvStream([&](int dst) { return sends[dst]; }, consumer, on_size,
+                    chunk_bytes);
+  }
+
+  /// Streaming chunk size rounded down to a whole number of `elem_bytes`
+  /// records, so chunk boundaries never split a record of that size.
+  size_t AlignedStreamChunkBytes(size_t elem_bytes) const {
+    return std::max(elem_bytes,
+                    stream_chunk_bytes_ / elem_bytes * elem_bytes);
+  }
+
   /// Exclusive prefix sum over one uint64 per PE.
   uint64_t ExclusiveScanSum(uint64_t local);
 
@@ -227,6 +340,30 @@ class Comm {
   size_t send_window_bytes() const { return send_window_bytes_; }
   void set_send_window_bytes(size_t bytes) { send_window_bytes_ = bytes; }
 
+  /// Chunk of the streaming Alltoallv (must be > 0).
+  size_t stream_chunk_bytes() const { return stream_chunk_bytes_; }
+  void set_stream_chunk_bytes(size_t bytes) {
+    DEMSORT_CHECK_GT(bytes, 0u);
+    stream_chunk_bytes_ = bytes;
+  }
+
+  /// Exchange-schedule selection for the buffered Alltoallv.
+  AlltoallAlgo alltoallv_algo() const { return alltoallv_algo_; }
+  void set_alltoallv_algo(AlltoallAlgo algo) { alltoallv_algo_ = algo; }
+  int pairwise_threshold() const { return pairwise_threshold_; }
+  void set_pairwise_threshold(int pes) { pairwise_threshold_ = pes; }
+  bool UsePairwiseAlltoallv() const {
+    if (size_ <= 2) return false;  // schedules coincide
+    return alltoallv_algo_ == AlltoallAlgo::kPairwise ||
+           (alltoallv_algo_ == AlltoallAlgo::kAuto &&
+            size_ >= pairwise_threshold_);
+  }
+
+  /// Restarts this PE's receive-buffer peak gauge (per-phase measurements).
+  void ResetRecvBufferPeak() {
+    transport_->stats(rank_).ResetRecvBufferPeak();
+  }
+
   /// Per-PE communication counters (volume excludes self-sends, which are
   /// local memory traffic in a real cluster too... they are counted
   /// separately so analyses can include or exclude them).
@@ -243,6 +380,9 @@ class Comm {
   Transport* transport_;
   uint32_t collective_seq_ = 0;
   size_t send_window_bytes_ = kDefaultSendWindowBytes;
+  size_t stream_chunk_bytes_ = kDefaultStreamChunkBytes;
+  AlltoallAlgo alltoallv_algo_ = AlltoallAlgo::kAuto;
+  int pairwise_threshold_ = kDefaultPairwiseThreshold;
 };
 
 template <typename T>

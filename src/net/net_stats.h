@@ -1,7 +1,11 @@
 // Per-PE communication counters.
 //
 // The paper's central claim for CANONICALMERGESORT is "communication volume
-// N + o(N)"; these counters are how the benches and tests check it.
+// N + o(N)"; these counters are how the benches and tests check it. Beyond
+// the monotone volume counters, a receive-buffer gauge tracks how many
+// delivered-but-unconsumed payload bytes the transport is holding for this
+// PE — the number the streaming Alltoallv exists to keep at
+// O(chunk x active sources) instead of O(sub-step payload).
 #ifndef DEMSORT_NET_NET_STATS_H_
 #define DEMSORT_NET_NET_STATS_H_
 
@@ -15,12 +19,18 @@ struct NetStatsSnapshot {
   uint64_t bytes_sent = 0;
   uint64_t messages_received = 0;
   uint64_t bytes_received = 0;
+  /// Peak bytes held receiver-side by the transport (payloads delivered into
+  /// the mailbox or into completed-but-untaken receives, excluding
+  /// self-sends) since the last ResetRecvBufferPeak(). A gauge, not a
+  /// counter: snapshot subtraction keeps the minuend's value.
+  uint64_t recv_buffer_peak_bytes = 0;
 
   NetStatsSnapshot operator-(const NetStatsSnapshot& rhs) const {
     return NetStatsSnapshot{messages_sent - rhs.messages_sent,
                             bytes_sent - rhs.bytes_sent,
                             messages_received - rhs.messages_received,
-                            bytes_received - rhs.bytes_received};
+                            bytes_received - rhs.bytes_received,
+                            recv_buffer_peak_bytes};
   }
 };
 
@@ -35,12 +45,32 @@ class NetStats {
     bytes_received_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
+  /// A payload entered the transport's receiver-side buffering for this PE.
+  void AddRecvBuffered(uint64_t bytes) {
+    uint64_t now =
+        recv_buffered_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    uint64_t peak = recv_buffer_peak_.load(std::memory_order_relaxed);
+    while (now > peak && !recv_buffer_peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  /// A payload left the transport (taken by the application or dropped).
+  void SubRecvBuffered(uint64_t bytes) {
+    recv_buffered_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  /// Restarts the peak from the current level (per-phase measurements).
+  void ResetRecvBufferPeak() {
+    recv_buffer_peak_.store(recv_buffered_.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+  }
+
   NetStatsSnapshot Snapshot() const {
     return NetStatsSnapshot{
         messages_sent_.load(std::memory_order_relaxed),
         bytes_sent_.load(std::memory_order_relaxed),
         messages_received_.load(std::memory_order_relaxed),
-        bytes_received_.load(std::memory_order_relaxed)};
+        bytes_received_.load(std::memory_order_relaxed),
+        recv_buffer_peak_.load(std::memory_order_relaxed)};
   }
 
  private:
@@ -48,6 +78,8 @@ class NetStats {
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> messages_received_{0};
   std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> recv_buffered_{0};
+  std::atomic<uint64_t> recv_buffer_peak_{0};
 };
 
 }  // namespace demsort::net

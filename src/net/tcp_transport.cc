@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <exception>
@@ -74,19 +75,26 @@ void SetNoDelay(int fd) {
 
 }  // namespace
 
-TcpTransport::TcpTransport(int rank, int num_pes)
-    : rank_(rank), num_pes_(num_pes) {
+TcpTransport::TcpTransport(int rank, int num_pes, const Options& options)
+    : rank_(rank), num_pes_(num_pes), options_(options) {
   links_.resize(num_pes);
   for (auto& link : links_) link = std::make_unique<PeerLink>();
-  mailbox_ = std::vector<internal::TagChannel>(num_pes);
+  mailbox_.resize(num_pes);
+  for (int src = 0; src < num_pes; ++src) {
+    // Cap 0: socket + watermark provide the backpressure. The self mailbox
+    // is local memory traffic and stays off the buffering gauge.
+    mailbox_[src] = std::make_unique<internal::TagChannel>(
+        /*cap_bytes=*/0, src == rank ? nullptr : &stats_);
+  }
 }
 
 StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
-    int rank, int num_pes, int listen_fd, const std::vector<Peer>& peers) {
+    int rank, int num_pes, int listen_fd, const std::vector<Peer>& peers,
+    const Options& options) {
   DEMSORT_CHECK_EQ(peers.size(), static_cast<size_t>(num_pes));
   DEMSORT_CHECK_GE(rank, 0);
   DEMSORT_CHECK_LT(rank, num_pes);
-  std::unique_ptr<TcpTransport> t(new TcpTransport(rank, num_pes));
+  std::unique_ptr<TcpTransport> t(new TcpTransport(rank, num_pes, options));
   // Ownership of listen_fd includes the error paths: already-connected
   // link fds are reclaimed by ~TcpTransport, the listener here.
   auto fail = [listen_fd](Status status) {
@@ -178,6 +186,9 @@ TcpTransport::~TcpTransport() {
     if (link->fd >= 0) ::shutdown(link->fd, SHUT_WR);
   }
   // Phase 2: readers drain inbound data until the peer's own half-close.
+  // A reader parked at its watermark would never see that EOF; release the
+  // parks first (undrained mailboxes are a protocol bug, not a hang).
+  for (auto& ch : mailbox_) ch->CancelWaits();
   for (auto& link : links_) {
     if (link->reader.joinable()) link->reader.join();
     if (link->fd >= 0) ::close(link->fd);
@@ -221,9 +232,17 @@ void TcpTransport::ReaderLoop(int peer) {
       DEMSORT_CHECK_OK(ReadFull(link.fd, payload.data(), payload.size()));
     }
     stats_.RecordRecv(bytes);
-    // Cap 0: the socket itself is this transport's backpressure.
-    (void)mailbox_[peer].Offer(tag, std::move(payload),
-                               /*exempt_from_cap=*/true);
+    // Exempt from the (unused) cap: admission is decided here, by pausing
+    // the read loop itself at the watermark instead of parking payloads.
+    (void)mailbox_[peer]->Offer(tag, std::move(payload),
+                                /*exempt_from_cap=*/true);
+    size_t watermark = options_.recv_watermark_bytes;
+    if (watermark != 0 && mailbox_[peer]->queued_bytes() >= watermark) {
+      // Paused: the socket fills, the peer's writer blocks, and its Isend
+      // credit stalls until this PE's consumer drains to the low-water
+      // mark — backpressure that reflects the actual consumer.
+      mailbox_[peer]->WaitQueuedBelow(std::max<size_t>(1, watermark / 2));
+    }
   }
 }
 
@@ -235,8 +254,8 @@ SendRequest TcpTransport::Isend(int src, int dst, int tag, const void* data,
   std::vector<uint8_t> payload(static_cast<const uint8_t*>(data),
                                static_cast<const uint8_t*>(data) + bytes);
   if (dst == rank_) {
-    return mailbox_[rank_].Offer(tag, std::move(payload),
-                                 /*exempt_from_cap=*/true);
+    return mailbox_[rank_]->Offer(tag, std::move(payload),
+                                  /*exempt_from_cap=*/true);
   }
   stats_.RecordSend(bytes);
   auto state = std::make_shared<internal::SendState>();
@@ -254,7 +273,7 @@ RecvRequest TcpTransport::Irecv(int dst, int src, int tag) {
   DEMSORT_CHECK_EQ(dst, rank_) << "TcpTransport endpoint serves one rank";
   DEMSORT_CHECK_GE(src, 0);
   DEMSORT_CHECK_LT(src, num_pes_);
-  return mailbox_[src].PostRecv(tag);
+  return mailbox_[src]->PostRecv(tag);
 }
 
 NetStats& TcpTransport::stats(int pe) {
@@ -310,8 +329,8 @@ void TcpCluster::Run(int num_pes, const PeBody& body) {
   RunWithStats(num_pes, body);
 }
 
-std::vector<NetStatsSnapshot> TcpCluster::RunWithStats(int num_pes,
-                                                       const PeBody& body) {
+std::vector<NetStatsSnapshot> TcpCluster::RunWithStats(
+    int num_pes, const PeBody& body, const TcpTransport::Options& options) {
   auto listeners = CreateLoopbackListeners(num_pes);
   DEMSORT_CHECK_OK(listeners.status());
   std::vector<TcpTransport::Peer> peers = LoopbackPeers(listeners.value());
@@ -325,7 +344,7 @@ std::vector<NetStatsSnapshot> TcpCluster::RunWithStats(int num_pes,
     threads.emplace_back([&, pe, listen_fd] {
       try {
         auto transport =
-            TcpTransport::Connect(pe, num_pes, listen_fd, peers);
+            TcpTransport::Connect(pe, num_pes, listen_fd, peers, options);
         DEMSORT_CHECK_OK(transport.status());
         Comm comm(pe, num_pes, transport.value().get());
         body(comm);
@@ -350,8 +369,12 @@ void RunOverTransport(TransportKind kind, const Cluster::Options& options,
   if (kind == TransportKind::kTcp) {
     DEMSORT_CHECK_EQ(options.channel_cap_bytes, 0u)
         << "channel caps apply to the in-process fabric only";
-    TcpCluster::Run(options.num_pes, body);
+    TcpTransport::Options tcp_options;
+    tcp_options.recv_watermark_bytes = options.tcp_recv_watermark_bytes;
+    TcpCluster::RunWithStats(options.num_pes, body, tcp_options);
   } else {
+    DEMSORT_CHECK_EQ(options.tcp_recv_watermark_bytes, 0u)
+        << "the reader watermark applies to the tcp transport only";
     Cluster::Run(options, body);
   }
 }

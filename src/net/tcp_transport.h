@@ -9,7 +9,12 @@
 //
 // Threading per endpoint: one writer thread per peer draining a send queue
 // (Isend completes when the bytes hit the socket), and one reader thread
-// per peer delivering frames into the (source, tag)-matched mailbox.
+// per peer delivering frames into the (source, tag)-matched mailbox. With
+// Options::recv_watermark_bytes set, a reader pauses once its mailbox holds
+// that many undrained bytes and resumes at half the watermark — the socket
+// then backs up, the peer's writer blocks, and the peer's SendRequest
+// credit reflects the actual consumer (the same receiver-driven
+// backpressure a capped in-process Fabric provides).
 // Destruction performs a two-phase shutdown — drain and join writers, then
 // SHUT_WR, then read peers to EOF — so no data is lost and no peer sees a
 // reset, without requiring an application-level barrier before teardown.
@@ -49,13 +54,27 @@ class TcpTransport : public Transport {
     uint16_t port = 0;
   };
 
+  struct Options {
+    /// Pause the per-peer reader thread once its mailbox holds this many
+    /// delivered-but-unreceived bytes; resume at half. 0 = drain the socket
+    /// eagerly (the compatible default). A single frame larger than the
+    /// watermark is still delivered whole, so mailbox memory is bounded by
+    /// max(watermark, largest frame) per peer.
+    size_t recv_watermark_bytes = 0;
+  };
+
   /// Establishes the full mesh for `rank` of `num_pes`. `listen_fd` must
   /// already be bound and listening on peers[rank] (create it before
   /// launching the other ranks so connects never race the bind; ownership
   /// passes to the transport, which closes it once the mesh is up). Blocks
   /// until all peers are connected.
   static StatusOr<std::unique_ptr<TcpTransport>> Connect(
-      int rank, int num_pes, int listen_fd, const std::vector<Peer>& peers);
+      int rank, int num_pes, int listen_fd, const std::vector<Peer>& peers,
+      const Options& options);
+  static StatusOr<std::unique_ptr<TcpTransport>> Connect(
+      int rank, int num_pes, int listen_fd, const std::vector<Peer>& peers) {
+    return Connect(rank, num_pes, listen_fd, peers, Options());
+  }
 
   ~TcpTransport() override;
 
@@ -86,16 +105,17 @@ class TcpTransport : public Transport {
     std::thread reader;
   };
 
-  TcpTransport(int rank, int num_pes);
+  TcpTransport(int rank, int num_pes, const Options& options);
 
   void WriterLoop(int peer);
   void ReaderLoop(int peer);
 
   int rank_;
   int num_pes_;
+  Options options_;
   NetStats stats_;
   std::vector<std::unique_ptr<PeerLink>> links_;          // indexed by peer
-  std::vector<internal::TagChannel> mailbox_;             // indexed by source
+  std::vector<std::unique_ptr<internal::TagChannel>> mailbox_;  // by source
 };
 
 /// One pre-bound listener per rank. Creating all listeners before any rank
@@ -122,16 +142,18 @@ class TcpCluster {
   /// Blocks until all PEs finish. Rethrows the first PE exception.
   static void Run(int num_pes, const PeBody& body);
 
-  /// As Run, but also returns each PE's final traffic counters.
-  static std::vector<NetStatsSnapshot> RunWithStats(int num_pes,
-                                                    const PeBody& body);
+  /// As Run, but also returns each PE's final traffic counters. `options`
+  /// applies to every endpoint (e.g. the reader watermark).
+  static std::vector<NetStatsSnapshot> RunWithStats(
+      int num_pes, const PeBody& body,
+      const TcpTransport::Options& options = TcpTransport::Options());
 };
 
 /// The one transport-kind dispatch for harnesses (benches, tests, tools):
 /// kInProc → Cluster with `options`, kTcp → TcpCluster. Channel caps are a
-/// fabric concept (sockets provide their own backpressure), so a nonzero
-/// cap with kTcp aborts instead of being silently dropped. New backends
-/// get wired in here once and every harness follows.
+/// fabric concept and the reader watermark a socket concept, so setting
+/// the wrong one for the chosen kind aborts instead of being silently
+/// dropped. New backends get wired in here once and every harness follows.
 void RunOverTransport(TransportKind kind, const Cluster::Options& options,
                       const TcpCluster::PeBody& body);
 

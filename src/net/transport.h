@@ -10,11 +10,12 @@
 //    so the buffer is immediately reusable. The returned SendRequest
 //    completes when the bytes have been admitted into the channel (in
 //    process) or flushed to the socket (TCP) — completion is a SENDER-side
-//    credit, not delivery. Only the capped in-process fabric turns that
-//    credit into receiver-side backpressure; the TCP reader currently
-//    drains its socket eagerly, so TCP receiver memory is bounded by the
-//    posted-receive discipline of the callers (collectives post receives
-//    before sends; a watermark-paused reader is future work, see ROADMAP).
+//    credit, not delivery. Both backends can turn that credit into
+//    receiver-side backpressure: the capped in-process fabric parks sends
+//    at the channel cap, and the TCP reader thread pauses at a configurable
+//    mailbox byte watermark (TcpTransport::Options::recv_watermark_bytes),
+//    so the socket fills and the sender's credit stalls until the consumer
+//    actually drains.
 //  * Irecv posts a receive for (src, tag); the returned RecvRequest
 //    completes when a matching message arrives and carries the payload.
 //
@@ -55,6 +56,18 @@ struct RecvState {
   std::condition_variable cv;
   bool done = false;
   std::vector<uint8_t> payload;
+  /// Receiver-side buffering accounting: while a delivered payload sits in
+  /// this state un-taken, it still occupies transport memory. Set by the
+  /// channel at delivery; cleared when the payload is taken (or the state
+  /// dies untaken).
+  NetStats* buffered_stats = nullptr;
+  uint64_t buffered_bytes = 0;
+
+  ~RecvState() {
+    if (buffered_stats != nullptr) {
+      buffered_stats->SubRecvBuffered(buffered_bytes);
+    }
+  }
 };
 
 }  // namespace internal
@@ -118,6 +131,10 @@ class RecvRequest {
     if (state_ == nullptr) return {};
     std::unique_lock<std::mutex> lock(state_->mu);
     state_->cv.wait(lock, [&] { return state_->done; });
+    if (state_->buffered_stats != nullptr) {
+      state_->buffered_stats->SubRecvBuffered(state_->buffered_bytes);
+      state_->buffered_stats = nullptr;
+    }
     return std::move(state_->payload);
   }
 
@@ -222,11 +239,16 @@ namespace internal {
 ///
 /// Shared by both transports: Fabric uses Offer() as the send path itself
 /// (the cap is the backpressure), the TCP receiver thread uses Offer() to
-/// park already-transferred bytes (cap 0 — the socket provides the
-/// backpressure).
+/// park already-transferred bytes and pauses itself at a mailbox watermark
+/// (WaitQueuedBelow) — receiver-driven backpressure through the socket.
+///
+/// If `recv_stats` is given, every payload delivered through this channel
+/// is charged to the receiving PE's buffering gauge from delivery until
+/// the application takes it (see NetStats::AddRecvBuffered).
 class TagChannel {
  public:
-  explicit TagChannel(size_t cap_bytes = 0) : cap_bytes_(cap_bytes) {}
+  explicit TagChannel(size_t cap_bytes = 0, NetStats* recv_stats = nullptr)
+      : cap_bytes_(cap_bytes), recv_stats_(recv_stats) {}
 
   /// Delivers a message: hands it to the earliest posted receive with this
   /// tag, else queues it — unless a cap is set and the queue is full, in
@@ -263,9 +285,14 @@ class TagChannel {
       if (it->tag == tag) {
         size_t n = it->payload.size();
         auto state = std::make_shared<RecvState>();
+        // The payload stays charged to the buffering gauge (it moved from
+        // the queue into the un-taken state, not out of the transport).
+        state->buffered_stats = recv_stats_;
+        state->buffered_bytes = n;
         RecvRequest::Complete(state, std::move(it->payload));
         messages_.erase(it);
         queued_bytes_ -= n;
+        drain_cv_.notify_all();
         AdmitParkedLocked();
         return RecvRequest(state);
       }
@@ -283,6 +310,32 @@ class TagChannel {
   uint64_t max_queued_bytes() const {
     std::lock_guard<std::mutex> lock(mu_);
     return max_queued_bytes_;
+  }
+
+  /// Currently queued (delivered but unmatched) bytes.
+  size_t queued_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queued_bytes_;
+  }
+
+  /// Blocks until the queued bytes drop below `low_bytes` (or CancelWaits).
+  /// The TCP reader thread parks here at its mailbox watermark, so the
+  /// socket backs up and the sender's credit stalls — receiver-driven flow
+  /// control.
+  void WaitQueuedBelow(size_t low_bytes) {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] {
+      return canceled_ || queued_bytes_ < low_bytes;
+    });
+  }
+
+  /// Releases any WaitQueuedBelow() waiter permanently (teardown).
+  void CancelWaits() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      canceled_ = true;
+    }
+    drain_cv_.notify_all();
   }
 
  private:
@@ -304,20 +357,26 @@ class TagChannel {
   /// Matches a waiter or queues the message if the cap allows. Returns
   /// false when the message must park (payload left intact).
   bool TryDeliverLocked(int tag, std::vector<uint8_t>& payload, bool exempt) {
+    size_t n = payload.size();
     for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
       if (it->tag == tag) {
         auto state = it->state;
         waiters_.erase(it);
+        if (recv_stats_ != nullptr) {
+          recv_stats_->AddRecvBuffered(n);
+          state->buffered_stats = recv_stats_;
+          state->buffered_bytes = n;
+        }
         RecvRequest::Complete(state, std::move(payload));
         return true;
       }
     }
-    size_t n = payload.size();
     if (!exempt && cap_bytes_ != 0 && queued_bytes_ != 0 &&
         queued_bytes_ + n > cap_bytes_) {
       return false;  // full: an empty queue always admits (no livelock on
                      // messages larger than the cap)
     }
+    if (recv_stats_ != nullptr) recv_stats_->AddRecvBuffered(n);
     messages_.push_back(Message{tag, std::move(payload)});
     queued_bytes_ += n;
     if (queued_bytes_ > max_queued_bytes_) max_queued_bytes_ = queued_bytes_;
@@ -349,6 +408,9 @@ class TagChannel {
 
   mutable std::mutex mu_;
   size_t cap_bytes_;
+  NetStats* recv_stats_;
+  std::condition_variable drain_cv_;
+  bool canceled_ = false;
   std::deque<Message> messages_;
   std::deque<Waiter> waiters_;
   std::deque<Parked> parked_;

@@ -185,33 +185,62 @@ TEST(AllToAllTest, StaysWithinBudgetUnderChannelCap) {
   // (a) the exchange still completes and validates, and (b) the fabric
   // never had to buffer more than the budget per channel (+ one in-flight
   // message, the empty-queue admission).
+  //
+  // The streamed exchange is bounded much tighter than the budget: the
+  // receiver holds at most ~credit x chunk bytes per source (plus frame
+  // headers and sub-step planning messages), NOT a full per-source sub-step
+  // payload — asserted against the per-PE receive-buffer peak below.
   const int P = 4;
   const uint64_t n = 3000;
   SortConfig config = test::SmallConfig();
   config.randomize_blocks = false;
   config.alltoall_budget = 4 * config.block_size;  // forces several substeps
+  config.stream_chunk_bytes = 256;
 
   net::Cluster::Options options;
   options.num_pes = P;
   options.channel_cap_bytes = config.alltoall_budget;
   net::Cluster::Result result = test::RunPesWithOptions(
       options, config, [&](PeContext& ctx, const SortConfig& cfg) {
-        auto st = RunThroughAllToAll(ctx, cfg,
-                                     Distribution::kWorstCaseLocal, n);
-        EXPECT_GT(st.a2a.substeps, 1u);
+        auto gen = workload::GenerateKV16(ctx.bm,
+                                          Distribution::kWorstCaseLocal, n,
+                                          ctx.rank(), ctx.num_pes(),
+                                          cfg.seed);
+        auto rf = FormRuns<KV16>(ctx, cfg, gen.input);
+        ExternalSelector<KV16> selector(ctx, cfg, rf);
+        SplitterMatrix split = selector.SelectAllCollective(nullptr);
+        // Measure the exchange itself, not selection's allgathers.
+        ctx.comm->ResetRecvBufferPeak();
+        auto a2a = ExternalAllToAll<KV16>(ctx, cfg, rf, split);
+        EXPECT_GT(a2a.substeps, 1u);
         // Extents must still tile my output ranges exactly (verified
         // inside ExternalAllToAll via checks; spot-check coverage here).
         uint64_t covered = 0;
-        for (auto& per_run : st.a2a.extents_per_run) {
+        for (auto& per_run : a2a.extents_per_run) {
           for (auto& ext : per_run) covered += ext.count;
         }
-        EXPECT_EQ(covered, st.a2a.my_end_rank - st.a2a.my_begin_rank);
+        EXPECT_EQ(covered, a2a.my_end_rank - a2a.my_begin_rank);
       });
   // One sub-step ships at most `budget` bytes per (src, dst) pair, and the
   // receiver drains within the step — so fabric buffering stays within the
   // budget plus one admitted message.
   EXPECT_LE(result.max_channel_queued_bytes,
             config.alltoall_budget + config.alltoall_budget);
+  // The streamed receive-side bound: at most ~credit x chunk untaken per
+  // source, twice across a sub-step boundary (a finished peer may open its
+  // next sub-step's credit window while this PE still drains the last),
+  // plus lookahead/header slack — ~7.5 KiB total here, strictly below the
+  // (P-1) x budget = 12 KiB a staged exchange parks per sub-step, and far
+  // below the seed's cap-derived bound of 2 x budget per channel.
+  const uint64_t per_source =
+      (2 * net::Comm::kStreamSendCreditChunks + 2) *
+      config.stream_chunk_bytes;
+  EXPECT_LT(static_cast<uint64_t>(P - 1) * per_source,
+            static_cast<uint64_t>(P - 1) * config.alltoall_budget);
+  for (const auto& s : result.stats) {
+    EXPECT_LE(s.recv_buffer_peak_bytes,
+              static_cast<uint64_t>(P - 1) * per_source);
+  }
 }
 
 TEST(AllToAllTest, PartialBlockOverheadIsBounded) {
