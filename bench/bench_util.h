@@ -114,6 +114,26 @@ inline SortRunResult RunCanonical(int num_pes, workload::Distribution dist,
                                   uint64_t elements_per_pe,
                                   const RunOptions& run_options = {}) {
   SortRunResult result;
+  // Credit frames share the socket with data frames; a watermark below one
+  // credit window lets the reader pause with a credit queued behind data,
+  // throttling the streamed exchanges (see TcpTransport::Options).
+  if (run_options.transport == net::TransportKind::kTcp &&
+      run_options.tcp_recv_watermark_bytes != 0) {
+    size_t chunk = config.stream_chunk_bytes != 0
+                       ? config.stream_chunk_bytes
+                       : net::Comm::kDefaultStreamChunkBytes;
+    size_t credit_window = net::Comm::kStreamSendCreditChunks * chunk;
+    if (run_options.tcp_recv_watermark_bytes < credit_window) {
+      std::fprintf(stderr,
+                   "warning: --recv-watermark=%zu is below the streaming "
+                   "credit window (%zu bytes = %llu chunks x %zu); credit "
+                   "frames may stall behind paused reads\n",
+                   run_options.tcp_recv_watermark_bytes, credit_window,
+                   static_cast<unsigned long long>(
+                       net::Comm::kStreamSendCreditChunks),
+                   chunk);
+    }
+  }
   result.reports.resize(num_pes);
   std::mutex mu;
   bool all_valid = true;

@@ -52,9 +52,6 @@ NowSortOutput<R> NowSort(core::PeContext& ctx, const core::SortConfig& config,
   using Less = typename core::RecordTraits<R>::Less;
   Less less;
   net::Comm& comm = *ctx.comm;
-  if (config.stream_chunk_bytes != 0) {
-    comm.set_stream_chunk_bytes(config.stream_chunk_bytes);
-  }
   io::BlockManager* bm = ctx.bm;
   const int P = comm.size();
   const size_t epb = config.ElementsPerBlock<R>();
@@ -180,7 +177,9 @@ NowSortOutput<R> NowSort(core::PeContext& ctx, const core::SortConfig& config,
             pending.insert(pending.end(), records, records + n);
             partition_elements += n;
           },
-          /*on_size=*/nullptr, comm.AlignedStreamChunkBytes(sizeof(R)));
+          /*on_size=*/nullptr,
+          comm.AlignedStreamChunkBytes(sizeof(R),
+                                       config.stream_chunk_bytes));
       if (pending.size() >= run_elems) spill_run();
     }
     if (!pending.empty()) spill_run();

@@ -48,9 +48,6 @@ SortOutput<R> CanonicalMergeSort(PeContext& ctx, const SortConfig& config,
                                  const LocalInput& input) {
   DEMSORT_CHECK_OK(config.Validate());
   net::Comm& comm = *ctx.comm;
-  if (config.stream_chunk_bytes != 0) {
-    comm.set_stream_chunk_bytes(config.stream_chunk_bytes);
-  }
   PhaseCollector collector(ctx.comm, ctx.bm);
   SortOutput<R> out;
   out.report.rank = comm.rank();

@@ -150,9 +150,13 @@ std::vector<std::vector<uint64_t>> DistributedSelect(
 /// Sorts the union of all PEs' `local` vectors; afterwards PE i holds global
 /// ranks [i*total/P, (i+1)*total/P), sorted (ties resolved by the
 /// (key, source PE, position) total order, hence deterministically).
+/// `stream_chunk_bytes` overrides the redistribution's streaming chunk for
+/// this call (0 = the Comm default), so per-run SortConfig overrides never
+/// mutate the shared Comm.
 template <typename R>
 InternalSortResult<R> InternalParallelSort(PeContext& ctx, std::vector<R> local,
-                                           PhaseStats* stats = nullptr) {
+                                           PhaseStats* stats = nullptr,
+                                           size_t stream_chunk_bytes = 0) {
   using Less = typename RecordTraits<R>::Less;
   net::Comm& comm = *ctx.comm;
   const int P = comm.size();
@@ -212,7 +216,7 @@ InternalSortResult<R> InternalParallelSort(PeContext& ctx, std::vector<R> local,
         DEMSORT_CHECK_EQ(bytes % sizeof(R), 0u);
         received[src].reserve(bytes / sizeof(R));
       },
-      comm.AlignedStreamChunkBytes(sizeof(R)));
+      comm.AlignedStreamChunkBytes(sizeof(R), stream_chunk_bytes));
   local.clear();
   local.shrink_to_fit();
 

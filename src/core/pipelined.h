@@ -66,8 +66,8 @@ PipelinedResult<R> PipelinedSort(
     if (!someone_has_data) break;
     my_total += chunk.size();
 
-    InternalSortResult<R> sorted =
-        InternalParallelSort<R>(ctx, std::move(chunk));
+    InternalSortResult<R> sorted = InternalParallelSort<R>(
+        ctx, std::move(chunk), nullptr, config.stream_chunk_bytes);
 
     RunPiece<R> piece;
     piece.global_start = sorted.piece_start;

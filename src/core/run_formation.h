@@ -129,8 +129,8 @@ RunFormationResult<R> FormRuns(PeContext& ctx, const SortConfig& config,
       reads = issue_reads(run + 1);
     }
 
-    InternalSortResult<R> sorted =
-        InternalParallelSort<R>(ctx, std::move(data), stats);
+    InternalSortResult<R> sorted = InternalParallelSort<R>(
+        ctx, std::move(data), stats, config.stream_chunk_bytes);
 
     // Finish the previous run's writes before issuing new ones (two write
     // generations in flight at most — the paper's overlap scheme).

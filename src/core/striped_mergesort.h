@@ -251,8 +251,8 @@ StripedSortOutput<R> StripedMergeSort(PeContext& ctx, const SortConfig& config,
     std::vector<R> data = ReadBlocks<R>(bm, ids, counts);
     for (const io::BlockId& id : ids) bm->Free(id);
 
-    InternalSortResult<R> sorted =
-        InternalParallelSort<R>(ctx, std::move(data), rf_stats);
+    InternalSortResult<R> sorted = InternalParallelSort<R>(
+        ctx, std::move(data), rf_stats, config.stream_chunk_bytes);
 
     internal::StripeAppender<R> appender(ctx, epb);
     appender.ScatterCollective(sorted.piece, sorted.piece_start);
@@ -362,8 +362,8 @@ StripedSortOutput<R> StripedMergeSort(PeContext& ctx, const SortConfig& config,
     }
 
     // Cooperative sort of the outputtable bag, then scatter to the stripe.
-    InternalSortResult<R> sorted =
-        InternalParallelSort<R>(ctx, std::move(to_sort), merge_stats);
+    InternalSortResult<R> sorted = InternalParallelSort<R>(
+        ctx, std::move(to_sort), merge_stats, config.stream_chunk_bytes);
     output.ScatterCollective(sorted.piece, out_base + sorted.piece_start);
     out_base += sorted.total;
   }

@@ -188,12 +188,7 @@ namespace {
 /// consumption while keeping untaken payloads at O(chunk) per source.
 constexpr uint64_t kStreamRecvLookahead = 2;
 
-/// Receiver-driven flow control: a sender may have at most this many
-/// un-credited chunks in flight per destination; the receiver returns one
-/// (empty) credit message per chunk it consumes. This is what bounds
-/// receive-side buffering at O(credit x chunk) per source on EVERY
-/// transport — on an uncapped fabric the transport itself would otherwise
-/// admit the whole payload no matter how finely it is chunked.
+/// Short local name for the credit window (documented in comm.h).
 constexpr uint64_t kStreamSendCredit = Comm::kStreamSendCreditChunks;
 
 /// Stall pacing for the streaming poll loops: spin-yield while stalls are
@@ -393,13 +388,27 @@ void Comm::AlltoallvStream(const StreamSendProvider& send_for,
   }
   deliver_self();
 
-  // Drain the remaining sources. When polling stalls, block on the next
-  // expected message of the rotated-first unfinished source — its receive
-  // is posted (headers up front, chunk lookahead >= 1 while unfinished),
-  // and every other source keeps its own posted lookahead, so no sender
-  // can be stuck behind this wait.
+  // Drain the remaining sources. While more than one source is open, a
+  // stall only backs off and keeps polling ALL of them: hard-blocking on
+  // one source would stop consuming the others and therefore stop
+  // returning their flow-control credits, and a cycle of drain-blocked
+  // and credit-blocked PEs can close into a distributed deadlock (A waits
+  // on B's header while B's sender is credit-starved on C, ...). Only
+  // when a single source remains is a hard wait safe: every other sender
+  // has already received every credit it can wait for, the remaining
+  // source's next chunk needs no further credit from this PE (its credit
+  // was returned on consumption of chunk i - kStreamSendCredit), and this
+  // PE's own send loop — the only place it waits on credits — is done.
+  PollBackoff drain_backoff;
   while (open_sources > 0) {
-    if (poll_sources()) continue;
+    if (poll_sources()) {
+      drain_backoff.Reset();
+      continue;
+    }
+    if (open_sources > 1) {
+      drain_backoff.Idle();
+      continue;
+    }
     for (int off = 1; off < size_; ++off) {
       int s = (rank_ - off + size_) % size_;
       SourceState& st = sources[s];

@@ -39,9 +39,12 @@ namespace demsort::net {
 /// Which exchange schedule Alltoallv uses.
 enum class AlltoallAlgo {
   /// Full mesh below the pairwise threshold, pairwise at or above it.
+  /// Opt-in (the default is kFullMesh): the pairwise rounds serialize on
+  /// each partner and bypass the send-window discipline, a semantics
+  /// change callers should choose deliberately.
   kAuto,
   /// All receives posted, rank-rotated sends — minimal latency, but every
-  /// PE buffers up to P-1 payloads at once.
+  /// PE buffers up to P-1 payloads at once. The default.
   kFullMesh,
   /// P-1 rounds of single-partner exchanges (XOR partners when P is a
   /// power of two, rotation otherwise): one payload in flight per PE, the
@@ -65,8 +68,9 @@ class Comm {
   /// (chunk x active sources) stays far below a sub-step payload.
   static constexpr size_t kDefaultStreamChunkBytes = size_t{256} << 10;
 
-  /// P at or above which AlltoallAlgo::kAuto switches the buffered
-  /// Alltoallv to the pairwise schedule.
+  /// P at or above which AlltoallAlgo::kAuto (opt-in via
+  /// set_alltoallv_algo) switches the buffered Alltoallv to the pairwise
+  /// schedule.
   static constexpr int kDefaultPairwiseThreshold = 32;
 
   /// Un-credited chunks a streaming sender may have in flight per
@@ -210,8 +214,9 @@ class Comm {
   /// posted first, sends go out in rank-rotated order (PE i starts with
   /// i+1, avoiding the everyone-hits-PE-0 hotspot) with at most
   /// `send_window_bytes()` of un-admitted data in flight, then payloads are
-  /// drained in rotated order. For large P (see set_alltoallv_algo) the
-  /// pairwise schedule replaces the full mesh.
+  /// drained in rotated order. Full mesh is the default; opting in to
+  /// kPairwise or kAuto (set_alltoallv_algo) swaps in the pairwise
+  /// schedule — always, or at large P respectively.
   template <typename T>
   std::vector<std::vector<T>> Alltoallv(
       const std::vector<std::vector<T>>& sends) {
@@ -317,9 +322,13 @@ class Comm {
 
   /// Streaming chunk size rounded down to a whole number of `elem_bytes`
   /// records, so chunk boundaries never split a record of that size.
-  size_t AlignedStreamChunkBytes(size_t elem_bytes) const {
-    return std::max(elem_bytes,
-                    stream_chunk_bytes_ / elem_bytes * elem_bytes);
+  /// `chunk_bytes` == 0 uses stream_chunk_bytes(); callers with a per-run
+  /// override (SortConfig::stream_chunk_bytes) pass it here instead of
+  /// mutating the shared Comm.
+  size_t AlignedStreamChunkBytes(size_t elem_bytes,
+                                 size_t chunk_bytes = 0) const {
+    size_t chunk = chunk_bytes != 0 ? chunk_bytes : stream_chunk_bytes_;
+    return std::max(elem_bytes, chunk / elem_bytes * elem_bytes);
   }
 
   /// Exclusive prefix sum over one uint64 per PE.
@@ -381,7 +390,7 @@ class Comm {
   uint32_t collective_seq_ = 0;
   size_t send_window_bytes_ = kDefaultSendWindowBytes;
   size_t stream_chunk_bytes_ = kDefaultStreamChunkBytes;
-  AlltoallAlgo alltoallv_algo_ = AlltoallAlgo::kAuto;
+  AlltoallAlgo alltoallv_algo_ = AlltoallAlgo::kFullMesh;
   int pairwise_threshold_ = kDefaultPairwiseThreshold;
 };
 

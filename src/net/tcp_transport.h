@@ -60,6 +60,16 @@ class TcpTransport : public Transport {
     /// eagerly (the compatible default). A single frame larger than the
     /// watermark is still delivered whole, so mailbox memory is bounded by
     /// max(watermark, largest frame) per peer.
+    ///
+    /// Interaction with the streaming credit protocol: credit frames share
+    /// the per-peer socket with data frames, so a paused reader can leave a
+    /// credit queued behind undrained data. Keep the watermark at or above
+    /// one credit window — Comm::kStreamSendCreditChunks x the streaming
+    /// chunk size in use (1 MiB at the defaults) — so the window's worth of
+    /// data never trips the pause with a credit still in the socket. The
+    /// streaming poll loops tolerate smaller values (they keep consuming,
+    /// which drains the mailbox and resumes the reader), but every trapped
+    /// credit then costs a pause/resume round trip of throughput.
     size_t recv_watermark_bytes = 0;
   };
 

@@ -406,6 +406,42 @@ TEST_P(TransportParamTest, AlltoallvStreamBoundedUnderBackpressure) {
   }
 }
 
+TEST_P(TransportParamTest, AlltoallvStreamUnevenConsumersNoDeadlock) {
+  if (pes() < 4) GTEST_SKIP();
+  // Regression: the drain loop must keep consuming (and returning credits
+  // to) every unfinished source while several are open. Hard-blocking on
+  // one source there stops the credit flow to the others, and a cycle of
+  // drain-blocked and credit-blocked PEs can close into a distributed
+  // deadlock at P >= 4. Source-dependent consumer delays push PEs into
+  // the drain loop at very different times, payloads span several credit
+  // windows, and the backpressure bound sits BELOW one credit window so
+  // credit frames also ride behind paused/parked delivery.
+  constexpr size_t kChunk = 1024;
+  const size_t per_pair = Comm::kStreamSendCreditChunks * 4 * kChunk;
+  const int P = pes();
+  RunWithBackpressure(kind(), P, /*bound=*/2 * kChunk, [&](Comm& comm) {
+    std::vector<uint8_t> payload(per_pair);
+    for (size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<uint8_t>(comm.rank() * 3 + i);
+    }
+    std::vector<std::span<const uint8_t>> spans(
+        P, std::span<const uint8_t>(payload));
+    std::vector<uint64_t> got(P, 0);
+    const int slow_src = (comm.rank() + 1) % P;
+    comm.AlltoallvStream(
+        spans,
+        [&](int src, std::span<const uint8_t> data, bool last) {
+          (void)last;
+          if (src == slow_src) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          got[src] += data.size();
+        },
+        nullptr, kChunk);
+    for (int s = 0; s < P; ++s) EXPECT_EQ(got[s], per_pair);
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Transports, TransportParamTest,
     ::testing::Combine(::testing::Values(TransportKind::kInProc,
