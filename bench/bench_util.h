@@ -61,18 +61,23 @@ struct SortRunResult {
   uint64_t total_elements = 0;
 };
 
-/// How a bench run drives its PEs over the substrate.
+/// How a bench run drives its PEs over the substrate. A PE or link failure
+/// during a measured run propagates out of RunCanonical as net::CommError
+/// (rethrown by the cluster harness) — a bench never hangs on a dead PE;
+/// the TCP mesh setup is likewise bounded by the connect deadline.
 struct RunOptions {
   net::TransportKind transport = net::TransportKind::kInProc;
   /// In-process fabric only: per-channel in-flight byte cap (0 = off).
   size_t channel_cap_bytes = 0;
   /// TCP only: reader-thread mailbox watermark (0 = drain eagerly).
   size_t tcp_recv_watermark_bytes = 0;
+  /// TCP only: mesh-setup deadline (0 = wait forever).
+  int64_t tcp_connect_timeout_ms = 30'000;
 };
 
-/// Parses --transport / --channel-cap / --recv-watermark; a bad value
-/// aborts the bench (a silent inproc fallback would mislabel every
-/// measured number).
+/// Parses --transport / --channel-cap / --recv-watermark /
+/// --connect-timeout-ms; a bad value aborts the bench (a silent inproc
+/// fallback would mislabel every measured number).
 inline RunOptions RunOptionsFromFlags(const FlagParser& flags) {
   RunOptions options;
   auto kind = net::ParseTransportKind(flags.GetString("transport", "inproc"));
@@ -105,6 +110,13 @@ inline RunOptions RunOptionsFromFlags(const FlagParser& flags) {
                  "--recv-watermark applies to the tcp transport only\n");
     std::exit(2);
   }
+  int64_t connect_timeout =
+      flags.GetInt("connect-timeout-ms", options.tcp_connect_timeout_ms);
+  if (connect_timeout < 0) {
+    std::fprintf(stderr, "--connect-timeout-ms must be >= 0\n");
+    std::exit(2);
+  }
+  options.tcp_connect_timeout_ms = connect_timeout;
   return options;
 }
 
@@ -156,6 +168,8 @@ inline SortRunResult RunCanonical(int num_pes, workload::Distribution dist,
   cluster_options.channel_cap_bytes = run_options.channel_cap_bytes;
   cluster_options.tcp_recv_watermark_bytes =
       run_options.tcp_recv_watermark_bytes;
+  cluster_options.tcp_connect_timeout_ms =
+      run_options.tcp_connect_timeout_ms;
   net::RunOverTransport(run_options.transport, cluster_options, body);
   result.wall_ms = (NowNanos() - start) * 1e-6;
   result.valid = all_valid;

@@ -7,11 +7,20 @@
 //   ./sortbench_cli --transport=tcp --pes 4     # PEs as separate processes
 //   ./sortbench_cli --stats                     # per-phase I/O, net volume
 //                                               # and peak net buffering
+//   ./sortbench_cli --hosts=hosts.txt --rank=0  # one rank of a real
+//                                               # cross-machine mesh
 //
 // With --transport=tcp every PE is a forked OS process with its own address
 // space, connected over loopback sockets through net::TcpTransport — the
 // same sort code, nothing shared but messages. Reports and the validation
 // verdict travel to rank 0 over the same transport.
+//
+// With --hosts=FILE (one "host:port" per line, rank = line number) the
+// same command runs on every machine with its own --rank; the mesh
+// rendezvouses by connect-retry within --connect-timeout-ms, so start
+// order is arbitrary and a machine that never comes up is a clean error.
+// A peer dying mid-sort surfaces as net::CommError and exit code 3 on the
+// survivors — never a hang.
 #include <csignal>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -43,6 +52,12 @@ struct CliOptions {
   bool skewed = false;
   bool stats = false;
   net::TransportKind transport = net::TransportKind::kInProc;
+  /// Cross-machine mode: rank→host:port list (one per line) and this
+  /// process's rank. Every machine runs the same command with its own
+  /// --rank; the mesh rendezvouses by connect-retry within the deadline.
+  std::string hosts_file;
+  int rank = -1;
+  int64_t connect_timeout_ms = 30'000;
   core::SortConfig config;
 };
 
@@ -135,15 +150,106 @@ int RunInProc(const CliOptions& options) {
   std::vector<core::SortReport> reports(options.pes);
   bool ok = true;
   int64_t start = NowNanos();
-  net::Cluster::Run(options.pes, [&](net::Comm& comm) {
-    PeOutcome outcome = RunOnePe(comm, options);
-    std::lock_guard<std::mutex> lock(mu);
-    reports[comm.rank()] = outcome.report;
-    if (!outcome.ok) ok = false;
-  });
+  try {
+    net::Cluster::Run(options.pes, [&](net::Comm& comm) {
+      PeOutcome outcome = RunOnePe(comm, options);
+      std::lock_guard<std::mutex> lock(mu);
+      reports[comm.rank()] = outcome.report;
+      if (!outcome.ok) ok = false;
+    });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sort failed: %s\n", e.what());
+    return 3;
+  }
   double wall_s = (NowNanos() - start) * 1e-9;
   PrintSummary(options, reports, ok, wall_s);
   return ok ? 0 : 1;
+}
+
+int RunTcpRank(int rank, int num_pes, int listen_fd,
+               const std::vector<net::TcpTransport::Peer>& peers,
+               const CliOptions& options, int64_t start_nanos);
+
+/// Cross-machine mode (--hosts=FILE --rank=R): this process is one rank of
+/// a real multi-node mesh. Each machine runs the same command; the
+/// rendezvous is the hosts file (rank → host:port) plus connect-retry with
+/// a deadline, so start order does not matter and a machine that never
+/// shows up is a clean per-rank error within --connect-timeout-ms.
+int RunHosts(const CliOptions& options) {
+  auto peers = net::ParseHostsFile(options.hosts_file);
+  if (!peers.ok()) {
+    std::fprintf(stderr, "%s\n", peers.status().ToString().c_str());
+    return 2;
+  }
+  const int P = static_cast<int>(peers.value().size());
+  if (options.rank < 0 || options.rank >= P) {
+    std::fprintf(stderr,
+                 "--rank must be in [0, %d) to match %s (got %d)\n", P,
+                 options.hosts_file.c_str(), options.rank);
+    return 2;
+  }
+  auto listener =
+      net::CreateListener(peers.value()[options.rank].port, /*backlog=*/P);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "rank %d: %s\n", options.rank,
+                 listener.status().ToString().c_str());
+    return 2;
+  }
+  CliOptions opts = options;
+  opts.pes = P;  // the hosts file, not --pes, defines the cluster
+  return RunTcpRank(opts.rank, P, listener.value().fd, peers.value(), opts,
+                    NowNanos());
+}
+
+/// One TCP rank, start to finish: mesh setup, the sort, report gathering
+/// at rank 0, collective teardown. Shared by the forked loopback launcher
+/// and the --hosts cross-machine mode. A peer failure surfaces as
+/// net::CommError and exits with code 3 instead of hanging or aborting.
+int RunTcpRank(int rank, int num_pes, int listen_fd,
+               const std::vector<net::TcpTransport::Peer>& peers,
+               const CliOptions& options, int64_t start_nanos) {
+  net::TcpTransport::Options tcp_options;
+  tcp_options.connect_timeout_ms = options.connect_timeout_ms;
+  auto transport = net::TcpTransport::Connect(rank, num_pes, listen_fd,
+                                              peers, tcp_options);
+  if (!transport.ok()) {
+    std::fprintf(stderr, "rank %d: %s\n", rank,
+                 transport.status().ToString().c_str());
+    return 2;
+  }
+  try {
+    net::Comm comm(rank, num_pes, transport.value().get());
+    PeOutcome outcome = RunOnePe(comm, options);
+
+    constexpr int kReportTag = 1;
+    constexpr int kOkTag = 2;
+    int exit_code = 0;
+    if (rank == 0) {
+      std::vector<core::SortReport> reports(num_pes);
+      reports[0] = outcome.report;
+      bool ok = outcome.ok;
+      for (int p = 1; p < num_pes; ++p) {
+        reports[p] = comm.RecvValue<core::SortReport>(p, kReportTag);
+        // No short-circuit: every posted ok message must be drained.
+        uint8_t peer_ok = comm.RecvValue<uint8_t>(p, kOkTag);
+        ok = ok && peer_ok != 0;
+      }
+      double wall_s = (NowNanos() - start_nanos) * 1e-9;
+      PrintSummary(options, reports, ok, wall_s);
+      exit_code = ok ? 0 : 1;
+    } else {
+      comm.SendValue<core::SortReport>(0, kReportTag, outcome.report);
+      comm.SendValue<uint8_t>(0, kOkTag, outcome.ok ? 1 : 0);
+    }
+    comm.Barrier();  // no teardown while a peer still exchanges reports
+    return exit_code;
+  } catch (const net::CommError& e) {
+    // A peer died mid-sort: contain it — report, abort this endpoint so
+    // OUR peers' waits cancel too, and exit with a distinct code.
+    std::fprintf(stderr, "rank %d: peer failure: %s\n", rank, e.what());
+    transport.value()->KillPe(rank, e.status());
+    return 3;
+  }
 }
 
 /// Multi-process mode: fork one OS process per PE; the mesh runs over
@@ -180,39 +286,8 @@ int RunTcp(const CliOptions& options) {
       for (int other = 0; other < P; ++other) {
         if (other != rank) ::close(listeners.value()[other].fd);
       }
-      auto transport = net::TcpTransport::Connect(
-          rank, P, listeners.value()[rank].fd, peers);
-      if (!transport.ok()) {
-        std::fprintf(stderr, "rank %d: %s\n", rank,
-                     transport.status().ToString().c_str());
-        std::_Exit(2);
-      }
-      int exit_code = 0;
-      {
-        net::Comm comm(rank, P, transport.value().get());
-        PeOutcome outcome = RunOnePe(comm, options);
-
-        constexpr int kReportTag = 1;
-        constexpr int kOkTag = 2;
-        if (rank == 0) {
-          std::vector<core::SortReport> reports(P);
-          reports[0] = outcome.report;
-          bool ok = outcome.ok;
-          for (int p = 1; p < P; ++p) {
-            reports[p] = comm.RecvValue<core::SortReport>(p, kReportTag);
-            // No short-circuit: every posted ok message must be drained.
-            uint8_t peer_ok = comm.RecvValue<uint8_t>(p, kOkTag);
-            ok = ok && peer_ok != 0;
-          }
-          double wall_s = (NowNanos() - start) * 1e-9;
-          PrintSummary(options, reports, ok, wall_s);
-          exit_code = ok ? 0 : 1;
-        } else {
-          comm.SendValue<core::SortReport>(0, kReportTag, outcome.report);
-          comm.SendValue<uint8_t>(0, kOkTag, outcome.ok ? 1 : 0);
-        }
-        comm.Barrier();  // no teardown while a peer still exchanges reports
-      }
+      int exit_code = RunTcpRank(rank, P, listeners.value()[rank].fd, peers,
+                                 options, start);
       std::fflush(stdout);
       std::fflush(stderr);
       std::_Exit(exit_code);  // forked child: skip parent-inherited atexit
@@ -264,6 +339,27 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.transport = kind.value();
+  options.hosts_file = flags.GetString("hosts", "");
+  options.rank = static_cast<int>(flags.GetInt("rank", -1));
+  options.connect_timeout_ms =
+      flags.GetInt("connect-timeout-ms", options.connect_timeout_ms);
+  if (options.connect_timeout_ms < 0) {
+    // A negative value would read as 0 = "wait forever" downstream,
+    // silently disabling the bounded rendezvous.
+    std::fprintf(stderr, "--connect-timeout-ms must be >= 0 (0 = no "
+                         "deadline; got %lld)\n",
+                 static_cast<long long>(options.connect_timeout_ms));
+    return 2;
+  }
+  if (!options.hosts_file.empty()) {
+    // --hosts implies the socket transport; --rank is mandatory (each
+    // machine must know which line of the file it is).
+    options.transport = net::TransportKind::kTcp;
+    if (options.rank < 0) {
+      std::fprintf(stderr, "--hosts requires --rank=<this machine's rank>\n");
+      return 2;
+    }
+  }
 
   // Paper-like node geometry: large blocks so the spinning-disk model is
   // transfer-bound (the reason DEMSort ran with B = 8 MiB), 4 disks/node.
@@ -272,6 +368,14 @@ int main(int argc, char** argv) {
   options.config.disks_per_pe = 4;
   options.config.seed = static_cast<uint64_t>(flags.GetInt("seed", 2009));
 
+  if (!options.hosts_file.empty()) {
+    if (options.rank == 0) {
+      std::printf("gensort : %llu records/rank x 100 B, hosts file %s\n",
+                  static_cast<unsigned long long>(options.records),
+                  options.hosts_file.c_str());
+    }
+    return RunHosts(options);
+  }
   std::printf("gensort : %llu records x 100 B on %d PEs (%s keys, %s)\n",
               static_cast<unsigned long long>(options.records) * options.pes,
               options.pes, options.skewed ? "skewed" : "uniform",

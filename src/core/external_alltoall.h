@@ -35,6 +35,7 @@
 #include <algorithm>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -253,15 +254,25 @@ AllToAllResult<R> ExternalAllToAll(PeContext& ctx, const SortConfig& config,
         uint64_t len = b - a;
         uint64_t from = a + len * s / k;
         uint64_t to = a + len * (s + 1) / k;
-        if (from >= to) continue;
-        Header header{static_cast<uint32_t>(j), from,
-                      static_cast<uint32_t>(to - from)};
-        size_t old = outgoing.size();
-        outgoing.resize(old + sizeof(header) + (to - from) * sizeof(R));
-        std::memcpy(outgoing.data() + old, &header, sizeof(header));
-        read_elements(piece, j, from, to,
-                      reinterpret_cast<R*>(outgoing.data() + old +
-                                           sizeof(header)));
+        // Header::count is 32-bit; a fragment beyond 2^32-1 elements is
+        // split into consecutive frames (the receiver's contiguity check
+        // accepts them as one range) — the >2 GiB count-overflow class
+        // the paper re-implemented MPI_Alltoallv to escape must not creep
+        // back in at the frame layer.
+        constexpr uint64_t kMaxFrameCount =
+            std::numeric_limits<uint32_t>::max();
+        for (uint64_t f = from; f < to;) {
+          uint64_t n = std::min(to - f, kMaxFrameCount);
+          Header header{static_cast<uint32_t>(j), f,
+                        static_cast<uint32_t>(n)};
+          size_t old = outgoing.size();
+          outgoing.resize(old + sizeof(header) + n * sizeof(R));
+          std::memcpy(outgoing.data() + old, &header, sizeof(header));
+          read_elements(piece, j, f, f + n,
+                        reinterpret_cast<R*>(outgoing.data() + old +
+                                             sizeof(header)));
+          f += n;
+        }
       }
       return std::span<const uint8_t>(outgoing.data(), outgoing.size());
     };
@@ -321,6 +332,10 @@ AllToAllResult<R> ExternalAllToAll(PeContext& ctx, const SortConfig& config,
         if (as.open_bytes == block_payload_bytes) {
           io::BlockId id = bm->Allocate();
           as.extent.blocks.push_back(id);
+          // The block may be larger than its record payload (bs need not be
+          // a record multiple); zero the slack so no uninitialized buffer
+          // bytes reach disk.
+          std::memset(as.open.data() + as.open_bytes, 0, bs - as.open_bytes);
           as.pending.emplace_back(bm->WriteAsync(id, as.open.data()),
                                   std::move(as.open));
           as.open = AlignedBuffer(bs);
@@ -355,6 +370,10 @@ AllToAllResult<R> ExternalAllToAll(PeContext& ctx, const SortConfig& config,
       if (as.open_bytes > 0) {
         io::BlockId id = bm->Allocate();
         as.extent.blocks.push_back(id);
+        // Partial tail block: only open_bytes of it were filled from the
+        // stream — zero the rest so the on-disk image is deterministic
+        // (and MSAN-clean) instead of leaking uninitialized memory.
+        std::memset(as.open.data() + as.open_bytes, 0, bs - as.open_bytes);
         bm->WriteSync(id, as.open.data());
       }
       result.extents_per_run[j].push_back(std::move(as.extent));

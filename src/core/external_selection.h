@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -325,6 +326,12 @@ class ExternalSelector {
     DEMSORT_CHECK_LT(block_index, piece.blocks.size());
     size_t count =
         static_cast<size_t>(std::min<uint64_t>(epb_, piece.size - rel));
+    // FrameHeader::count is 32-bit; a block never holds that many records
+    // today, but a silent truncation here would corrupt the fetch protocol
+    // — the same overflow class the paper re-implemented MPI_Alltoallv to
+    // escape. Fail loudly at the pack site.
+    DEMSORT_CHECK_LE(count, uint64_t{std::numeric_limits<uint32_t>::max()})
+        << "selection frame count overflows the 32-bit header";
 
     AlignedBuffer buffer(ctx_.bm->block_size());
     ctx_.bm->ReadSync(piece.blocks[block_index], buffer.data());

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -149,6 +150,12 @@ RunFormationResult<R> FormRuns(PeContext& ctx, const SortConfig& config,
       write_buffers.emplace_back(bm->block_size());
       std::memcpy(write_buffers.back().data(), sorted.piece.data() + offset,
                   count * sizeof(R));
+      // Zero the tail (partial last block, plus any block-size slack when
+      // records do not divide the block): blocks are written full-size, and
+      // uninitialized buffer bytes on disk would make the image
+      // nondeterministic and trip MSAN.
+      std::memset(write_buffers.back().data() + count * sizeof(R), 0,
+                  bm->block_size() - count * sizeof(R));
       piece.block_first_records.push_back(sorted.piece[offset]);
       pending_writes.push_back(
           bm->WriteAsync(piece.blocks[b], write_buffers.back().data()));

@@ -1,6 +1,8 @@
 #include "net/cluster.h"
 
+#include <atomic>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "net/comm.h"
@@ -49,6 +51,24 @@ RecvRequest Fabric::Irecv(int dst, int src, int tag) {
   return channel(src, dst).PostRecv(tag);
 }
 
+void Fabric::KillPe(int pe, const Status& status) {
+  DEMSORT_CHECK_GE(pe, 0);
+  DEMSORT_CHECK_LT(pe, num_pes_);
+  for (int other = 0; other < num_pes_; ++other) {
+    channel(pe, other).Poison(status);
+    if (other != pe) channel(other, pe).Poison(status);
+  }
+}
+
+void Fabric::KillLink(int a, int b, const Status& status) {
+  DEMSORT_CHECK_GE(a, 0);
+  DEMSORT_CHECK_LT(a, num_pes_);
+  DEMSORT_CHECK_GE(b, 0);
+  DEMSORT_CHECK_LT(b, num_pes_);
+  channel(a, b).Poison(status);
+  if (a != b) channel(b, a).Poison(status);
+}
+
 void Fabric::Send(int src, int dst, int tag, const void* data, size_t bytes) {
   Isend(src, dst, tag, data, bytes).Wait();
 }
@@ -89,22 +109,37 @@ Cluster::Result Cluster::Run(const Options& options, const PeBody& body) {
   std::vector<std::thread> threads;
   threads.reserve(num_pes);
   std::vector<std::exception_ptr> errors(num_pes);
+  // First PE to fail: its exception is the root cause; the CommErrors the
+  // poison then provokes in the survivors are secondary.
+  std::atomic<int> first_failed{-1};
   for (int pe = 0; pe < num_pes; ++pe) {
     threads.emplace_back([&, pe] {
       try {
         Comm comm(pe, num_pes, &fabric);
         body(comm);
+      } catch (const std::exception& e) {
+        errors[pe] = std::current_exception();
+        int expect = -1;
+        first_failed.compare_exchange_strong(expect, pe);
+        // Cancel the peers' waits BEFORE this thread exits: otherwise they
+        // block forever on messages this PE will never send and join()
+        // below deadlocks without ever rethrowing the real error.
+        fabric.KillPe(pe, Status::Internal("PE " + std::to_string(pe) +
+                                           " failed: " + e.what()));
       } catch (...) {
         errors[pe] = std::current_exception();
+        int expect = -1;
+        first_failed.compare_exchange_strong(expect, pe);
+        fabric.KillPe(pe, Status::Internal("PE " + std::to_string(pe) +
+                                           " failed"));
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (int pe = 0; pe < num_pes; ++pe) {
-    if (errors[pe]) {
-      DEMSORT_LOG(kError) << "PE " << pe << " failed; rethrowing";
-      std::rethrow_exception(errors[pe]);
-    }
+  int failed = first_failed.load();
+  if (failed >= 0) {
+    DEMSORT_LOG(kError) << "PE " << failed << " failed first; rethrowing";
+    std::rethrow_exception(errors[failed]);
   }
   Result result;
   result.stats.reserve(num_pes);

@@ -47,6 +47,16 @@ class Fabric : public Transport {
   SendRequest Isend(int src, int dst, int tag, const void* data,
                     size_t bytes) override;
   RecvRequest Irecv(int dst, int src, int tag) override;
+
+  /// Poisons every channel from or to `pe`: peers' posted and future
+  /// receives from it fail with CommError(status), sends to it fail, and
+  /// parked (capped) sends are released with the error. Called by
+  /// Cluster::Run when a PE body throws — the survivors' waits become
+  /// errors instead of a join() deadlock — and by net::FaultTransport.
+  void KillPe(int pe, const Status& status) override;
+  /// Poisons both directions of the (a, b) channel pair only.
+  void KillLink(int a, int b, const Status& status) override;
+
   NetStats& stats(int pe) override { return *stats_[pe]; }
 
   /// Blocking conveniences (Isend admission wait / Irecv payload wait).
@@ -69,9 +79,13 @@ class Fabric : public Transport {
   std::vector<std::unique_ptr<NetStats>> stats_;
 };
 
-/// Runs `body(comm)` on P PE threads and joins them. If any PE throws or
-/// aborts on a failed check, the whole process reports it (fail fast). The
-/// `body` must follow SPMD discipline for collectives.
+/// Runs `body(comm)` on P PE threads and joins them. A PE that throws
+/// poisons its fabric channels first (Fabric::KillPe), so peers blocked on
+/// it fail with net::CommError instead of deadlocking the join; Run then
+/// rethrows the FIRST PE's exception — the root cause, not the secondary
+/// CommErrors it provoked. A failed DEMSORT_CHECK still aborts the whole
+/// process (logic errors are not containable). The `body` must follow SPMD
+/// discipline for collectives.
 class Cluster {
  public:
   using PeBody = std::function<void(Comm&)>;
@@ -85,6 +99,9 @@ class Cluster {
     /// per-peer mailbox byte watermark at which the reader thread pauses;
     /// 0 = drain eagerly. See TcpTransport::Options::recv_watermark_bytes.
     size_t tcp_recv_watermark_bytes = 0;
+    /// TCP only: mesh-setup deadline, forwarded to
+    /// TcpTransport::Options::connect_timeout_ms (0 = wait forever).
+    int64_t tcp_connect_timeout_ms = 30'000;
   };
 
   struct Result {

@@ -24,7 +24,10 @@ void Comm::Barrier() {
   int tag = AllocateCollectiveTag();
   for (int step = 1; step < size_; step <<= 1) {
     int to = (rank_ + step) % size_;
-    int from = (rank_ - step % size_ + size_) % size_;
+    // step < size_ here, so (rank_ - step) needs only one +size_ to stay
+    // non-negative; reducing step first would be a no-op that reads as if
+    // it mattered.
+    int from = (rank_ - step + size_) % size_;
     RecvRequest rr = Irecv(from, tag);
     uint8_t token = 1;
     Isend(to, tag, &token, 1).Wait();

@@ -19,6 +19,13 @@
 //
 // Unlike MPI's int counts (the paper had to re-implement MPI_Alltoallv to
 // move >2 GiB), all sizes here are 64-bit native.
+//
+// Failure semantics: a peer or link failure fails the affected requests at
+// the transport layer, and every blocking Comm operation (Send/Recv, the
+// collectives, the streaming exchange) surfaces it by throwing
+// net::CommError — the sort on a surviving PE unwinds with a per-rank
+// error instead of hanging or aborting the process. See the README's
+// "Failure model" section.
 #ifndef DEMSORT_NET_COMM_H_
 #define DEMSORT_NET_COMM_H_
 
@@ -237,7 +244,10 @@ class Comm {
 
     std::vector<std::vector<T>> received(size_);
     for (int off = 1; off <= size_; ++off) {
-      int p = (rank_ - off % size_ + size_) % size_;
+      // off runs up to size_ inclusive (the self payload), so the index
+      // must be (rank_ - off) mod size_ — off is NOT reduced first, which
+      // would only be correct while off < size_.
+      int p = (rank_ - off + size_) % size_;
       std::vector<uint8_t> bytes = recvs[p].Take();
       DEMSORT_CHECK_EQ(bytes.size() % sizeof(T), 0u);
       received[p].resize(bytes.size() / sizeof(T));
@@ -334,13 +344,23 @@ class Comm {
   /// Exclusive prefix sum over one uint64 per PE.
   uint64_t ExclusiveScanSum(uint64_t local);
 
+  /// Collective tags live in [kCollectiveTagBase, kCollectiveTagBase +
+  /// kCollectiveTagSpace); silently wrapping within that window would let a
+  /// new collective alias a live exchange from 2^23 collectives ago, so
+  /// exhaustion fails loudly instead.
+  static constexpr uint32_t kCollectiveTagSpace = 1u << 23;
+
   /// Reserves a fresh collective tag. Public so phase implementations can
   /// run their own request-based exchanges (external all-to-all, selection
   /// fetch rounds) under SPMD discipline without colliding with the
   /// built-in collectives.
   int AllocateCollectiveTag() {
     // SPMD discipline keeps per-PE counters aligned across the cluster.
-    int tag = kCollectiveTagBase + (collective_seq_ & 0x7fffff);
+    DEMSORT_CHECK_LT(collective_seq_, kCollectiveTagSpace)
+        << "collective tag space exhausted after 2^23 collectives; widen "
+           "kCollectiveTagSpace (tags are plain ints) before reuse can "
+           "alias a live exchange";
+    int tag = kCollectiveTagBase + static_cast<int>(collective_seq_);
     ++collective_seq_;
     return tag;
   }

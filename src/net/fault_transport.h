@@ -1,0 +1,168 @@
+// FaultTransport: deterministic fault injection at the transport seam.
+//
+// Wraps any net::Transport and kills a PE (or severs one link) when a
+// chosen operation count is reached, exercising exactly the failure paths
+// a real dead process or unplugged cable would: the victim's own call
+// throws net::CommError (its SPMD body unwinds as if the process died),
+// the underlying transport's KillPe/KillLink poisons the affected
+// channels, and every surviving PE's pending or future Wait/Take on the
+// victim raises CommError — no hang, no abort. Because the trigger counts
+// only the victim's own operations (issued from the victim's single
+// application thread), a given (victim, fail_at_op) pair reproduces the
+// same failure point on every run, on every backend.
+//
+// Usage:
+//  * In-process fabric: one FaultTransport wraps the shared Fabric and
+//    serves all PEs.
+//  * TCP: each rank wraps its own endpoint; the wrappers share one
+//    FaultInjector (the loopback thread harness) or simply give the
+//    victim's rank its own injector (separate processes) — only the
+//    victim's wrapper ever fires.
+#ifndef DEMSORT_NET_FAULT_TRANSPORT_H_
+#define DEMSORT_NET_FAULT_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/transport.h"
+#include "util/logging.h"
+
+namespace demsort::net {
+
+/// The shared trigger: counts the victim's transport operations (Isend and
+/// Irecv alike) and fires exactly once at the configured count.
+class FaultInjector {
+ public:
+  struct Spec {
+    /// PE-failure mode: this PE "dies" at its fail_at_op-th operation.
+    /// Negative = no PE failure.
+    int victim_pe = -1;
+    /// Link-failure mode: the (link_src → link_dst) link is severed (both
+    /// directions) when link_src's fail_at_op-th send on it is issued.
+    /// Negative = no link failure. Mutually exclusive with victim_pe.
+    int link_src = -1;
+    int link_dst = -1;
+    /// 1-based operation count that triggers the fault.
+    uint64_t fail_at_op = 1;
+    /// Human-readable tag carried into every resulting CommError.
+    std::string reason = "injected fault";
+  };
+
+  /// Deterministically derives a PE failure from a seed: victim =
+  /// h(seed) mod P, fail_at_op in [1, max_op] — a cheap way for a smoke
+  /// sweep to cover many failure points without enumerating them.
+  static Spec PeFailureFromSeed(uint64_t seed, int num_pes,
+                                uint64_t max_op = 64) {
+    DEMSORT_CHECK_GT(num_pes, 0);
+    DEMSORT_CHECK_GT(max_op, 0u);
+    // splitmix64: decorrelates consecutive seeds.
+    uint64_t h = seed + 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    Spec spec;
+    spec.victim_pe = static_cast<int>(h % static_cast<uint64_t>(num_pes));
+    spec.fail_at_op = 1 + (h >> 32) % max_op;
+    spec.reason = "injected fault (seed " + std::to_string(seed) + ")";
+    return spec;
+  }
+
+  explicit FaultInjector(Spec spec) : spec_(std::move(spec)) {
+    DEMSORT_CHECK(spec_.victim_pe < 0 || spec_.link_src < 0)
+        << "configure a PE failure or a link failure, not both";
+    DEMSORT_CHECK_GT(spec_.fail_at_op, 0u);
+  }
+
+  const Spec& spec() const { return spec_; }
+
+  /// Counts one operation of `pe`; returns true exactly once, on the
+  /// operation that should observe the fault.
+  bool CountPeOp(int pe) {
+    if (pe != spec_.victim_pe) return false;
+    return ops_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+           spec_.fail_at_op;
+  }
+
+  /// Counts one (src → dst) message; true exactly once at the trigger.
+  bool CountLinkMessage(int src, int dst) {
+    if (src != spec_.link_src || dst != spec_.link_dst) return false;
+    return ops_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+           spec_.fail_at_op;
+  }
+
+  Status FaultStatus() const {
+    if (spec_.victim_pe >= 0) {
+      return Status::IoError(spec_.reason + ": PE " +
+                             std::to_string(spec_.victim_pe) + " killed at op " +
+                             std::to_string(spec_.fail_at_op));
+    }
+    return Status::IoError(spec_.reason + ": link " +
+                           std::to_string(spec_.link_src) + "->" +
+                           std::to_string(spec_.link_dst) +
+                           " severed at message " +
+                           std::to_string(spec_.fail_at_op));
+  }
+
+ private:
+  Spec spec_;
+  std::atomic<uint64_t> ops_{0};
+};
+
+/// The wrapping Transport. Pass-through except at the trigger:
+///  * PE failure — the base transport's KillPe(victim) poisons every
+///    channel touching the victim, then the victim's own call throws
+///    CommError (it never issues the operation, like a process that died
+///    between two MPI calls).
+///  * Link failure — the base's KillLink severs the pair, then the
+///    triggering Isend proceeds and fails like any send on a dead link.
+class FaultTransport : public Transport {
+ public:
+  FaultTransport(Transport* base, std::shared_ptr<FaultInjector> injector)
+      : base_(base), injector_(std::move(injector)) {
+    DEMSORT_CHECK(base_ != nullptr);
+    DEMSORT_CHECK(injector_ != nullptr);
+  }
+
+  int num_pes() const override { return base_->num_pes(); }
+
+  SendRequest Isend(int src, int dst, int tag, const void* data,
+                    size_t bytes) override {
+    MaybeKillPe(src);
+    if (injector_->CountLinkMessage(src, dst)) {
+      base_->KillLink(src, dst, injector_->FaultStatus());
+    }
+    return base_->Isend(src, dst, tag, data, bytes);
+  }
+
+  RecvRequest Irecv(int dst, int src, int tag) override {
+    MaybeKillPe(dst);
+    return base_->Irecv(dst, src, tag);
+  }
+
+  void KillPe(int pe, const Status& status) override {
+    base_->KillPe(pe, status);
+  }
+  void KillLink(int a, int b, const Status& status) override {
+    base_->KillLink(a, b, status);
+  }
+
+  NetStats& stats(int pe) override { return base_->stats(pe); }
+
+ private:
+  void MaybeKillPe(int pe) {
+    if (!injector_->CountPeOp(pe)) return;
+    Status status = injector_->FaultStatus();
+    base_->KillPe(pe, status);
+    throw CommError(status);
+  }
+
+  Transport* base_;
+  std::shared_ptr<FaultInjector> injector_;
+};
+
+}  // namespace demsort::net
+
+#endif  // DEMSORT_NET_FAULT_TRANSPORT_H_

@@ -23,11 +23,17 @@
 // ends at the peer's half-close). Destroy all endpoints of a mesh
 // concurrently; TcpCluster and the multi-process launcher do.
 //
-// Fault model (MPI-like): a peer dying mid-sort is unrecoverable. PEs
-// sending to it fail fast (write error → CHECK); PEs blocked on a receive
-// from it wait indefinitely (its death is a clean FIN, indistinguishable
-// from a legitimate early finisher) — run under a supervisor timeout if
-// that matters. Fault *injection* belongs at this seam; see ROADMAP.
+// Fault model: a peer dying mid-sort is unrecoverable for the SORT, but it
+// is a clean, per-rank ERROR, never a hang or a process abort. A link I/O
+// error makes the writer/reader thread fail the affected send requests and
+// poison the peer's mailbox, so every posted and future receive from that
+// peer throws net::CommError; a clean FIN poisons the same way once every
+// in-flight message has been delivered (a legitimate early finisher's data
+// stays receivable — only waits that can never complete fail). Connection
+// setup is bounded too: Connect retries with backoff (rank start order is
+// arbitrary), validates a magic+version handshake, and turns a peer that
+// never shows up within Options::connect_timeout_ms into a per-rank error.
+// Fault injection at this seam: net::FaultTransport (fault_transport.h).
 #ifndef DEMSORT_NET_TCP_TRANSPORT_H_
 #define DEMSORT_NET_TCP_TRANSPORT_H_
 
@@ -71,13 +77,28 @@ class TcpTransport : public Transport {
     /// which drains the mailbox and resumes the reader), but every trapped
     /// credit then costs a pause/resume round trip of throughput.
     size_t recv_watermark_bytes = 0;
+
+    /// Wall-clock budget for Connect() to establish the whole mesh. A peer
+    /// that cannot be reached (connect keeps failing) or never dials in
+    /// (accept starves) within this budget turns into a per-rank IoError
+    /// instead of an indefinite block in ::connect/::accept. 0 = wait
+    /// forever (the pre-deadline behavior; not recommended).
+    int64_t connect_timeout_ms = 30'000;
+
+    /// First delay between connect attempts to a peer whose listener is
+    /// not up yet; doubles per retry up to 500 ms. Rank start order is
+    /// therefore arbitrary — whoever starts first simply retries.
+    int64_t connect_retry_initial_ms = 20;
   };
 
   /// Establishes the full mesh for `rank` of `num_pes`. `listen_fd` must
-  /// already be bound and listening on peers[rank] (create it before
-  /// launching the other ranks so connects never race the bind; ownership
-  /// passes to the transport, which closes it once the mesh is up). Blocks
-  /// until all peers are connected.
+  /// already be bound and listening on peers[rank] (ownership passes to
+  /// the transport, which closes it once the mesh is up). Peers may start
+  /// in any order: outbound connects retry with backoff until
+  /// Options::connect_timeout_ms. Every connection is validated with a
+  /// magic + version + rank handshake, so a stray client or a
+  /// wrong-version peer is a clean error, not a corrupted mesh. Blocks
+  /// until all peers are connected or the deadline passes.
   static StatusOr<std::unique_ptr<TcpTransport>> Connect(
       int rank, int num_pes, int listen_fd, const std::vector<Peer>& peers,
       const Options& options);
@@ -95,6 +116,16 @@ class TcpTransport : public Transport {
   SendRequest Isend(int src, int dst, int tag, const void* data,
                     size_t bytes) override;
   RecvRequest Irecv(int dst, int src, int tag) override;
+
+  /// pe == rank(): aborts this endpoint — every link is severed (queued
+  /// sends fail, sockets are shut down so peers see EOF and poison in
+  /// turn) and every mailbox is poisoned; the subsequent destructor cannot
+  /// block. Call it when this PE's body throws, BEFORE tearing the
+  /// transport down, so peers' waits cancel promptly.
+  /// pe != rank(): severs just the link to `pe` and poisons its mailbox.
+  void KillPe(int pe, const Status& status) override;
+  void KillLink(int a, int b, const Status& status) override;
+
   NetStats& stats(int pe) override;
 
   int rank() const { return rank_; }
@@ -111,6 +142,11 @@ class TcpTransport : public Transport {
     std::condition_variable cv;
     std::deque<Outgoing> queue;
     bool closing = false;
+    /// Set on the first I/O error (or injected kill); queued and future
+    /// sends complete with `error`, the fd is shut down, and the peer's
+    /// mailbox is poisoned. Never cleared.
+    bool dead = false;
+    Status error;
     std::thread writer;
     std::thread reader;
   };
@@ -119,6 +155,11 @@ class TcpTransport : public Transport {
 
   void WriterLoop(int peer);
   void ReaderLoop(int peer);
+
+  /// Marks the link to `peer` dead with `status` (first status wins),
+  /// fails its queued sends, shuts the socket down in both directions, and
+  /// poisons the peer's mailbox. Idempotent; safe from any thread.
+  void SeverLink(int peer, const Status& status);
 
   int rank_;
   int num_pes_;
@@ -138,6 +179,17 @@ struct TcpListener {
 /// Binds `num_pes` listening sockets on 127.0.0.1 with ephemeral ports.
 StatusOr<std::vector<TcpListener>> CreateLoopbackListeners(int num_pes);
 
+/// Binds one listening socket on INADDR_ANY:`port` (port may be 0 for an
+/// ephemeral choice; the actual port is returned). The per-rank listener
+/// of a real multi-node mesh — each rank creates its own from the hosts
+/// file and connects to the others by retry.
+StatusOr<TcpListener> CreateListener(uint16_t port, int backlog);
+
+/// Parses a rank→endpoint list for cross-machine meshes: one "host:port"
+/// per line, rank = line number; blank lines and '#' comments ignored.
+StatusOr<std::vector<TcpTransport::Peer>> ParseHostsFile(
+    const std::string& path);
+
 /// Peer list ("127.0.0.1", port) matching CreateLoopbackListeners' output.
 std::vector<TcpTransport::Peer> LoopbackPeers(
     const std::vector<TcpListener>& listeners);
@@ -149,7 +201,10 @@ class TcpCluster {
  public:
   using PeBody = std::function<void(Comm&)>;
 
-  /// Blocks until all PEs finish. Rethrows the first PE exception.
+  /// Blocks until all PEs finish. A PE that throws aborts its endpoint
+  /// first (KillPe on itself), which cancels the peers' waits — they fail
+  /// with CommError instead of deadlocking the join — and the FIRST PE's
+  /// exception (the root cause) is rethrown after all threads join.
   static void Run(int num_pes, const PeBody& body);
 
   /// As Run, but also returns each PE's final traffic counters. `options`

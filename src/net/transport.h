@@ -18,6 +18,12 @@
 //    actually drains.
 //  * Irecv posts a receive for (src, tag); the returned RecvRequest
 //    completes when a matching message arrives and carries the payload.
+//  * Requests complete with a Status. A peer or link failure fails the
+//    affected requests (posted and future) instead of hanging or aborting:
+//    Wait/Take throw net::CommError, which unwinds the PE's sort and lets
+//    the cluster harness report a per-rank error while the survivors'
+//    waits are cancelled (see Transport::KillPe, internal::TagChannel::
+//    Poison, and the fault model section of the README).
 //
 // Implementations:
 //  * net::Fabric (cluster.h)       — in-process byte-copying mailboxes,
@@ -33,6 +39,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -43,18 +50,37 @@
 
 namespace demsort::net {
 
+/// Thrown when a transfer cannot complete because a peer (or the link to
+/// it) failed: the request layer completes requests with a non-OK Status
+/// and Wait/Take convert it into this exception, so a dead PE surfaces as
+/// a catchable per-rank error instead of a process abort or an indefinite
+/// hang. Logic errors (protocol violations, size mismatches) remain
+/// DEMSORT_CHECK aborts — only environment failures travel this channel.
+class CommError : public std::runtime_error {
+ public:
+  explicit CommError(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
 namespace internal {
 
 struct SendState {
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
+  Status status;  // set before done; non-OK = the transfer failed
 };
 
 struct RecvState {
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
+  Status status;  // set before done; non-OK = the message will never arrive
   std::vector<uint8_t> payload;
   /// Receiver-side buffering accounting: while a delivered payload sits in
   /// this state un-taken, it still occupies transport memory. Set by the
@@ -81,11 +107,21 @@ class SendRequest {
   explicit SendRequest(std::shared_ptr<internal::SendState> state)
       : state_(std::move(state)) {}
 
+  /// An already-failed request (dead link at Isend time).
+  static SendRequest Failed(Status status) {
+    auto state = std::make_shared<internal::SendState>();
+    state->status = std::move(status);
+    state->done = true;
+    return SendRequest(std::move(state));
+  }
+
   /// Blocks until the transport has accepted the bytes (flow control).
+  /// Throws CommError if the transfer failed (peer or link death).
   void Wait() const {
     if (state_ == nullptr) return;
     std::unique_lock<std::mutex> lock(state_->mu);
     state_->cv.wait(lock, [&] { return state_->done; });
+    if (!state_->status.ok()) throw CommError(state_->status);
   }
 
   bool done() const {
@@ -94,9 +130,28 @@ class SendRequest {
     return state_->done;
   }
 
+  /// Completion status; OK while still in flight.
+  Status status() const {
+    if (state_ == nullptr) return Status::OK();
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->status;
+  }
+
   static void Complete(const std::shared_ptr<internal::SendState>& state) {
     {
       std::lock_guard<std::mutex> lock(state->mu);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  }
+
+  /// Completes the request with a failure; Wait() will throw. Idempotence
+  /// is the caller's job: a state must be completed exactly once.
+  static void Fail(const std::shared_ptr<internal::SendState>& state,
+                   Status status) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->status = std::move(status);
       state->done = true;
     }
     state->cv.notify_all();
@@ -114,10 +169,21 @@ class RecvRequest {
   explicit RecvRequest(std::shared_ptr<internal::RecvState> state)
       : state_(std::move(state)) {}
 
+  /// An already-failed request (poisoned channel at Irecv time).
+  static RecvRequest Failed(Status status) {
+    auto state = std::make_shared<internal::RecvState>();
+    state->status = std::move(status);
+    state->done = true;
+    return RecvRequest(std::move(state));
+  }
+
+  /// Blocks until the message arrives. Throws CommError if it never will
+  /// (the source PE or link failed).
   void Wait() const {
     if (state_ == nullptr) return;
     std::unique_lock<std::mutex> lock(state_->mu);
     state_->cv.wait(lock, [&] { return state_->done; });
+    if (!state_->status.ok()) throw CommError(state_->status);
   }
 
   bool done() const {
@@ -126,11 +192,20 @@ class RecvRequest {
     return state_->done;
   }
 
-  /// Blocks until the message arrives, then moves the payload out.
+  /// Completion status; OK while still in flight.
+  Status status() const {
+    if (state_ == nullptr) return Status::OK();
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->status;
+  }
+
+  /// Blocks until the message arrives, then moves the payload out. Throws
+  /// CommError if the message will never arrive.
   std::vector<uint8_t> Take() {
     if (state_ == nullptr) return {};
     std::unique_lock<std::mutex> lock(state_->mu);
     state_->cv.wait(lock, [&] { return state_->done; });
+    if (!state_->status.ok()) throw CommError(state_->status);
     if (state_->buffered_stats != nullptr) {
       state_->buffered_stats->SubRecvBuffered(state_->buffered_bytes);
       state_->buffered_stats = nullptr;
@@ -143,6 +218,17 @@ class RecvRequest {
     {
       std::lock_guard<std::mutex> lock(state->mu);
       state->payload = std::move(payload);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  }
+
+  /// Fails the posted receive; Wait()/Take() will throw.
+  static void Fail(const std::shared_ptr<internal::RecvState>& state,
+                   Status status) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->status = std::move(status);
       state->done = true;
     }
     state->cv.notify_all();
@@ -205,6 +291,21 @@ class Transport {
   /// (src, tag), in send order.
   virtual RecvRequest Irecv(int dst, int src, int tag) = 0;
 
+  /// Marks PE `pe` as failed: every posted and future receive from it
+  /// completes with `status` (already-delivered messages stay receivable),
+  /// parked and future sends to it fail, and any blocked internal machinery
+  /// touching it is released. Used by fault injection (net::FaultTransport)
+  /// and by the cluster harnesses to cancel peers' waits when a PE throws —
+  /// survivors observe the death as CommError from Wait/Take, never as a
+  /// hang. Idempotent; the first status wins.
+  virtual void KillPe(int pe, const Status& status) = 0;
+
+  /// Severs the (a, b) link in both directions with the same semantics as
+  /// KillPe, but scoped to that one pair; traffic between other pairs is
+  /// unaffected. On single-rank transports (TCP), a no-op unless this
+  /// endpoint's rank is `a` or `b`.
+  virtual void KillLink(int a, int b, const Status& status) = 0;
+
   /// Traffic counters for PE `pe`. In-process transports serve every PE;
   /// socket transports only their own rank.
   virtual NetStats& stats(int pe) = 0;
@@ -258,6 +359,7 @@ class TagChannel {
   SendRequest Offer(int tag, std::vector<uint8_t> payload,
                     bool exempt_from_cap) {
     std::lock_guard<std::mutex> lock(mu_);
+    if (poisoned_) return SendRequest::Failed(poison_);
     if (exempt_from_cap) {
       // Exempt messages (self-sends; TCP delivery, where the socket already
       // provided the backpressure) bypass the cap and the park queue.
@@ -297,6 +399,8 @@ class TagChannel {
         return RecvRequest(state);
       }
     }
+    // No queued match: a poisoned channel will never produce one.
+    if (poisoned_) return RecvRequest::Failed(poison_);
     auto state = std::make_shared<RecvState>();
     waiters_.push_back(Waiter{tag, state});
     // The new waiter may be exactly what a parked message (blocked on the
@@ -304,6 +408,35 @@ class TagChannel {
     // tags out of send order would deadlock against a full channel.
     AdmitParkedLocked();
     return RecvRequest(state);
+  }
+
+  /// Fails the channel permanently with `status`: every posted receive and
+  /// every parked send completes with the status, future receives that no
+  /// already-delivered message can satisfy fail immediately, future sends
+  /// fail, and any WaitQueuedBelow() waiter is released. Messages that were
+  /// delivered BEFORE the poison stay receivable — a PE that exits cleanly
+  /// after sending its last data must not invalidate that data (the
+  /// legitimate-early-finisher case). Idempotent; the first status wins.
+  void Poison(Status status) {
+    std::deque<Waiter> waiters;
+    std::deque<Parked> parked;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (poisoned_) return;
+      poisoned_ = true;
+      poison_ = std::move(status);
+      waiters.swap(waiters_);
+      parked.swap(parked_);
+      canceled_ = true;  // release any reader parked at its watermark
+    }
+    drain_cv_.notify_all();
+    for (Waiter& w : waiters) RecvRequest::Fail(w.state, poison_);
+    for (Parked& p : parked) SendRequest::Fail(p.state, poison_);
+  }
+
+  bool poisoned() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return poisoned_;
   }
 
   /// High-water mark of queued (unreceived) bytes on this channel.
@@ -411,6 +544,8 @@ class TagChannel {
   NetStats* recv_stats_;
   std::condition_variable drain_cv_;
   bool canceled_ = false;
+  bool poisoned_ = false;
+  Status poison_;
   std::deque<Message> messages_;
   std::deque<Waiter> waiters_;
   std::deque<Parked> parked_;

@@ -14,6 +14,9 @@ inline int64_t NowNanos() {
       .count();
 }
 
+/// Monotonic wall clock in milliseconds (deadlines, retry backoff).
+inline int64_t NowMillis() { return NowNanos() / 1'000'000; }
+
 /// Stopwatch accumulating elapsed time across Start/Stop cycles.
 class Stopwatch {
  public:

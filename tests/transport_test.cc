@@ -442,6 +442,62 @@ TEST_P(TransportParamTest, AlltoallvStreamUnevenConsumersNoDeadlock) {
   });
 }
 
+TEST(DegeneratePTest, CollectivesAtTrivialAndOddP) {
+  // P = 1 (all self paths) and odd P = 3, 5, 7 (no XOR pairing; the
+  // rotation schedules and the (rank - step) index arithmetic must hold
+  // on their own, not by accident of power-of-two sizes), on BOTH
+  // backends: Barrier, Broadcast from every root, the pairwise Alltoallv
+  // rotation schedule, and AlltoallvStream.
+  for (TransportKind kind :
+       {TransportKind::kInProc, TransportKind::kTcp}) {
+    for (int num_pes : {1, 3, 5, 7}) {
+      SCOPED_TRACE(std::string(TransportKindName(kind)) + " P=" +
+                   std::to_string(num_pes));
+      RunWith(kind, num_pes, [](Comm& comm) {
+        const int me = comm.rank();
+        const int P = comm.size();
+        comm.Barrier();
+        for (int root = 0; root < P; ++root) {
+          int got = comm.BroadcastValue<int>(root, me == root ? 41 + root : 0);
+          EXPECT_EQ(got, 41 + root);
+        }
+        comm.Barrier();
+        // Pairwise exchange: rotation partners at odd P, ragged sizes.
+        std::vector<std::vector<uint32_t>> sends(P);
+        for (int p = 0; p < P; ++p) {
+          sends[p].assign(static_cast<size_t>(me + 1),
+                          static_cast<uint32_t>(me * 100 + p));
+        }
+        auto received = comm.AlltoallvPairwise(sends);
+        for (int p = 0; p < P; ++p) {
+          ASSERT_EQ(received[p].size(), static_cast<size_t>(p + 1));
+          for (uint32_t v : received[p]) {
+            EXPECT_EQ(v, static_cast<uint32_t>(p * 100 + me));
+          }
+        }
+        // Streaming exchange with rank-dependent payload sizes.
+        std::vector<uint8_t> payload(static_cast<size_t>(512 * (me + 1)),
+                                     static_cast<uint8_t>(me));
+        std::vector<std::span<const uint8_t>> spans(
+            P, std::span<const uint8_t>(payload));
+        std::vector<uint64_t> got(P, 0);
+        comm.AlltoallvStream(
+            spans,
+            [&](int src, std::span<const uint8_t> data, bool) {
+              for (uint8_t b : data) {
+                EXPECT_EQ(b, static_cast<uint8_t>(src));
+              }
+              got[src] += data.size();
+            },
+            nullptr, /*chunk_bytes=*/256);
+        for (int p = 0; p < P; ++p) {
+          EXPECT_EQ(got[p], static_cast<uint64_t>(512 * (p + 1)));
+        }
+      });
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Transports, TransportParamTest,
     ::testing::Combine(::testing::Values(TransportKind::kInProc,
