@@ -128,22 +128,31 @@ inline SortRunResult RunCanonical(int num_pes, workload::Distribution dist,
   SortRunResult result;
   // Credit frames share the socket with data frames; a watermark below one
   // credit window lets the reader pause with a credit queued behind data,
-  // throttling the streamed exchanges (see TcpTransport::Options).
+  // throttling the streamed exchanges (see TcpTransport::Options). The
+  // window is sized from the LARGEST chunk the adaptive controller may
+  // grow to, not the configured initial chunk.
   if (run_options.transport == net::TransportKind::kTcp &&
       run_options.tcp_recv_watermark_bytes != 0) {
     size_t chunk = config.stream_chunk_bytes != 0
                        ? config.stream_chunk_bytes
                        : net::Comm::kDefaultStreamChunkBytes;
-    size_t credit_window = net::Comm::kStreamSendCreditChunks * chunk;
+    size_t max_chunk = config.stream_chunk_max_bytes != 0
+                           ? config.stream_chunk_max_bytes
+                           : chunk * net::kStreamAutoRangeFactor;
+    if (config.stream_chunk_mode == net::StreamChunkMode::kFixed) {
+      max_chunk = chunk;
+    }
+    size_t credit_window = net::Comm::kStreamSendCreditChunks *
+                           (max_chunk + sizeof(net::StreamChunkHeader));
     if (run_options.tcp_recv_watermark_bytes < credit_window) {
       std::fprintf(stderr,
                    "warning: --recv-watermark=%zu is below the streaming "
-                   "credit window (%zu bytes = %llu chunks x %zu); credit "
-                   "frames may stall behind paused reads\n",
+                   "credit window (%zu bytes = %llu chunks x %zu max); "
+                   "credit frames may stall behind paused reads\n",
                    run_options.tcp_recv_watermark_bytes, credit_window,
                    static_cast<unsigned long long>(
                        net::Comm::kStreamSendCreditChunks),
-                   chunk);
+                   max_chunk);
     }
   }
   result.reports.resize(num_pes);

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Reproducible perf snapshot: runs the streaming-collective comparison
+# (micro_net --credit-compare) and the fig5 all-to-all I/O-volume sweep at
+# fixed seeds/sizes, and emits one machine-readable BENCH_PR4.json — the
+# file future PRs diff to see the perf trajectory.
+#
+# Usage: bench/run_bench.sh [BUILD_DIR] [OUT_JSON]
+#   BUILD_DIR  cmake build directory holding micro_net + fig5 (default: build)
+#   OUT_JSON   output path (default: BENCH_PR4.json in the repo root)
+#
+# Everything here is deterministic up to wall-clock timings: the workload
+# seeds are fixed (FigureConfig's default seed), the sweep sizes are pinned
+# below, and message/volume counters are exact — compare those, not seconds.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_PR4.json}"
+
+if [[ ! -x "$BUILD_DIR/micro_net" ]]; then
+  echo "error: $BUILD_DIR/micro_net not built (need Google Benchmark)" >&2
+  exit 2
+fi
+if [[ ! -x "$BUILD_DIR/fig5_alltoall_io_volume" ]]; then
+  echo "error: $BUILD_DIR/fig5_alltoall_io_volume not built" >&2
+  exit 2
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# 1. Streaming credit/chunk comparison (also the pass/fail smoke).
+"$BUILD_DIR/micro_net" --credit-compare --snapshot="$tmpdir/stream.json"
+
+# 2. Fig. 5 all-to-all I/O volume at fixed sizes: P = 1..8 at the default
+#    131072 elements/PE — large enough that the a2a phase actually hits
+#    disk (tiny inputs take the in-place fast path and report all-zero
+#    columns, which would carry no trajectory signal). Parsed to JSON rows.
+"$BUILD_DIR/fig5_alltoall_io_volume" --max-pes 8 > "$tmpdir/fig5.txt"
+
+awk '
+  /^#/ { next }
+  /^ *P / { for (i = 2; i <= NF; ++i) name[i] = $i; next }
+  NF > 1 {
+    printf "      {\"P\": %d", $1
+    for (i = 2; i <= NF; ++i) printf ", \"%s\": %s", name[i], $i
+    printf "},\n"
+  }
+' "$tmpdir/fig5.txt" | sed '$ s/,$//' > "$tmpdir/fig5_rows.json"
+
+{
+  echo '{'
+  echo '  "snapshot": "BENCH_PR4",'
+  echo '  "fixed_params": {"fig5_elements_per_pe": 131072, "fig5_max_pes": 8},'
+  echo '  "stream":'
+  sed 's/^/  /' "$tmpdir/stream.json" | sed '$ s/}$/},/'
+  echo '  "fig5_a2a_io_over_n": {'
+  echo '    "rows": ['
+  cat "$tmpdir/fig5_rows.json"
+  echo '    ]'
+  echo '  }'
+  echo '}'
+} > "$OUT"
+
+echo "wrote $OUT"

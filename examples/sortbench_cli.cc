@@ -96,28 +96,41 @@ PeOutcome RunOnePe(net::Comm& comm, const CliOptions& options) {
 
 /// --stats: per-phase cluster totals, including the peak receive-side
 /// network buffering (max over PEs) — the number the streaming exchanges
-/// keep at O(chunk x sources) instead of O(sub-step payload).
+/// keep at O(chunk x sources) instead of O(sub-step payload) — plus the
+/// credit-protocol gauges: standalone credit messages vs credits that rode
+/// data frames for free, and the adaptive controller's converged chunk.
 void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
-  std::printf("%-18s  %10s  %12s  %12s  %14s\n", "phase", "wall_max_s",
-              "io_MiB", "net_out_MiB", "peak_netbuf_KiB");
+  std::printf("%-18s  %10s  %12s  %12s  %14s  %11s  %11s  %9s\n", "phase",
+              "wall_max_s", "io_MiB", "net_out_MiB", "peak_netbuf_KiB",
+              "credit_msgs", "piggy_creds", "chunk_KiB");
   for (int p = 0; p < static_cast<int>(core::Phase::kNumPhases); ++p) {
     core::Phase phase = static_cast<core::Phase>(p);
     double wall_max_s = 0;
     uint64_t io_bytes = 0;
     uint64_t net_bytes = 0;
     uint64_t peak_buf = 0;
+    uint64_t credit_msgs = 0;
+    uint64_t piggy = 0;
+    uint64_t chunk = 0;
     for (const core::SortReport& r : reports) {
       const core::PhaseStats& s = r.Get(phase);
       wall_max_s = std::max(wall_max_s, s.wall_s);
       io_bytes += s.io.bytes();
       net_bytes += s.net.bytes_sent;
       peak_buf = std::max(peak_buf, s.net.recv_buffer_peak_bytes);
+      credit_msgs += s.net.credit_msgs;
+      piggy += s.net.piggybacked_credits;
+      chunk = std::max(chunk, s.net.stream_chunk_bytes);
     }
-    std::printf("%-18s  %10.3f  %12.1f  %12.1f  %14.1f\n",
-                core::PhaseName(phase), wall_max_s,
-                static_cast<double>(io_bytes) / (1 << 20),
-                static_cast<double>(net_bytes) / (1 << 20),
-                static_cast<double>(peak_buf) / 1024.0);
+    std::printf(
+        "%-18s  %10.3f  %12.1f  %12.1f  %14.1f  %11llu  %11llu  %9.1f\n",
+        core::PhaseName(phase), wall_max_s,
+        static_cast<double>(io_bytes) / (1 << 20),
+        static_cast<double>(net_bytes) / (1 << 20),
+        static_cast<double>(peak_buf) / 1024.0,
+        static_cast<unsigned long long>(credit_msgs),
+        static_cast<unsigned long long>(piggy),
+        static_cast<double>(chunk) / 1024.0);
   }
 }
 

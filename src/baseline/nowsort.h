@@ -28,6 +28,7 @@
 #include "core/pe_context.h"
 #include "core/phase_stats.h"
 #include "core/record.h"
+#include "core/sample_bounds.h"
 #include "io/striped_writer.h"
 #include "util/aligned_buffer.h"
 #include "util/logging.h"
@@ -84,11 +85,8 @@ NowSortOutput<R> NowSort(core::PeContext& ctx, const core::SortConfig& config,
         sample.push_back(records[rng.Below(count)]);
       }
     }
-    auto all = comm.AllgatherV(sample);
-    std::vector<R> merged;
-    for (auto& part : all) {
-      merged.insert(merged.end(), part.begin(), part.end());
-    }
+    std::vector<R> merged = core::AllgatherConcatStreamed(
+        comm, sample, config.StreamOptionsFor(1));
     std::sort(merged.begin(), merged.end(), less);
     for (int t = 1; t < P; ++t) {
       if (merged.empty()) break;
@@ -177,9 +175,7 @@ NowSortOutput<R> NowSort(core::PeContext& ctx, const core::SortConfig& config,
             pending.insert(pending.end(), records, records + n);
             partition_elements += n;
           },
-          /*on_size=*/nullptr,
-          comm.AlignedStreamChunkBytes(sizeof(R),
-                                       config.stream_chunk_bytes));
+          /*on_size=*/nullptr, config.StreamOptionsFor(sizeof(R)));
       if (pending.size() >= run_elems) spill_run();
     }
     if (!pending.empty()) spill_run();

@@ -8,6 +8,7 @@
 
 #include "io/block_manager.h"
 #include "io/io_stats.h"
+#include "net/message.h"
 #include "util/status.h"
 
 namespace demsort::core {
@@ -40,11 +41,22 @@ struct SortConfig {
   /// 0 means memory_per_pe.
   size_t alltoall_budget = 0;
   /// Chunk of the streaming exchanges (external all-to-all, window
-  /// redistribution): each destination's payload travels as bounded chunks
-  /// the receiver unpacks as they land, so receive-side buffering is
-  /// O(stream_chunk_bytes x sources) instead of O(sub-step payload).
-  /// 0 = net::Comm::kDefaultStreamChunkBytes.
+  /// redistribution, selection gathers): each destination's payload travels
+  /// as bounded chunks the receiver unpacks as they land, so receive-side
+  /// buffering is O(chunk x sources) instead of O(sub-step payload).
+  /// 0 = net::Comm::kDefaultStreamChunkBytes. In adaptive mode this is the
+  /// INITIAL chunk; the controller resizes within [min, max] below.
   size_t stream_chunk_bytes = 0;
+  /// Adaptive-chunk bounds; 0 = kAuto (stream_chunk_bytes divided /
+  /// multiplied by net::kStreamAutoRangeFactor).
+  size_t stream_chunk_min_bytes = 0;
+  size_t stream_chunk_max_bytes = 0;
+  /// kAuto defers to the Comm default (adaptive): per-destination chunk
+  /// sizing from the measured consumer drain rate.
+  net::StreamChunkMode stream_chunk_mode = net::StreamChunkMode::kAuto;
+  /// kAuto defers to the Comm default (piggyback): flow-control credits
+  /// ride reverse data frames in the symmetric exchange rounds.
+  net::StreamCreditMode stream_credit_mode = net::StreamCreditMode::kAuto;
   PrefetchMode prefetch = PrefetchMode::kPrediction;
   /// Prefetch buffer pool size in blocks; 0 = auto.
   size_t prefetch_buffers = 0;
@@ -72,6 +84,20 @@ struct SortConfig {
   template <typename R>
   size_t ElementsPerPeMemory() const {
     return memory_per_pe / sizeof(R);
+  }
+
+  /// The streaming-collective tuning the config's knobs describe, with
+  /// chunk boundaries aligned to `align_bytes` (the record size of typed
+  /// streams; 1 for byte streams whose consumers handle any split).
+  net::StreamOptions StreamOptionsFor(size_t align_bytes) const {
+    net::StreamOptions options;
+    options.chunk_bytes = stream_chunk_bytes;
+    options.align_bytes = align_bytes;
+    options.min_chunk_bytes = stream_chunk_min_bytes;
+    options.max_chunk_bytes = stream_chunk_max_bytes;
+    options.chunk_mode = stream_chunk_mode;
+    options.credit_mode = stream_credit_mode;
+    return options;
   }
 
   Status Validate() const {

@@ -345,8 +345,10 @@ AllToAllResult<R> ExternalAllToAll(PeContext& ctx, const SortConfig& config,
       }
     };
 
+    // Frames are a byte stream whose cursor handles any chunk boundary, so
+    // alignment is 1 and the adaptive controller may pick any size.
     comm.AlltoallvStream(provide, consume, /*on_size=*/nullptr,
-                         config.stream_chunk_bytes);
+                         config.StreamOptionsFor(/*align_bytes=*/1));
     for (int src = 0; src < P; ++src) {
       DEMSORT_CHECK_EQ(cursors[src].header_fill, 0u)
           << "truncated all-to-all frame header from " << src;

@@ -28,6 +28,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "core/config.h"
@@ -82,15 +83,43 @@ class ExternalSelector {
         total / P * me + std::min<uint64_t>(total % P, me);
 
     std::vector<uint64_t> my_row = SelectCollective(my_target, stats);
+    return GatherSplitterMatrix(my_row);
+  }
 
+  /// Collective: replicates every PE's boundary row into the full matrix
+  /// through the streaming allgather — row chunks land directly in the
+  /// matrix as they arrive, so the exchange never materializes P row
+  /// payloads on the receive side (buffering stays at the streaming bound
+  /// of O(credits x chunk x sources) however many runs there are). Public
+  /// as its own step so the peak-buffer regression test can measure it in
+  /// isolation from the block-fetch rounds.
+  SplitterMatrix GatherSplitterMatrix(const std::vector<uint64_t>& my_row) {
+    net::Comm& comm = *ctx_.comm;
+    const int P = comm.size();
+    DEMSORT_CHECK_EQ(my_row.size(), num_runs_);
     SplitterMatrix split;
-    std::vector<std::vector<uint64_t>> rows = comm.AllgatherV(my_row);
-    split.boundary = std::move(rows);
+    split.boundary.assign(P + 1, std::vector<uint64_t>());
+    std::vector<size_t> filled(P, 0);
+    comm.AllgatherVStream(
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(my_row.data()),
+            my_row.size() * sizeof(uint64_t)),
+        [&](int src, std::span<const uint8_t> chunk, bool) {
+          DEMSORT_CHECK_EQ(chunk.size() % sizeof(uint64_t), 0u);
+          std::memcpy(split.boundary[src].data() + filled[src], chunk.data(),
+                      chunk.size());
+          filled[src] += chunk.size() / sizeof(uint64_t);
+        },
+        [&](int src, uint64_t bytes) {
+          DEMSORT_CHECK_EQ(bytes, num_runs_ * sizeof(uint64_t));
+          split.boundary[src].resize(num_runs_);
+        },
+        config_.StreamOptionsFor(sizeof(uint64_t)));
     std::vector<uint64_t> lengths(num_runs_);
     for (size_t r = 0; r < num_runs_; ++r) {
       lengths[r] = rf_.table.RunLength(r);
     }
-    split.boundary.push_back(std::move(lengths));
+    split.boundary[P] = std::move(lengths);
     return split;
   }
 

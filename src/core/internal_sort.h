@@ -65,7 +65,8 @@ template <typename R>
 std::vector<std::vector<uint64_t>> DistributedSelect(
     net::Comm& comm, std::span<const R> local,
     const std::vector<uint64_t>& sequence_sizes,
-    const std::vector<uint64_t>& target_ranks, uint64_t* rounds_out) {
+    const std::vector<uint64_t>& target_ranks, uint64_t* rounds_out,
+    net::StreamOptions stream_options = {}) {
   using Less = typename RecordTraits<R>::Less;
   using Entry = typename SampleTable<R>::Entry;
   Less less;
@@ -88,7 +89,12 @@ std::vector<std::vector<uint64_t>> DistributedSelect(
   if (n_local > 0 && (n_local - 1) % sample_k != 0) {
     mine.push_back(Entry{local[n_local - 1], n_local - 1});
   }
-  std::vector<std::vector<Entry>> samples = comm.AllgatherV(mine);
+  // Streamed replication: the transport never stages P sample payloads
+  // (AllgatherVStreamed appends chunks as they land; align defaults to the
+  // entry size so chunks never split an entry).
+  stream_options.align_bytes = 1;
+  std::vector<std::vector<Entry>> samples =
+      comm.AllgatherVStreamed<Entry>(mine, stream_options);
 
   // 2. Bounds for MY target (PE 0 has none: its row is all zeros).
   std::vector<uint64_t> lo(P, 0), hi(P, 0);
@@ -137,8 +143,10 @@ std::vector<std::vector<uint64_t>> DistributedSelect(
     for (int j = 0; j < P; ++j) my_row[j] = lo[j] + in_window[j];
   }
 
-  // 5. Assemble the full matrix (rows of ranks 1..P-1).
-  std::vector<std::vector<uint64_t>> rows = comm.AllgatherV(my_row);
+  // 5. Assemble the full matrix (rows of ranks 1..P-1), streamed like the
+  // sample gather.
+  std::vector<std::vector<uint64_t>> rows =
+      comm.AllgatherVStreamed<uint64_t>(my_row, stream_options);
   std::vector<std::vector<uint64_t>> result(P - 1);
   for (int t = 1; t < P; ++t) result[t - 1] = std::move(rows[t]);
   if (rounds_out != nullptr) *rounds_out += 3;
@@ -150,13 +158,13 @@ std::vector<std::vector<uint64_t>> DistributedSelect(
 /// Sorts the union of all PEs' `local` vectors; afterwards PE i holds global
 /// ranks [i*total/P, (i+1)*total/P), sorted (ties resolved by the
 /// (key, source PE, position) total order, hence deterministically).
-/// `stream_chunk_bytes` overrides the redistribution's streaming chunk for
-/// this call (0 = the Comm default), so per-run SortConfig overrides never
-/// mutate the shared Comm.
+/// `stream_options` tunes the redistribution's and the selection gathers'
+/// streaming (SortConfig::StreamOptionsFor), passed per call so per-run
+/// overrides never mutate the shared Comm; alignment is set here from R.
 template <typename R>
-InternalSortResult<R> InternalParallelSort(PeContext& ctx, std::vector<R> local,
-                                           PhaseStats* stats = nullptr,
-                                           size_t stream_chunk_bytes = 0) {
+InternalSortResult<R> InternalParallelSort(
+    PeContext& ctx, std::vector<R> local, PhaseStats* stats = nullptr,
+    net::StreamOptions stream_options = {}) {
   using Less = typename RecordTraits<R>::Less;
   net::Comm& comm = *ctx.comm;
   const int P = comm.size();
@@ -183,7 +191,8 @@ InternalSortResult<R> InternalParallelSort(PeContext& ctx, std::vector<R> local,
   }
   uint64_t rounds = 0;
   std::vector<std::vector<uint64_t>> split = internal::DistributedSelect<R>(
-      comm, std::span<const R>(local), sizes, targets, &rounds);
+      comm, std::span<const R>(local), sizes, targets, &rounds,
+      stream_options);
   result.selection_rounds = rounds;
   if (stats != nullptr) stats->selection_rounds += rounds;
 
@@ -196,6 +205,8 @@ InternalSortResult<R> InternalParallelSort(PeContext& ctx, std::vector<R> local,
   // per-source payload is ever staged in the mailbox. The size callback
   // pre-sizes each vector so the appends never reallocate.
   std::vector<std::vector<R>> received(P);
+  net::StreamOptions redist_options = stream_options;
+  redist_options.align_bytes = sizeof(R);
   comm.AlltoallvStream(
       [&](int t) -> std::span<const uint8_t> {
         uint64_t begin = t == 0 ? 0 : split[t - 1][me];
@@ -216,7 +227,7 @@ InternalSortResult<R> InternalParallelSort(PeContext& ctx, std::vector<R> local,
         DEMSORT_CHECK_EQ(bytes % sizeof(R), 0u);
         received[src].reserve(bytes / sizeof(R));
       },
-      comm.AlignedStreamChunkBytes(sizeof(R), stream_chunk_bytes));
+      redist_options);
   local.clear();
   local.shrink_to_fit();
 

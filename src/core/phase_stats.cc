@@ -31,6 +31,10 @@ void PhaseStats::Accumulate(const PhaseStats& other) {
   net.bytes_received += other.net.bytes_received;
   net.recv_buffer_peak_bytes =
       std::max(net.recv_buffer_peak_bytes, other.net.recv_buffer_peak_bytes);
+  net.credit_msgs += other.net.credit_msgs;
+  net.piggybacked_credits += other.net.piggybacked_credits;
+  net.stream_chunk_bytes =
+      std::max(net.stream_chunk_bytes, other.net.stream_chunk_bytes);
   elements_sorted += other.elements_sorted;
   elements_merged += other.elements_merged;
   merge_ways = std::max(merge_ways, other.merge_ways);
@@ -77,6 +81,19 @@ void PhaseCollector::End(Phase phase) {
   s.net.bytes_received += now.bytes_received - net_at_begin_.bytes_received;
   s.net.recv_buffer_peak_bytes =
       std::max(s.net.recv_buffer_peak_bytes, now.recv_buffer_peak_bytes);
+  uint64_t credit_delta = now.credit_msgs - net_at_begin_.credit_msgs;
+  uint64_t piggy_delta =
+      now.piggybacked_credits - net_at_begin_.piggybacked_credits;
+  s.net.credit_msgs += credit_delta;
+  s.net.piggybacked_credits += piggy_delta;
+  // Gauge: the phase's latest effective streaming chunk. Assigned only
+  // when this interval actually streamed (any credit traffic, or the
+  // gauge moved); a phase that never streams keeps 0 rather than
+  // inheriting an earlier phase's converged size.
+  if (credit_delta != 0 || piggy_delta != 0 ||
+      now.stream_chunk_bytes != net_at_begin_.stream_chunk_bytes) {
+    s.net.stream_chunk_bytes = now.stream_chunk_bytes;
+  }
 }
 
 PhaseStats PhaseCollector::Total() const {

@@ -26,6 +26,7 @@
 #include "core/internal_sort.h"
 #include "core/pe_context.h"
 #include "core/run_index.h"
+#include "core/sample_bounds.h"
 #include "io/striped_writer.h"
 
 namespace demsort::core {
@@ -67,7 +68,7 @@ PipelinedResult<R> PipelinedSort(
     my_total += chunk.size();
 
     InternalSortResult<R> sorted = InternalParallelSort<R>(
-        ctx, std::move(chunk), nullptr, config.stream_chunk_bytes);
+        ctx, std::move(chunk), nullptr, config.StreamOptionsFor(sizeof(R)));
 
     RunPiece<R> piece;
     piece.global_start = sorted.piece_start;
@@ -103,12 +104,10 @@ PipelinedResult<R> PipelinedSort(
     }
   }
   for (uint64_t r = 0; r < num_runs; ++r) {
-    auto all = comm.AllgatherV(rf.samples.per_run[r]);
-    std::vector<typename SampleTable<R>::Entry> merged;
-    for (auto& part : all) {
-      merged.insert(merged.end(), part.begin(), part.end());
-    }
-    rf.samples.per_run[r] = std::move(merged);
+    // Streamed sample replication (see sample_bounds.h): merges in PE ==
+    // position order without staging P payloads.
+    rf.samples.per_run[r] = AllgatherConcatStreamed(
+        comm, rf.samples.per_run[r], config.StreamOptionsFor(1));
   }
 
   // ---- phases 2a/2b: exact selection + redistribution (unchanged).

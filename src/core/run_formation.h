@@ -27,6 +27,7 @@
 #include "core/pe_context.h"
 #include "core/phase_stats.h"
 #include "core/run_index.h"
+#include "core/sample_bounds.h"
 #include "util/random.h"
 
 namespace demsort::core {
@@ -131,7 +132,7 @@ RunFormationResult<R> FormRuns(PeContext& ctx, const SortConfig& config,
     }
 
     InternalSortResult<R> sorted = InternalParallelSort<R>(
-        ctx, std::move(data), stats, config.stream_chunk_bytes);
+        ctx, std::move(data), stats, config.StreamOptionsFor(sizeof(R)));
 
     // Finish the previous run's writes before issuing new ones (two write
     // generations in flight at most — the paper's overlap scheme).
@@ -204,16 +205,12 @@ RunFormationResult<R> FormRuns(PeContext& ctx, const SortConfig& config,
   }
 
   // Replicate the sample table (per run, merged in position order — pieces
-  // are position-disjoint and allgather returns them in PE order).
+  // are position-disjoint and the gather concatenates in PE order).
+  // Streamed straight into the merged vector: no P per-source sample
+  // payloads are materialized on the receive side.
   for (uint64_t r = 0; r < num_runs; ++r) {
-    using Entry = typename SampleTable<R>::Entry;
-    std::vector<std::vector<Entry>> all =
-        comm.AllgatherV(result.samples.per_run[r]);
-    std::vector<Entry> merged;
-    for (auto& part : all) {
-      merged.insert(merged.end(), part.begin(), part.end());
-    }
-    result.samples.per_run[r] = std::move(merged);
+    result.samples.per_run[r] = AllgatherConcatStreamed(
+        comm, result.samples.per_run[r], config.StreamOptionsFor(1));
   }
   return result;
 }

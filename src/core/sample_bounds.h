@@ -18,12 +18,54 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "core/run_index.h"
+#include "net/comm.h"
 #include "util/logging.h"
 
 namespace demsort::core {
+
+/// Replicates every PE's contribution as ONE concatenated vector in PE
+/// order — the shape of the sample-table replication that feeds the
+/// sample-bound machinery below (pieces are position-disjoint and PE order
+/// is position order, so the concatenation IS the merged sample table).
+///
+/// Streamed: a cheap fixed-size allgather of the counts pins every
+/// element's final position, then Comm::AllgatherVStream memcpys chunks
+/// into place as they land. Unlike the buffered AllgatherV path, no P
+/// per-source payload vectors exist at any point — receive-side memory is
+/// O(credit x chunk x sources) plus the (mandatory) result itself, and in
+/// the symmetric rounds the flow-control credits ride the data frames.
+template <typename T>
+std::vector<T> AllgatherConcatStreamed(net::Comm& comm,
+                                       const std::vector<T>& mine,
+                                       net::StreamOptions options = {}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int P = comm.size();
+  std::vector<uint64_t> counts = comm.Allgather<uint64_t>(mine.size());
+  std::vector<uint64_t> cursor(P, 0);
+  uint64_t total = 0;
+  for (int p = 0; p < P; ++p) {
+    cursor[p] = total;
+    total += counts[p];
+  }
+  std::vector<T> merged(total);
+  if (options.align_bytes <= 1) options.align_bytes = sizeof(T);
+  comm.AllgatherVStream(
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(mine.data()),
+                               mine.size() * sizeof(T)),
+      [&](int src, std::span<const uint8_t> chunk, bool) {
+        DEMSORT_CHECK_EQ(chunk.size() % sizeof(T), 0u);
+        std::memcpy(merged.data() + cursor[src], chunk.data(), chunk.size());
+        cursor[src] += chunk.size() / sizeof(T);
+      },
+      nullptr, options);
+  return merged;
+}
 
 /// True if element `rec` of sequence `i` precedes pivot (xrec, jx) in the
 /// (key, sequence) total order (positions never compared across sequences).

@@ -252,7 +252,7 @@ StripedSortOutput<R> StripedMergeSort(PeContext& ctx, const SortConfig& config,
     for (const io::BlockId& id : ids) bm->Free(id);
 
     InternalSortResult<R> sorted = InternalParallelSort<R>(
-        ctx, std::move(data), rf_stats, config.stream_chunk_bytes);
+        ctx, std::move(data), rf_stats, config.StreamOptionsFor(sizeof(R)));
 
     internal::StripeAppender<R> appender(ctx, epb);
     appender.ScatterCollective(sorted.piece, sorted.piece_start);
@@ -363,7 +363,8 @@ StripedSortOutput<R> StripedMergeSort(PeContext& ctx, const SortConfig& config,
 
     // Cooperative sort of the outputtable bag, then scatter to the stripe.
     InternalSortResult<R> sorted = InternalParallelSort<R>(
-        ctx, std::move(to_sort), merge_stats, config.stream_chunk_bytes);
+        ctx, std::move(to_sort), merge_stats,
+        config.StreamOptionsFor(sizeof(R)));
     output.ScatterCollective(sorted.piece, out_base + sorted.piece_start);
     out_base += sorted.total;
   }

@@ -1,6 +1,7 @@
 #include "net/cluster.h"
 
 #include <atomic>
+#include <cstring>
 #include <exception>
 #include <string>
 #include <thread>
@@ -40,6 +41,24 @@ SendRequest Fabric::Isend(int src, int dst, int tag, const void* data,
     // observable via SendRequest completion and max_channel_queued_bytes.
     stats_[src]->RecordSend(bytes);
     stats_[dst]->RecordRecv(bytes);
+  }
+  return channel(src, dst).Offer(tag, std::move(payload),
+                                 /*exempt_from_cap=*/src == dst);
+}
+
+SendRequest Fabric::IsendGather(int src, int dst, int tag, const void* header,
+                                size_t header_bytes, const void* data,
+                                size_t bytes) {
+  DEMSORT_CHECK_GE(dst, 0);
+  DEMSORT_CHECK_LT(dst, num_pes_);
+  // Single-copy frame assembly: header and payload land directly in the
+  // message vector (the streaming hot path's per-chunk send).
+  std::vector<uint8_t> payload(header_bytes + bytes);
+  std::memcpy(payload.data(), header, header_bytes);
+  if (bytes != 0) std::memcpy(payload.data() + header_bytes, data, bytes);
+  if (src != dst) {
+    stats_[src]->RecordSend(payload.size());
+    stats_[dst]->RecordRecv(payload.size());
   }
   return channel(src, dst).Offer(tag, std::move(payload),
                                  /*exempt_from_cap=*/src == dst);

@@ -46,6 +46,9 @@ class Fabric : public Transport {
   int num_pes() const override { return num_pes_; }
   SendRequest Isend(int src, int dst, int tag, const void* data,
                     size_t bytes) override;
+  SendRequest IsendGather(int src, int dst, int tag, const void* header,
+                          size_t header_bytes, const void* data,
+                          size_t bytes) override;
   RecvRequest Irecv(int dst, int src, int tag) override;
 
   /// Poisons every channel from or to `pe`: peers' posted and future

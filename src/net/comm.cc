@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/timer.h"
+
 namespace demsort::net {
 
 void Comm::Send(int dst, int tag, const void* data, size_t bytes) {
@@ -217,12 +219,82 @@ class PollBackoff {
 
 }  // namespace
 
+Comm::ResolvedStreamTuning Comm::ResolveStreamTuning(
+    const StreamOptions& options) const {
+  ResolvedStreamTuning t;
+  t.align_bytes = std::max<uint64_t>(1, options.align_bytes);
+  uint64_t base =
+      options.chunk_bytes != 0 ? options.chunk_bytes : stream_chunk_bytes_;
+  t.base_chunk_bytes =
+      std::max(t.align_bytes, base / t.align_bytes * t.align_bytes);
+  // An explicit max is a memory CAP: the base (and therefore every wire
+  // chunk, in any mode) is clamped into it, never the cap raised to the
+  // base — bench_util's watermark guidance relies on this.
+  if (options.max_chunk_bytes != 0) {
+    uint64_t cap = std::max(t.align_bytes, options.max_chunk_bytes /
+                                               t.align_bytes * t.align_bytes);
+    t.base_chunk_bytes = std::min(t.base_chunk_bytes, cap);
+  }
+  StreamChunkMode chunk_mode = options.chunk_mode == StreamChunkMode::kAuto
+                                   ? stream_chunk_mode_
+                                   : options.chunk_mode;
+  t.adaptive = chunk_mode == StreamChunkMode::kAdaptive;
+  if (t.adaptive) {
+    uint64_t min = options.min_chunk_bytes != 0
+                       ? options.min_chunk_bytes
+                       : t.base_chunk_bytes / kStreamAutoRangeFactor;
+    min = std::max(t.align_bytes, min / t.align_bytes * t.align_bytes);
+    t.min_chunk_bytes = std::min(min, t.base_chunk_bytes);
+    uint64_t max = options.max_chunk_bytes != 0
+                       ? options.max_chunk_bytes
+                       : t.base_chunk_bytes * kStreamAutoRangeFactor;
+    max = std::max(t.align_bytes, max / t.align_bytes * t.align_bytes);
+    t.max_chunk_bytes = std::max(max, t.base_chunk_bytes);
+  } else {
+    t.min_chunk_bytes = t.base_chunk_bytes;
+    t.max_chunk_bytes = t.base_chunk_bytes;
+  }
+  StreamCreditMode credit_mode = options.credit_mode == StreamCreditMode::kAuto
+                                     ? stream_credit_mode_
+                                     : options.credit_mode;
+  t.piggyback = credit_mode != StreamCreditMode::kStandalone;
+  return t;
+}
+
+// The streaming exchange engine. P-1 symmetric pairwise rounds: in round r
+// this PE exchanges full-duplex chunked streams with exactly the partner
+// that is exchanging with it (XOR partners at power-of-two P, tournament
+// pairing (r - rank) mod P otherwise; the one round whose partner is the
+// PE itself delivers the self payload zero-copy). Symmetry is what makes
+// credit piggybacking possible: while I stream chunks to my partner, the
+// credits I owe it for ITS chunks ride my outgoing frame headers.
+//
+// Per-direction wire protocol (tags shared across rounds — each ordered PE
+// pair meets in exactly one round, so per-(src, tag) FIFO keeps streams
+// separate): StreamSizeHeader, then chunk messages (StreamChunkHeader +
+// payload), each chunk <= the resolved max chunk so the receiver can bound
+// its posted lookahead without knowing the adaptive controller's choices.
+// Credits: one per consumed chunk, returned piggybacked or as standalone
+// StreamCreditMsg; the receiver's LAST credit-tag message carries
+// kStreamCreditCloseFlag (sent when it has consumed the stream), which is
+// how the sender knows to stop re-posting credit receives — every posted
+// receive is matched, no probe primitive needed, nothing leaks.
+//
+// Liveness: no blocking wait is taken inside a round — every gate
+// (partner credits, send-window admission, incoming chunks) is polled with
+// backoff while the other directions keep progressing, and whenever a poll
+// pass makes no progress, any piggyback-withheld credits are flushed
+// standalone first (a blocked PE must never starve its partner's sender).
+// Rounds of different PEs need not be synchronized: a fast PE's header and
+// first credit-window chunks simply queue at the future partner (bounded
+// by O(credit x chunk) per source), and a waiting chain always ends at a
+// pair that is in its mutual round, which makes progress.
 void Comm::AlltoallvStream(const StreamSendProvider& send_for,
                            const ChunkConsumer& consumer,
                            const StreamSizeCallback& on_size,
-                           size_t chunk_bytes) {
-  const uint64_t chunk = chunk_bytes != 0 ? chunk_bytes : stream_chunk_bytes_;
-  DEMSORT_CHECK_GT(chunk, 0u);
+                           const StreamOptions& options) {
+  const ResolvedStreamTuning tune = ResolveStreamTuning(options);
+  DEMSORT_CHECK_GT(tune.base_chunk_bytes, 0u);
 
   // Self delivery is zero-copy: the provider's span goes straight to the
   // consumer in chunk-size pieces (local memory traffic, like self-sends).
@@ -233,6 +305,7 @@ void Comm::AlltoallvStream(const StreamSendProvider& send_for,
       consumer(rank_, {}, true);
       return;
     }
+    const uint64_t chunk = tune.base_chunk_bytes;
     for (uint64_t off = 0; off < mine.size(); off += chunk) {
       uint64_t n = std::min<uint64_t>(chunk, mine.size() - off);
       consumer(rank_, mine.subspan(off, n), off + n == mine.size());
@@ -243,33 +316,16 @@ void Comm::AlltoallvStream(const StreamSendProvider& send_for,
     return;
   }
 
-  int tag = AllocateCollectiveTag();
-  int credit_tag = AllocateCollectiveTag();
-
-  // Per-source receive state. The size header (first message on the pair's
-  // FIFO) is posted for every source up front; chunk receives follow with
-  // a bounded lookahead once the size is known.
-  struct SourceState {
-    RecvRequest header;
-    std::deque<RecvRequest> inflight;
-    uint64_t total = 0;
-    uint64_t chunks_total = 0;
-    uint64_t chunks_posted = 0;
-    uint64_t chunks_taken = 0;
-    bool size_known = false;
-    bool finished = false;
-  };
-  std::vector<SourceState> sources(size_);
-  int open_sources = 0;
-  for (int off = 1; off < size_; ++off) {
-    int s = (rank_ - off + size_) % size_;
-    sources[s].header = Irecv(s, tag);
-    ++open_sources;
+  const int data_tag = AllocateCollectiveTag();
+  const int credit_tag = AllocateCollectiveTag();
+  NetStats& my_stats = transport_->stats(rank_);
+  if (stream_tuning_.size() != static_cast<size_t>(size_)) {
+    stream_tuning_.assign(size_, StreamPeerTuning{});
   }
 
-  // Nonblocking send window: same bound as WindowedSends, but a stall
-  // polls the receive side instead of parking the thread, so consumption
-  // continues while this PE waits for send credit.
+  // Nonblocking send window shared across rounds: completed volume is
+  // reclaimed oldest-first; a full window defers the next chunk instead of
+  // parking the thread, so consumption continues while waiting.
   std::deque<std::pair<SendRequest, size_t>> outstanding;
   size_t inflight_bytes = 0;
   auto reclaim_sends = [&] {
@@ -283,146 +339,278 @@ void Comm::AlltoallvStream(const StreamSendProvider& send_for,
     outstanding.emplace_back(std::move(sr), n);
   };
 
-  // Consumes every receive that has completed, without blocking, and
-  // returns one flow-control credit per consumed chunk (skipping the final
-  // kStreamSendCredit chunks, whose credit the sender never waits for).
-  // Returns whether anything landed.
-  auto poll_sources = [&]() -> bool {
+  // Credit intakes of FINISHED rounds whose close has not arrived yet (the
+  // partner is still consuming our tail): polled opportunistically during
+  // later rounds, hard-absorbed at the end. Their counts are stale (our
+  // stream to that partner is fully sent) but every message must be taken
+  // or it would sit in the mailbox forever.
+  struct PendingClose {
+    int peer;
+    RecvRequest rr;
+  };
+  std::vector<PendingClose> closes;
+  auto absorb_credit_msg = [&](std::vector<uint8_t> bytes,
+                               uint64_t* credits_out) -> bool {
+    DEMSORT_CHECK_EQ(bytes.size(), sizeof(StreamCreditMsg));
+    StreamCreditMsg cm;
+    std::memcpy(&cm, bytes.data(), sizeof(cm));
+    if (credits_out != nullptr) *credits_out += cm.credits;
+    return (cm.flags & kStreamCreditCloseFlag) != 0;
+  };
+  auto poll_closes = [&]() -> bool {
     bool progress = false;
-    for (int off = 1; off < size_; ++off) {
-      int s = (rank_ - off + size_) % size_;
-      SourceState& st = sources[s];
-      if (st.finished) continue;
-      if (!st.size_known) {
-        if (!st.header.done()) continue;
-        std::vector<uint8_t> hdr = st.header.Take();
-        DEMSORT_CHECK_EQ(hdr.size(), sizeof(uint64_t));
-        std::memcpy(&st.total, hdr.data(), sizeof(st.total));
-        st.size_known = true;
-        progress = true;
-        if (on_size) on_size(s, st.total);
-        st.chunks_total = (st.total + chunk - 1) / chunk;
-        if (st.chunks_total == 0) {
-          consumer(s, {}, true);
-          st.finished = true;
-          --open_sources;
-          continue;
-        }
-        while (st.chunks_posted <
-               std::min(st.chunks_total, kStreamRecvLookahead)) {
-          st.inflight.push_back(Irecv(s, tag));
-          ++st.chunks_posted;
-        }
+    for (size_t i = 0; i < closes.size();) {
+      if (!closes[i].rr.done()) {
+        ++i;
+        continue;
       }
-      while (!st.finished && !st.inflight.empty() &&
-             st.inflight.front().done()) {
-        std::vector<uint8_t> data = st.inflight.front().Take();
-        st.inflight.pop_front();
-        if (st.chunks_posted < st.chunks_total) {
-          st.inflight.push_back(Irecv(s, tag));
-          ++st.chunks_posted;
-        }
-        ++st.chunks_taken;
-        bool last = st.chunks_taken == st.chunks_total;
-        uint64_t expect =
-            last ? st.total - (st.chunks_total - 1) * chunk : chunk;
-        DEMSORT_CHECK_EQ(data.size(), expect);
-        consumer(s, std::span<const uint8_t>(data.data(), data.size()), last);
-        if (st.chunks_taken + kStreamSendCredit <= st.chunks_total) {
-          track_send(Isend(s, credit_tag, nullptr, 0), 0);
-        }
-        progress = true;
-        if (last) {
-          st.finished = true;
-          --open_sources;
-        }
+      progress = true;
+      if (absorb_credit_msg(closes[i].rr.Take(), nullptr)) {
+        closes.erase(closes.begin() + i);
+      } else {
+        closes[i].rr = Irecv(closes[i].peer, credit_tag);
+        ++i;
       }
     }
     return progress;
   };
 
-  auto admit_send = [&](size_t n) {
-    if (send_window_bytes_ == 0) return;
-    reclaim_sends();
-    PollBackoff backoff;
-    while (inflight_bytes + n > send_window_bytes_ && !outstanding.empty()) {
-      if (poll_sources()) {
-        backoff.Reset();
-      } else {
-        backoff.Idle();
-      }
-      reclaim_sends();
-    }
-  };
+  const bool pow2 = (size_ & (size_ - 1)) == 0;
 
-  // Stream out, rank-rotated, consuming arrivals between chunks so the
-  // receive side never waits for the send loop to finish. Chunk i needs
-  // credit i - kStreamSendCredit before it may go: the receiver's consumed
-  // volume, not the transport's admission, is what paces this loop.
-  for (int off = 1; off < size_; ++off) {
-    int dst = (rank_ + off) % size_;
-    std::span<const uint8_t> payload = send_for(dst);
-    uint64_t total = payload.size();
-    admit_send(sizeof(total));
-    track_send(Isend(dst, tag, &total, sizeof(total)), sizeof(total));
-    uint64_t chunk_index = 0;
-    for (uint64_t o = 0; o < total; o += chunk, ++chunk_index) {
-      if (chunk_index >= kStreamSendCredit) {
-        RecvRequest credit = Irecv(dst, credit_tag);
-        PollBackoff backoff;
-        while (!credit.done()) {
-          if (poll_sources()) {
-            backoff.Reset();
-          } else if (open_sources == 0) {
-            // Nothing left to consume locally: block on the credit
-            // outright instead of polling an empty receive side.
-            credit.Wait();
-          } else {
-            backoff.Idle();
+  for (int r = 0; r < size_; ++r) {
+    const int q = pow2 ? (rank_ ^ r) : (r - rank_ + 2 * size_) % size_;
+    if (q == rank_) {
+      deliver_self();
+      continue;
+    }
+
+    StreamPeerTuning& tuning = stream_tuning_[q];
+    uint64_t chunk =
+        tune.adaptive
+            ? std::clamp(tuning.chunk_bytes != 0 ? tuning.chunk_bytes
+                                                 : tune.base_chunk_bytes,
+                         tune.min_chunk_bytes, tune.max_chunk_bytes)
+            : tune.base_chunk_bytes;
+    chunk = std::max(tune.align_bytes,
+                     chunk / tune.align_bytes * tune.align_bytes);
+
+    // ---- outgoing stream.
+    std::span<const uint8_t> payload = send_for(q);
+    const uint64_t total_out = payload.size();
+    uint64_t sent_bytes = 0;
+    uint64_t chunks_sent = 0;
+    uint64_t credits_in = 0;  // cumulative credits q granted this round
+    bool header_sent = false;
+    int64_t stall_started_ns = -1;
+
+    // ---- credit intake (one posted receive until the close arrives).
+    RecvRequest credit_rr = Irecv(q, credit_tag);
+    bool close_seen = false;
+
+    // ---- incoming stream.
+    RecvRequest header_rr = Irecv(q, data_tag);
+    bool size_known = false;
+    uint64_t total_in = 0;
+    uint64_t taken_bytes = 0;
+    std::deque<RecvRequest> inflight;
+    uint64_t pending_credits = 0;  // owed to q, not yet returned
+    bool close_sent = false;
+
+    // Sends q's credits standalone: always when closing (the mandatory
+    // last credit message of the stream), otherwise only if any are
+    // pending. A blocked or tail-phase receiver must not withhold.
+    auto flush_credits = [&](bool closing) {
+      if (close_sent || (!closing && pending_credits == 0)) return;
+      DEMSORT_CHECK_LE(pending_credits, uint64_t{UINT32_MAX});
+      StreamCreditMsg cm{static_cast<uint32_t>(pending_credits),
+                         closing ? kStreamCreditCloseFlag : 0u};
+      pending_credits = 0;
+      track_send(Isend(q, credit_tag, &cm, sizeof(cm)), sizeof(cm));
+      my_stats.RecordCreditMsg();
+      if (closing) close_sent = true;
+    };
+
+    // Credits can ride an upcoming data frame only while our own stream
+    // to q still has chunks to send.
+    auto piggyback_possible = [&]() -> bool {
+      return tune.piggyback && (!header_sent || sent_bytes < total_out);
+    };
+
+    // Posted chunk receives: bounded by the number of messages PROVABLY
+    // still to arrive — ceil(remaining / max_chunk) — so the adaptive
+    // sender can choose any chunk sizes <= max without a posted receive
+    // ever going unmatched.
+    auto post_recvs = [&] {
+      if (!size_known || total_in == 0) return;
+      uint64_t remaining = total_in - taken_bytes;
+      uint64_t guaranteed =
+          (remaining + tune.max_chunk_bytes - 1) / tune.max_chunk_bytes;
+      while (inflight.size() <
+             std::min<uint64_t>(kStreamRecvLookahead, guaranteed)) {
+        inflight.push_back(Irecv(q, data_tag));
+      }
+    };
+
+    auto poll_credits = [&]() -> bool {
+      bool progress = false;
+      while (!close_seen && credit_rr.done()) {
+        progress = true;
+        close_seen = absorb_credit_msg(credit_rr.Take(), &credits_in);
+        if (!close_seen) credit_rr = Irecv(q, credit_tag);
+      }
+      return progress;
+    };
+
+    auto poll_recv = [&]() -> bool {
+      bool progress = false;
+      if (!size_known) {
+        if (!header_rr.done()) return false;
+        std::vector<uint8_t> hdr = header_rr.Take();
+        DEMSORT_CHECK_EQ(hdr.size(), sizeof(StreamSizeHeader));
+        StreamSizeHeader h;
+        std::memcpy(&h, hdr.data(), sizeof(h));
+        total_in = h.total_bytes;
+        credits_in += h.credits;
+        size_known = true;
+        progress = true;
+        if (on_size) on_size(q, total_in);
+        if (total_in == 0) {
+          consumer(q, {}, true);
+          flush_credits(/*closing=*/true);
+        } else {
+          post_recvs();
+        }
+      }
+      while (taken_bytes < total_in && !inflight.empty() &&
+             inflight.front().done()) {
+        std::vector<uint8_t> data = inflight.front().Take();
+        inflight.pop_front();
+        DEMSORT_CHECK_GT(data.size(), sizeof(StreamChunkHeader));
+        StreamChunkHeader ch;
+        std::memcpy(&ch, data.data(), sizeof(ch));
+        credits_in += ch.credits;
+        size_t n = data.size() - sizeof(StreamChunkHeader);
+        DEMSORT_CHECK_LE(n, tune.max_chunk_bytes);
+        DEMSORT_CHECK_LE(taken_bytes + n, total_in);
+        taken_bytes += n;
+        bool last = taken_bytes == total_in;
+        consumer(q,
+                 std::span<const uint8_t>(
+                     data.data() + sizeof(StreamChunkHeader), n),
+                 last);
+        ++pending_credits;
+        progress = true;
+        if (last) {
+          flush_credits(/*closing=*/true);
+        } else {
+          post_recvs();
+          if (!piggyback_possible()) flush_credits(/*closing=*/false);
+        }
+      }
+      return progress;
+    };
+
+    auto try_send = [&]() -> bool {
+      bool progress = false;
+      if (!header_sent) {
+        uint32_t carried = 0;
+        if (tune.piggyback && pending_credits > 0) {
+          carried = static_cast<uint32_t>(
+              std::min<uint64_t>(pending_credits, UINT32_MAX));
+          pending_credits -= carried;
+          my_stats.RecordPiggybackedCredits(carried);
+        }
+        StreamSizeHeader h{total_out, carried, 0};
+        track_send(Isend(q, data_tag, &h, sizeof(h)), sizeof(h));
+        header_sent = true;
+        progress = true;
+      }
+      while (sent_bytes < total_out) {
+        if (chunks_sent >= kStreamSendCredit + credits_in) {
+          // Credit-gated: the consumer's pace, not the transport's
+          // admission, is what must throttle this stream.
+          if (stall_started_ns < 0) stall_started_ns = NowNanos();
+          break;
+        }
+        if (tune.adaptive) {
+          if (stall_started_ns >= 0) {
+            // The gate just reopened after a stall: a long one means the
+            // consumer is the bottleneck — halve for finer pacing.
+            if (NowNanos() - stall_started_ns > kStreamShrinkStallNs) {
+              chunk = std::max(tune.min_chunk_bytes,
+                               chunk / 2 / tune.align_bytes *
+                                   tune.align_bytes);
+              tuning.fast_streak = 0;
+            }
+            stall_started_ns = -1;
+          } else if (chunks_sent >= kStreamSendCredit) {
+            // Credit was already waiting once the window applied at all:
+            // the consumer keeps up — amortize per-chunk overhead.
+            if (++tuning.fast_streak >= kStreamGrowStreak) {
+              chunk = std::min(tune.max_chunk_bytes, chunk * 2);
+              tuning.fast_streak = 0;
+            }
           }
         }
-        credit.Take();
+        reclaim_sends();
+        size_t n = static_cast<size_t>(
+            std::min<uint64_t>(chunk, total_out - sent_bytes));
+        size_t frame = sizeof(StreamChunkHeader) + n;
+        if (send_window_bytes_ != 0 && !outstanding.empty() &&
+            inflight_bytes + frame > send_window_bytes_) {
+          break;  // admission-gated; not a consumer-pace signal
+        }
+        uint32_t carried = 0;
+        if (tune.piggyback && pending_credits > 0) {
+          carried = static_cast<uint32_t>(
+              std::min<uint64_t>(pending_credits, UINT32_MAX));
+          pending_credits -= carried;
+          my_stats.RecordPiggybackedCredits(carried);
+        }
+        StreamChunkHeader ch{carried, 0};
+        track_send(IsendGather(q, data_tag, &ch, sizeof(ch),
+                               payload.data() + sent_bytes, n),
+                   frame);
+        sent_bytes += n;
+        ++chunks_sent;
+        progress = true;
       }
-      size_t n = static_cast<size_t>(std::min<uint64_t>(chunk, total - o));
-      admit_send(n);
-      track_send(Isend(dst, tag, payload.data() + o, n), n);
-      poll_sources();
-    }
-  }
-  deliver_self();
+      return progress;
+    };
 
-  // Drain the remaining sources. While more than one source is open, a
-  // stall only backs off and keeps polling ALL of them: hard-blocking on
-  // one source would stop consuming the others and therefore stop
-  // returning their flow-control credits, and a cycle of drain-blocked
-  // and credit-blocked PEs can close into a distributed deadlock (A waits
-  // on B's header while B's sender is credit-starved on C, ...). Only
-  // when a single source remains is a hard wait safe: every other sender
-  // has already received every credit it can wait for, the remaining
-  // source's next chunk needs no further credit from this PE (its credit
-  // was returned on consumption of chunk i - kStreamSendCredit), and this
-  // PE's own send loop — the only place it waits on credits — is done.
-  PollBackoff drain_backoff;
-  while (open_sources > 0) {
-    if (poll_sources()) {
-      drain_backoff.Reset();
-      continue;
-    }
-    if (open_sources > 1) {
-      drain_backoff.Idle();
-      continue;
-    }
-    for (int off = 1; off < size_; ++off) {
-      int s = (rank_ - off + size_) % size_;
-      SourceState& st = sources[s];
-      if (st.finished) continue;
-      if (!st.size_known) {
-        st.header.Wait();
-      } else {
-        DEMSORT_CHECK(!st.inflight.empty());
-        st.inflight.front().Wait();
+    PollBackoff backoff;
+    while (!(header_sent && sent_bytes == total_out && size_known &&
+             taken_bytes == total_in)) {
+      bool progress = try_send();
+      progress |= poll_recv();
+      progress |= poll_credits();
+      progress |= poll_closes();
+      if (progress) {
+        backoff.Reset();
+        continue;
       }
-      break;
+      // Blocked with nothing to do: release any piggyback-withheld
+      // credits first — a stalled PE must never starve its partner's
+      // sender (the liveness valve of the piggyback protocol).
+      flush_credits(/*closing=*/false);
+      backoff.Idle();
+    }
+    DEMSORT_CHECK(close_sent);
+    DEMSORT_CHECK(inflight.empty());
+    poll_credits();
+    if (!close_seen) {
+      closes.push_back(PendingClose{q, std::move(credit_rr)});
+    }
+    if (tune.adaptive) tuning.chunk_bytes = chunk;
+    my_stats.SetStreamChunkBytes(chunk);
+  }
+
+  // Absorb the remaining closes. Safe to block: a pending close only needs
+  // its sender to finish consuming our (fully sent) stream, which requires
+  // nothing further from this PE.
+  for (PendingClose& pc : closes) {
+    while (!absorb_credit_msg(pc.rr.Take(), nullptr)) {
+      pc.rr = Irecv(pc.peer, credit_tag);
     }
   }
   for (auto& [sr, n] : outstanding) sr.Wait();

@@ -97,6 +97,15 @@ class Comm {
   SendRequest Isend(int dst, int tag, const void* data, size_t bytes) {
     return transport_->Isend(rank_, dst, tag, data, bytes);
   }
+  /// Gathering Isend: one message of header-then-payload, assembled by the
+  /// transport in a single copy (the streaming chunk-frame hot path).
+  SendRequest IsendGather(int dst, int tag, const void* header,
+                          size_t header_bytes, const void* data,
+                          size_t bytes) {
+    return transport_->IsendGather(rank_, dst, tag, header, header_bytes,
+                                   data, bytes);
+  }
+
   /// Nonblocking posted receive for the next (src, tag) message.
   RecvRequest Irecv(int src, int tag) {
     return transport_->Irecv(rank_, src, tag);
@@ -287,58 +296,122 @@ class Comm {
     return received;
   }
 
-  // ------------------------------------------------- streaming a2a ------
+  // ------------------------------------------- streaming collectives ------
   /// Consumes one landed chunk: `chunk` is valid only for the duration of
   /// the call; `last` marks the final chunk from `src` (an empty payload
   /// still yields exactly one call with an empty span and last == true).
   using ChunkConsumer =
       std::function<void(int src, std::span<const uint8_t> chunk, bool last)>;
   /// Supplies the payload for one destination. Called exactly once per
-  /// destination, remote ranks first in rank-rotated order, self last; the
-  /// returned span must stay valid until the next provider call (remote
-  /// payloads are copied out chunk by chunk during the call; the self
-  /// payload is handed to the consumer zero-copy).
+  /// destination, in the pairwise schedule's round order (self in this
+  /// PE's idle round); the returned span must stay valid until the next
+  /// provider call (remote payloads are copied out chunk by chunk during
+  /// the round; the self payload is handed to the consumer zero-copy).
   using StreamSendProvider = std::function<std::span<const uint8_t>(int dst)>;
   /// Optional: told each source's total payload size as soon as its stream
   /// header lands (lets consumers pre-size their assembly).
   using StreamSizeCallback = std::function<void(int src, uint64_t bytes)>;
 
   /// Streaming 64-bit all-to-all with receiver-driven flow control: each
-  /// destination's payload travels as a size header plus ceil(bytes/chunk)
-  /// bounded chunks, receives are posted chunk-granular, and `consumer`
-  /// runs as each chunk lands — so unpacking, disk writes, and the tail of
-  /// the network transfer overlap. The receiver returns one credit message
-  /// per consumed chunk and a sender keeps at most a fixed number of
-  /// un-credited chunks in flight per destination, so receive-side
-  /// buffering is O(credit x chunk) per active source ON EVERY TRANSPORT —
-  /// chunking alone would not bound it on an uncapped fabric — instead of
-  /// O(payload) per source. Chunks from one source arrive in order; chunks
-  /// from different sources interleave in arrival order. `chunk_bytes` == 0
-  /// uses stream_chunk_bytes(). SPMD discipline as for every collective.
+  /// destination's payload travels as a size header plus bounded chunks,
+  /// receives are posted chunk-granular, and `consumer` runs as each chunk
+  /// lands — so unpacking, disk writes, and the tail of the network
+  /// transfer overlap. The receiver returns one credit per consumed chunk
+  /// and a sender keeps at most kStreamSendCreditChunks un-credited chunks
+  /// in flight per destination, so receive-side buffering is
+  /// O(credit x max chunk) per active source ON EVERY TRANSPORT — chunking
+  /// alone would not bound it on an uncapped fabric — instead of
+  /// O(payload) per source.
+  ///
+  /// The exchange runs as P-1 SYMMETRIC pairwise rounds (XOR partners when
+  /// P is a power of two, tournament pairing (round - rank) mod P
+  /// otherwise): in each round the PE streams to exactly the partner that
+  /// is streaming to it, so flow-control credits ride the reverse data
+  /// frames (StreamChunkHeader::credits) instead of costing a message per
+  /// chunk; standalone credit messages remain for the tail and liveness
+  /// cases (see message.h and the README's collective-tuning section).
+  /// In kAdaptive chunk mode a per-destination controller resizes chunks
+  /// within [min, max] from the measured credit turnaround. Chunks from
+  /// one source arrive in order; sources complete in round order. SPMD
+  /// discipline as for every collective: all PEs must pass equal options.
+  void AlltoallvStream(const StreamSendProvider& send_for,
+                       const ChunkConsumer& consumer,
+                       const StreamSizeCallback& on_size,
+                       const StreamOptions& options);
+
+  /// Back-compat overload: `chunk_bytes` == 0 uses stream_chunk_bytes();
+  /// all other tuning comes from the Comm-level defaults.
   void AlltoallvStream(const StreamSendProvider& send_for,
                        const ChunkConsumer& consumer,
                        const StreamSizeCallback& on_size = nullptr,
-                       size_t chunk_bytes = 0);
+                       size_t chunk_bytes = 0) {
+    StreamOptions options;
+    options.chunk_bytes = chunk_bytes;
+    AlltoallvStream(send_for, consumer, on_size, options);
+  }
 
-  /// Convenience overload for payloads that already exist in memory.
+  /// Convenience overloads for payloads that already exist in memory.
+  void AlltoallvStream(const std::vector<std::span<const uint8_t>>& sends,
+                       const ChunkConsumer& consumer,
+                       const StreamSizeCallback& on_size,
+                       const StreamOptions& options) {
+    DEMSORT_CHECK_EQ(sends.size(), static_cast<size_t>(size_));
+    AlltoallvStream([&](int dst) { return sends[dst]; }, consumer, on_size,
+                    options);
+  }
   void AlltoallvStream(const std::vector<std::span<const uint8_t>>& sends,
                        const ChunkConsumer& consumer,
                        const StreamSizeCallback& on_size = nullptr,
                        size_t chunk_bytes = 0) {
-    DEMSORT_CHECK_EQ(sends.size(), static_cast<size_t>(size_));
-    AlltoallvStream([&](int dst) { return sends[dst]; }, consumer, on_size,
-                    chunk_bytes);
+    StreamOptions options;
+    options.chunk_bytes = chunk_bytes;
+    AlltoallvStream(sends, consumer, on_size, options);
   }
 
-  /// Streaming chunk size rounded down to a whole number of `elem_bytes`
-  /// records, so chunk boundaries never split a record of that size.
-  /// `chunk_bytes` == 0 uses stream_chunk_bytes(); callers with a per-run
-  /// override (SortConfig::stream_chunk_bytes) pass it here instead of
-  /// mutating the shared Comm.
-  size_t AlignedStreamChunkBytes(size_t elem_bytes,
-                                 size_t chunk_bytes = 0) const {
-    size_t chunk = chunk_bytes != 0 ? chunk_bytes : stream_chunk_bytes_;
-    return std::max(elem_bytes, chunk / elem_bytes * elem_bytes);
+  /// Streaming variable-length allgather: every PE contributes `mine` and
+  /// `consumer` sees every PE's contribution (own included, zero-copy) in
+  /// bounded chunks — no P payload vectors are ever materialized on the
+  /// receive side. Dissemination is the bandwidth-balanced direct exchange
+  /// (each PE ships its contribution to every peer over the pairwise round
+  /// schedule) — consistent with AllgatherBytes' large-payload path, which
+  /// is exactly the regime where streaming matters; the latency-optimized
+  /// tree remains the buffered AllgatherV's small-payload path. Because
+  /// the rounds are symmetric, credit piggybacking applies here too.
+  /// Volume: (P-1) * |mine| sent per PE, perfectly balanced.
+  void AllgatherVStream(std::span<const uint8_t> mine,
+                        const ChunkConsumer& consumer,
+                        const StreamSizeCallback& on_size = nullptr,
+                        const StreamOptions& options = {}) {
+    AlltoallvStream([mine](int) { return mine; }, consumer, on_size, options);
+  }
+
+  /// Typed streaming allgather: returns the P contribution vectors (the
+  /// result itself is materialized — it is the caller's output — but the
+  /// transport side streams in O(credit x chunk) instead of staging P
+  /// payload copies). align_bytes <= 1 defaults to sizeof(T) so chunks
+  /// never split an element.
+  template <typename T>
+  std::vector<std::vector<T>> AllgatherVStreamed(const std::vector<T>& local,
+                                                 StreamOptions options = {}) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (options.align_bytes <= 1) options.align_bytes = sizeof(T);
+    std::vector<std::vector<T>> out(size_);
+    AllgatherVStream(
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(local.data()),
+            local.size() * sizeof(T)),
+        [&](int src, std::span<const uint8_t> chunk, bool) {
+          DEMSORT_CHECK_EQ(chunk.size() % sizeof(T), 0u);
+          const T* first = reinterpret_cast<const T*>(chunk.data());
+          out[src].insert(out[src].end(), first,
+                          first + chunk.size() / sizeof(T));
+        },
+        [&](int src, uint64_t bytes) {
+          DEMSORT_CHECK_EQ(bytes % sizeof(T), 0u);
+          out[src].reserve(bytes / sizeof(T));
+        },
+        options);
+    return out;
   }
 
   /// Exclusive prefix sum over one uint64 per PE.
@@ -376,6 +449,51 @@ class Comm {
     stream_chunk_bytes_ = bytes;
   }
 
+  /// Comm-level defaults behind StreamOptions' kAuto modes.
+  StreamChunkMode stream_chunk_mode() const { return stream_chunk_mode_; }
+  void set_stream_chunk_mode(StreamChunkMode mode) {
+    stream_chunk_mode_ = mode;
+  }
+  StreamCreditMode stream_credit_mode() const { return stream_credit_mode_; }
+  void set_stream_credit_mode(StreamCreditMode mode) {
+    stream_credit_mode_ = mode;
+  }
+
+  /// Consecutive no-stall credit checks before the adaptive controller
+  /// doubles the chunk, and the credit-stall duration above which it
+  /// halves it (a stall that long means the consumer, not the wire, is
+  /// the bottleneck — finer pacing, smaller bursts).
+  static constexpr int kStreamGrowStreak = 4;
+  static constexpr int64_t kStreamShrinkStallNs = 500'000;  // 0.5 ms
+
+  /// The tuning a streaming collective actually runs with, resolved from
+  /// per-call options + Comm defaults. Exposed so tests and benches can
+  /// derive the receiver-side buffering bound (credits x max_chunk_bytes
+  /// per source) and the exact chunk-size envelope.
+  struct ResolvedStreamTuning {
+    uint64_t align_bytes = 1;
+    uint64_t base_chunk_bytes = 0;
+    uint64_t min_chunk_bytes = 0;
+    uint64_t max_chunk_bytes = 0;
+    bool adaptive = false;
+    bool piggyback = true;
+  };
+  ResolvedStreamTuning ResolveStreamTuning(const StreamOptions& options) const;
+
+  /// Largest chunk the streaming engine may put on the wire under
+  /// `options` (every receiver's per-message upper bound).
+  uint64_t StreamMaxChunkBytes(const StreamOptions& options = {}) const {
+    return ResolveStreamTuning(options).max_chunk_bytes;
+  }
+
+  /// The adaptive controller's current chunk size for `peer` (0 before the
+  /// first streaming exchange with it).
+  uint64_t StreamPeerChunkBytes(int peer) const {
+    return peer < static_cast<int>(stream_tuning_.size())
+               ? stream_tuning_[peer].chunk_bytes
+               : 0;
+  }
+
   /// Exchange-schedule selection for the buffered Alltoallv.
   AlltoallAlgo alltoallv_algo() const { return alltoallv_algo_; }
   void set_alltoallv_algo(AlltoallAlgo algo) { alltoallv_algo_ = algo; }
@@ -404,12 +522,22 @@ class Comm {
   std::vector<std::vector<uint8_t>> TreeAllgatherBytes(
       const std::vector<uint8_t>& local);
 
+  /// Adaptive-chunk controller state, persistent across collectives so a
+  /// converged size carries over to the next exchange with the same peer.
+  struct StreamPeerTuning {
+    uint64_t chunk_bytes = 0;  // 0 = start from the call's base chunk
+    int fast_streak = 0;
+  };
+
   int rank_;
   int size_;
   Transport* transport_;
   uint32_t collective_seq_ = 0;
   size_t send_window_bytes_ = kDefaultSendWindowBytes;
   size_t stream_chunk_bytes_ = kDefaultStreamChunkBytes;
+  StreamChunkMode stream_chunk_mode_ = StreamChunkMode::kAdaptive;
+  StreamCreditMode stream_credit_mode_ = StreamCreditMode::kPiggyback;
+  std::vector<StreamPeerTuning> stream_tuning_;
   AlltoallAlgo alltoallv_algo_ = AlltoallAlgo::kFullMesh;
   int pairwise_threshold_ = kDefaultPairwiseThreshold;
 };

@@ -137,6 +137,19 @@ class FaultTransport : public Transport {
     return base_->Isend(src, dst, tag, data, bytes);
   }
 
+  SendRequest IsendGather(int src, int dst, int tag, const void* header,
+                          size_t header_bytes, const void* data,
+                          size_t bytes) override {
+    // Same trigger semantics as Isend (one gathered send = one operation),
+    // then the base's single-copy path.
+    MaybeKillPe(src);
+    if (injector_->CountLinkMessage(src, dst)) {
+      base_->KillLink(src, dst, injector_->FaultStatus());
+    }
+    return base_->IsendGather(src, dst, tag, header, header_bytes, data,
+                              bytes);
+  }
+
   RecvRequest Irecv(int dst, int src, int tag) override {
     MaybeKillPe(dst);
     return base_->Irecv(dst, src, tag);

@@ -1,10 +1,14 @@
 // Wire-level message representation for the in-process message-passing
-// fabric. Payloads are opaque byte vectors: PEs exchange *copies*, never
-// shared pointers, preserving distributed-memory semantics.
+// fabric, plus the framing and tuning knobs of the streaming collectives
+// (Comm::AlltoallvStream / Comm::AllgatherVStream). Payloads are opaque
+// byte vectors: PEs exchange *copies*, never shared pointers, preserving
+// distributed-memory semantics.
 #ifndef DEMSORT_NET_MESSAGE_H_
 #define DEMSORT_NET_MESSAGE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 namespace demsort::net {
@@ -17,6 +21,103 @@ struct Message {
   int tag = 0;
   std::vector<uint8_t> payload;
 };
+
+// ---------------------------------------------------------------------------
+// Streaming-collective wire framing.
+//
+// Every (sender → receiver) stream of one collective travels as one
+// StreamSizeHeader message followed by zero or more chunk messages, each a
+// StreamChunkHeader immediately followed by the chunk's payload bytes.
+// Both headers carry a `credits` field: in the symmetric exchanges every PE
+// is simultaneously a sender and a receiver of its round partner, so
+// flow-control credits for the REVERSE stream ride on outgoing data frames
+// instead of costing a dedicated message each (credit piggybacking).
+// Standalone StreamCreditMsg messages remain the fallback for the cases a
+// data frame cannot cover: the sender's own stream is already finished (the
+// asymmetric tail), piggybacking is disabled, or the receiver is blocked
+// and must not withhold credits (liveness). The final credit-tag message of
+// every stream carries kStreamCreditCloseFlag — it is how the sender knows
+// no further credit messages will arrive, keeping posted receives exactly
+// matched (no stale receives, no probe primitive needed).
+
+/// First message of a stream: the payload's total size.
+struct StreamSizeHeader {
+  uint64_t total_bytes = 0;
+  /// Piggybacked credits for the reverse stream (usually 0 at stream start).
+  uint32_t credits = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(StreamSizeHeader) == 16);
+static_assert(std::is_trivially_copyable_v<StreamSizeHeader>);
+
+/// Prefixes every data chunk message.
+struct StreamChunkHeader {
+  /// Piggybacked credits for the reverse stream.
+  uint32_t credits = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(StreamChunkHeader) == 8);
+static_assert(std::is_trivially_copyable_v<StreamChunkHeader>);
+
+/// Marks the last credit-tag message of a stream (sent once, when the
+/// receiver has consumed the stream completely).
+inline constexpr uint32_t kStreamCreditCloseFlag = 1u;
+
+/// Standalone credit message (batched: one message may return many credits).
+struct StreamCreditMsg {
+  uint32_t credits = 0;
+  uint32_t flags = 0;
+};
+static_assert(sizeof(StreamCreditMsg) == 8);
+static_assert(std::is_trivially_copyable_v<StreamCreditMsg>);
+
+// ---------------------------------------------------------------------------
+// Streaming-collective tuning.
+
+/// How the streaming collectives size their chunks.
+enum class StreamChunkMode {
+  /// Use the Comm-level default (kAdaptive unless reconfigured).
+  kAuto,
+  /// Every chunk is exactly the configured chunk size (except the tail).
+  kFixed,
+  /// Per-destination controller resizes chunks within [min, max] from the
+  /// measured consumer drain rate: credit stalls shrink, sustained
+  /// credit-ahead streaks grow (see comm.cc).
+  kAdaptive,
+};
+
+/// How flow-control credits travel back to the sender.
+enum class StreamCreditMode {
+  /// Use the Comm-level default (kPiggyback unless reconfigured).
+  kAuto,
+  /// One standalone credit message per consumed chunk (the PR 2 protocol).
+  kStandalone,
+  /// Ride credits on reverse-direction data frames; standalone messages
+  /// only for the tail/asymmetric/liveness cases.
+  kPiggyback,
+};
+
+/// Per-call tuning of a streaming collective. SPMD discipline: every PE of
+/// the cluster must pass identical options to the same collective call —
+/// the receiver derives its buffering bound (max chunk) from them.
+struct StreamOptions {
+  /// Initial (and, in kFixed mode, only) chunk size; 0 = the Comm default.
+  size_t chunk_bytes = 0;
+  /// Every chunk is a multiple of this (the record size of typed streams),
+  /// so chunk boundaries never split a record even while the controller
+  /// resizes. The tail chunk may be smaller.
+  size_t align_bytes = 1;
+  /// Adaptive lower bound; 0 = auto (chunk / kStreamAutoRangeFactor).
+  size_t min_chunk_bytes = 0;
+  /// Adaptive upper bound; 0 = auto (chunk * kStreamAutoRangeFactor).
+  size_t max_chunk_bytes = 0;
+  StreamChunkMode chunk_mode = StreamChunkMode::kAuto;
+  StreamCreditMode credit_mode = StreamCreditMode::kAuto;
+};
+
+/// Auto [min, max] bounds of the adaptive controller span this factor below
+/// and above the configured chunk size.
+inline constexpr size_t kStreamAutoRangeFactor = 8;
 
 }  // namespace demsort::net
 

@@ -24,13 +24,25 @@ struct NetStatsSnapshot {
   /// self-sends) since the last ResetRecvBufferPeak(). A gauge, not a
   /// counter: snapshot subtraction keeps the minuend's value.
   uint64_t recv_buffer_peak_bytes = 0;
+  /// Standalone flow-control credit messages this PE sent (including the
+  /// per-stream close message of the streaming collectives).
+  uint64_t credit_msgs = 0;
+  /// Credits this PE returned by riding them on outgoing data frames
+  /// instead of dedicated messages — what credit piggybacking saves.
+  uint64_t piggybacked_credits = 0;
+  /// Effective chunk size of this PE's most recent streaming send (the
+  /// adaptive controller's converged value). A gauge like the peak.
+  uint64_t stream_chunk_bytes = 0;
 
   NetStatsSnapshot operator-(const NetStatsSnapshot& rhs) const {
     return NetStatsSnapshot{messages_sent - rhs.messages_sent,
                             bytes_sent - rhs.bytes_sent,
                             messages_received - rhs.messages_received,
                             bytes_received - rhs.bytes_received,
-                            recv_buffer_peak_bytes};
+                            recv_buffer_peak_bytes,
+                            credit_msgs - rhs.credit_msgs,
+                            piggybacked_credits - rhs.piggybacked_credits,
+                            stream_chunk_bytes};
   }
 };
 
@@ -64,13 +76,29 @@ class NetStats {
                             std::memory_order_relaxed);
   }
 
+  /// One standalone credit message left this PE.
+  void RecordCreditMsg() {
+    credit_msgs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// `credits` rode an outgoing data frame instead of a dedicated message.
+  void RecordPiggybackedCredits(uint64_t credits) {
+    piggybacked_credits_.fetch_add(credits, std::memory_order_relaxed);
+  }
+  /// The effective chunk of this PE's latest streaming send (gauge).
+  void SetStreamChunkBytes(uint64_t bytes) {
+    stream_chunk_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+
   NetStatsSnapshot Snapshot() const {
     return NetStatsSnapshot{
         messages_sent_.load(std::memory_order_relaxed),
         bytes_sent_.load(std::memory_order_relaxed),
         messages_received_.load(std::memory_order_relaxed),
         bytes_received_.load(std::memory_order_relaxed),
-        recv_buffer_peak_.load(std::memory_order_relaxed)};
+        recv_buffer_peak_.load(std::memory_order_relaxed),
+        credit_msgs_.load(std::memory_order_relaxed),
+        piggybacked_credits_.load(std::memory_order_relaxed),
+        stream_chunk_bytes_.load(std::memory_order_relaxed)};
   }
 
  private:
@@ -80,6 +108,9 @@ class NetStats {
   std::atomic<uint64_t> bytes_received_{0};
   std::atomic<uint64_t> recv_buffered_{0};
   std::atomic<uint64_t> recv_buffer_peak_{0};
+  std::atomic<uint64_t> credit_msgs_{0};
+  std::atomic<uint64_t> piggybacked_credits_{0};
+  std::atomic<uint64_t> stream_chunk_bytes_{0};
 };
 
 }  // namespace demsort::net

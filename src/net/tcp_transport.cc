@@ -521,11 +521,27 @@ void TcpTransport::ReaderLoop(int peer) {
 
 SendRequest TcpTransport::Isend(int src, int dst, int tag, const void* data,
                                 size_t bytes) {
+  std::vector<uint8_t> payload(static_cast<const uint8_t*>(data),
+                               static_cast<const uint8_t*>(data) + bytes);
+  return IsendPayload(src, dst, tag, std::move(payload));
+}
+
+SendRequest TcpTransport::IsendGather(int src, int dst, int tag,
+                                      const void* header, size_t header_bytes,
+                                      const void* data, size_t bytes) {
+  // Single-copy frame assembly (see Transport::IsendGather).
+  std::vector<uint8_t> payload(header_bytes + bytes);
+  std::memcpy(payload.data(), header, header_bytes);
+  if (bytes != 0) std::memcpy(payload.data() + header_bytes, data, bytes);
+  return IsendPayload(src, dst, tag, std::move(payload));
+}
+
+SendRequest TcpTransport::IsendPayload(int src, int dst, int tag,
+                                       std::vector<uint8_t> payload) {
   DEMSORT_CHECK_EQ(src, rank_) << "TcpTransport endpoint serves one rank";
   DEMSORT_CHECK_GE(dst, 0);
   DEMSORT_CHECK_LT(dst, num_pes_);
-  std::vector<uint8_t> payload(static_cast<const uint8_t*>(data),
-                               static_cast<const uint8_t*>(data) + bytes);
+  const size_t bytes = payload.size();
   if (dst == rank_) {
     return mailbox_[rank_]->Offer(tag, std::move(payload),
                                   /*exempt_from_cap=*/true);

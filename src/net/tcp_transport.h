@@ -70,12 +70,14 @@ class TcpTransport : public Transport {
     /// Interaction with the streaming credit protocol: credit frames share
     /// the per-peer socket with data frames, so a paused reader can leave a
     /// credit queued behind undrained data. Keep the watermark at or above
-    /// one credit window — Comm::kStreamSendCreditChunks x the streaming
-    /// chunk size in use (1 MiB at the defaults) — so the window's worth of
-    /// data never trips the pause with a credit still in the socket. The
-    /// streaming poll loops tolerate smaller values (they keep consuming,
-    /// which drains the mailbox and resumes the reader), but every trapped
-    /// credit then costs a pause/resume round trip of throughput.
+    /// one credit window — Comm::kStreamSendCreditChunks x the LARGEST
+    /// streaming chunk in use (the adaptive controller may grow the
+    /// configured chunk by net::kStreamAutoRangeFactor; 8 MiB at the
+    /// defaults) — so the window's worth of data never trips the pause
+    /// with a credit still in the socket. The streaming poll loops
+    /// tolerate smaller values (they keep consuming, which drains the
+    /// mailbox and resumes the reader), but every trapped credit then
+    /// costs a pause/resume round trip of throughput.
     size_t recv_watermark_bytes = 0;
 
     /// Wall-clock budget for Connect() to establish the whole mesh. A peer
@@ -115,6 +117,9 @@ class TcpTransport : public Transport {
   int num_pes() const override { return num_pes_; }
   SendRequest Isend(int src, int dst, int tag, const void* data,
                     size_t bytes) override;
+  SendRequest IsendGather(int src, int dst, int tag, const void* header,
+                          size_t header_bytes, const void* data,
+                          size_t bytes) override;
   RecvRequest Irecv(int dst, int src, int tag) override;
 
   /// pe == rank(): aborts this endpoint — every link is severed (queued
@@ -131,6 +136,10 @@ class TcpTransport : public Transport {
   int rank() const { return rank_; }
 
  private:
+  /// Shared send path of Isend/IsendGather: queue one assembled payload.
+  SendRequest IsendPayload(int src, int dst, int tag,
+                           std::vector<uint8_t> payload);
+
   struct Outgoing {
     int tag = 0;
     std::vector<uint8_t> payload;

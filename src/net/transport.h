@@ -36,6 +36,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -286,6 +287,22 @@ class Transport {
   /// accepted the bytes (see file comment).
   virtual SendRequest Isend(int src, int dst, int tag, const void* data,
                             size_t bytes) = 0;
+
+  /// Gathering variant: ONE message whose payload is `header_bytes` of
+  /// `header` immediately followed by `bytes` of `data`. Transports
+  /// override it to build the wire frame in a single copy — the streaming
+  /// collectives prepend per-chunk headers through this, keeping the hot
+  /// path at one copy instead of scratch-assembly plus the Isend copy.
+  /// The default (for wrappers that only intercept) assembles and
+  /// delegates to this->Isend.
+  virtual SendRequest IsendGather(int src, int dst, int tag,
+                                  const void* header, size_t header_bytes,
+                                  const void* data, size_t bytes) {
+    std::vector<uint8_t> frame(header_bytes + bytes);
+    std::memcpy(frame.data(), header, header_bytes);
+    if (bytes != 0) std::memcpy(frame.data() + header_bytes, data, bytes);
+    return Isend(src, dst, tag, frame.data(), frame.size());
+  }
 
   /// Nonblocking posted receive at PE `dst` for the next message from
   /// (src, tag), in send order.

@@ -196,6 +196,10 @@ TEST(AllToAllTest, StaysWithinBudgetUnderChannelCap) {
   config.randomize_blocks = false;
   config.alltoall_budget = 4 * config.block_size;  // forces several substeps
   config.stream_chunk_bytes = 256;
+  // This test pins the CHUNK-level receive bound, so the chunk must not
+  // move: fixed mode (the adaptive default would be bounded by max chunk
+  // instead — covered by AdaptiveChunksKeepReceiveBufferBound).
+  config.stream_chunk_mode = net::StreamChunkMode::kFixed;
 
   net::Cluster::Options options;
   options.num_pes = P;

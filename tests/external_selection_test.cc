@@ -132,6 +132,64 @@ TEST(ExternalSelectionTest, SelectionIsCheapWithSamples) {
   });
 }
 
+TEST(ExternalSelectionTest, RowGatherStaysAtStreamingBufferBound) {
+  // The splitter-row replication goes through Comm::AllgatherVStream: row
+  // chunks land directly in the matrix, so transport-side buffering stays
+  // at the streaming bound of O(credits x chunk x sources) — NOT at the
+  // P-vectors-of-rows the buffered AllgatherV used to stage. A geometry
+  // with hundreds of runs makes the two regimes clearly distinguishable.
+  const int P = 4;
+  SortConfig config = test::SmallConfig();
+  config.memory_per_pe = 2048;       // 128 KV16 per run piece => many runs
+  config.stream_chunk_bytes = 128;   // far below one row
+  config.stream_chunk_mode = net::StreamChunkMode::kFixed;
+  const uint64_t elements_per_pe = 60000;
+
+  test::RunPes(P, config, [&](PeContext& ctx, const SortConfig& cfg) {
+    auto gen = workload::GenerateKV16(ctx.bm, Distribution::kUniform,
+                                      elements_per_pe, ctx.rank(), P,
+                                      cfg.seed);
+    RunFormationResult<KV16> rf = FormRuns<KV16>(ctx, cfg, gen.input);
+    const size_t num_runs = rf.table.num_runs();
+    ASSERT_GE(num_runs, 100u) << "geometry no longer produces enough runs "
+                                 "for the bound comparison to be meaningful";
+
+    net::Comm& comm = *ctx.comm;
+    ExternalSelector<KV16> selector(ctx, cfg, rf);
+    const uint64_t total = rf.total_elements;
+    const int me = comm.rank();
+    uint64_t my_target =
+        total / P * me + std::min<uint64_t>(total % P, me);
+    std::vector<uint64_t> my_row = selector.SelectCollective(my_target,
+                                                             nullptr);
+
+    // Quiesce the fetch rounds, then measure the row gather in isolation.
+    comm.Barrier();
+    comm.ResetRecvBufferPeak();
+    SplitterMatrix split = selector.GatherSplitterMatrix(my_row);
+    uint64_t peak = comm.StatsSnapshot().recv_buffer_peak_bytes;
+
+    const uint64_t row_bytes = num_runs * sizeof(uint64_t);
+    const uint64_t streaming_bound =
+        static_cast<uint64_t>(P - 1) *
+        ((net::Comm::kStreamSendCreditChunks + 2) *
+             (cfg.stream_chunk_bytes + sizeof(net::StreamChunkHeader)) +
+         sizeof(net::StreamSizeHeader) + 8 * sizeof(net::StreamCreditMsg));
+    ASSERT_LT(streaming_bound, static_cast<uint64_t>(P - 1) * row_bytes)
+        << "bound comparison degenerate: grow the run count";
+    EXPECT_LE(peak, streaming_bound);
+
+    // And the matrix is still the right one: row sums hit the targets.
+    for (int t = 0; t <= P; ++t) {
+      uint64_t sum = 0;
+      for (size_t r = 0; r < num_runs; ++r) sum += split.boundary[t][r];
+      uint64_t expect =
+          t == P ? total : total / P * t + std::min<uint64_t>(total % P, t);
+      EXPECT_EQ(sum, expect) << "row " << t;
+    }
+  });
+}
+
 TEST(ExternalSelectionTest, TinyCacheStillCorrect) {
   const int P = 3;
   SortConfig config = test::SmallConfig();

@@ -142,6 +142,26 @@ TEST_P(FaultParamTest, KillPeMidAlltoallvStreamFailsEveryPe) {
   ExpectAllCommError(outcomes);
 }
 
+TEST_P(FaultParamTest, KillPeMidAllgatherVStreamFailsEveryPe) {
+  // The streaming allgather (credit-piggybacked symmetric rounds) must
+  // contain a peer death exactly like the all-to-all: every PE unwinds
+  // with CommError — no hang on a never-arriving close, no abort.
+  const int P = 4;
+  FaultInjector::Spec spec;
+  spec.victim_pe = 1;
+  spec.fail_at_op = 9;
+  auto outcomes = RunWithFault(kind(), P, spec, [&](Comm& comm) {
+    constexpr size_t kChunk = 1024;
+    const size_t mine_bytes = Comm::kStreamSendCreditChunks * 8 * kChunk;
+    std::vector<uint8_t> mine(mine_bytes, static_cast<uint8_t>(comm.rank()));
+    comm.AllgatherVStream(
+        std::span<const uint8_t>(mine),
+        [](int, std::span<const uint8_t>, bool) {}, nullptr,
+        StreamOptions{.chunk_bytes = kChunk});
+  });
+  ExpectAllCommError(outcomes);
+}
+
 TEST_P(FaultParamTest, SeveredLinkMidAlltoallvStreamFailsBothEndpoints) {
   const int P = 4;
   FaultInjector::Spec spec;

@@ -206,10 +206,14 @@ uint8_t StreamPayloadByte(int src, int dst, size_t i) {
 /// The SPMD streaming-exchange body shared by several tests: every pair
 /// exchanges its StreamPayloadBytes payload in `chunk`-size pieces and
 /// verifies content, chunk bounds, size announcements, and exactly one
-/// last-chunk marker per source.
-void StreamExchangeBody(Comm& comm, size_t chunk) {
+/// last-chunk marker per source. `options` defaults to the Comm defaults
+/// (adaptive chunks, piggybacked credits); tests pass explicit modes to
+/// pin one protocol variant.
+void StreamExchangeBody(Comm& comm, size_t chunk, StreamOptions options = {}) {
   const int P = comm.size();
   const int me = comm.rank();
+  options.chunk_bytes = chunk;
+  const uint64_t max_chunk = comm.StreamMaxChunkBytes(options);
   std::vector<std::vector<uint8_t>> payloads(P);
   std::vector<std::span<const uint8_t>> spans(P);
   for (int d = 0; d < P; ++d) {
@@ -225,12 +229,12 @@ void StreamExchangeBody(Comm& comm, size_t chunk) {
   comm.AlltoallvStream(
       spans,
       [&](int src, std::span<const uint8_t> data, bool last) {
-        EXPECT_LE(data.size(), chunk);
+        EXPECT_LE(data.size(), max_chunk);
         EXPECT_EQ(lasts[src], 0) << "chunk after last from " << src;
         got[src].insert(got[src].end(), data.begin(), data.end());
         if (last) ++lasts[src];
       },
-      [&](int src, uint64_t bytes) { announced[src] = bytes; }, chunk);
+      [&](int src, uint64_t bytes) { announced[src] = bytes; }, options);
   for (int s = 0; s < P; ++s) {
     ASSERT_EQ(got[s].size(), StreamPayloadBytes(s, me)) << "source " << s;
     EXPECT_EQ(announced[s], got[s].size());
@@ -250,6 +254,105 @@ TEST_P(TransportParamTest, AlltoallvStreamChunkLargerThanPayload) {
   // Every payload fits one chunk (chunk == or > payload), including the
   // zero-payload pairs: still exactly one consumer call per source.
   RunWith(kind(), pes(), [](Comm& comm) { StreamExchangeBody(comm, 4096); });
+}
+
+TEST_P(TransportParamTest, AlltoallvStreamStandaloneCreditsAndFixedChunks) {
+  // The PR 2 protocol variant (one standalone credit message per consumed
+  // chunk, no resizing) must deliver identically — it is micro_net's
+  // comparison baseline and the fallback for asymmetric exchanges.
+  RunWith(kind(), pes(), [](Comm& comm) {
+    StreamOptions options;
+    options.chunk_mode = StreamChunkMode::kFixed;
+    options.credit_mode = StreamCreditMode::kStandalone;
+    StreamExchangeBody(comm, 64, options);
+  });
+}
+
+TEST_P(TransportParamTest, AllgatherVStreamDeliversAllContributions) {
+  // The streaming allgather: every PE's contribution (rank-dependent size
+  // and content, including rank 0's empty one) arrives chunked at every
+  // PE, own contribution included.
+  RunWith(kind(), pes(), [](Comm& comm) {
+    const int P = comm.size();
+    const int me = comm.rank();
+    std::vector<uint8_t> mine(static_cast<size_t>(200 * me));
+    for (size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = static_cast<uint8_t>(me * 41 + i * 3);
+    }
+    std::vector<std::vector<uint8_t>> got(P);
+    std::vector<int> lasts(P, 0);
+    std::vector<uint64_t> announced(P, UINT64_MAX);
+    comm.AllgatherVStream(
+        std::span<const uint8_t>(mine),
+        [&](int src, std::span<const uint8_t> data, bool last) {
+          EXPECT_EQ(lasts[src], 0);
+          got[src].insert(got[src].end(), data.begin(), data.end());
+          if (last) ++lasts[src];
+        },
+        [&](int src, uint64_t bytes) { announced[src] = bytes; },
+        StreamOptions{.chunk_bytes = 64});
+    for (int s = 0; s < P; ++s) {
+      ASSERT_EQ(got[s].size(), static_cast<size_t>(200 * s)) << "src " << s;
+      EXPECT_EQ(announced[s], got[s].size());
+      EXPECT_EQ(lasts[s], 1);
+      for (size_t i = 0; i < got[s].size(); ++i) {
+        ASSERT_EQ(got[s][i], static_cast<uint8_t>(s * 41 + i * 3));
+      }
+    }
+  });
+}
+
+TEST_P(TransportParamTest, AllgatherVStreamedTypedMatchesBufferedAllgatherV) {
+  RunWith(kind(), pes(), [](Comm& comm) {
+    const int me = comm.rank();
+    std::vector<uint32_t> mine(static_cast<size_t>(me * 3 + 1));
+    for (size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = static_cast<uint32_t>(me * 1000 + i);
+    }
+    auto streamed = comm.AllgatherVStreamed<uint32_t>(mine);
+    auto buffered = comm.AllgatherV(mine);
+    ASSERT_EQ(streamed.size(), buffered.size());
+    for (size_t p = 0; p < streamed.size(); ++p) {
+      EXPECT_EQ(streamed[p], buffered[p]) << "src " << p;
+    }
+  });
+}
+
+TEST_P(TransportParamTest, PiggybackedCreditsRideDataFrames) {
+  if (pes() < 2) GTEST_SKIP();
+  // Symmetric equal payloads spanning many credit windows: nearly every
+  // credit should ride a reverse data frame. Each PE asserts on its own
+  // counters: piggybacked credits dominate, standalone credit messages
+  // stay near the protocol floor (the mandatory per-stream close plus
+  // occasional liveness flushes), far below one message per chunk.
+  RunWith(kind(), pes(), [](Comm& comm) {
+    const int P = comm.size();
+    constexpr size_t kChunk = 1024;
+    const size_t per_pair = 32 * Comm::kStreamSendCreditChunks * kChunk;
+    std::vector<uint8_t> payload(per_pair, static_cast<uint8_t>(comm.rank()));
+    std::vector<std::span<const uint8_t>> spans(
+        P, std::span<const uint8_t>(payload));
+    NetStatsSnapshot before = comm.StatsSnapshot();
+    std::vector<uint64_t> got(P, 0);
+    StreamOptions options;
+    options.chunk_bytes = kChunk;
+    options.chunk_mode = StreamChunkMode::kFixed;
+    options.credit_mode = StreamCreditMode::kPiggyback;
+    comm.AlltoallvStream(
+        spans,
+        [&](int src, std::span<const uint8_t> data, bool) {
+          got[src] += data.size();
+        },
+        nullptr, options);
+    for (int s = 0; s < P; ++s) EXPECT_EQ(got[s], per_pair);
+    NetStatsSnapshot delta = comm.StatsSnapshot() - before;
+    const uint64_t chunks_consumed =
+        static_cast<uint64_t>(P - 1) * (per_pair / kChunk);
+    EXPECT_GT(delta.piggybacked_credits, chunks_consumed / 2)
+        << "most credits should ride data frames";
+    EXPECT_LT(delta.credit_msgs, chunks_consumed / 4)
+        << "standalone credit messages should be the exception";
+  });
 }
 
 TEST_P(TransportParamTest, AlltoallvStreamAllEmptyPayloads) {
@@ -388,22 +491,124 @@ TEST_P(TransportParamTest, AlltoallvStreamBoundedUnderBackpressure) {
         std::vector<std::span<const uint8_t>> spans(
             comm.size(), std::span<const uint8_t>(payload));
         std::vector<uint64_t> got(comm.size(), 0);
+        StreamOptions options;
+        options.chunk_bytes = kChunk;
+        options.chunk_mode = StreamChunkMode::kFixed;  // pin the bound
         comm.AlltoallvStream(
             spans,
             [&](int src, std::span<const uint8_t> data, bool last) {
               (void)last;
               got[src] += data.size();
             },
-            nullptr, kChunk);
+            nullptr, options);
         for (int s = 0; s < comm.size(); ++s) EXPECT_EQ(got[s], kPerPair);
       });
+  // Credit window + posted lookahead, each chunk message carrying its
+  // frame header, plus the stream's size header and a few parked credit
+  // messages per source.
   const uint64_t per_source =
-      (Comm::kStreamSendCreditChunks + 2) * kChunk;  // +2: lookahead slack
+      (Comm::kStreamSendCreditChunks + 2) *
+          (kChunk + sizeof(StreamChunkHeader)) +
+      sizeof(StreamSizeHeader) + 8 * sizeof(StreamCreditMsg);
   for (int pe = 0; pe < P; ++pe) {
     EXPECT_LE(stats[pe].recv_buffer_peak_bytes,
               static_cast<uint64_t>(P - 1) * per_source)
         << "PE " << pe;
   }
+}
+
+TEST_P(TransportParamTest, AdaptiveChunksKeepReceiveBufferBound) {
+  if (pes() < 4) GTEST_SKIP();
+  // The adaptive-chunk memory regression (uncapped transport, so the
+  // streaming credit protocol is the ONLY thing bounding buffering): even
+  // while the controller resizes chunks under uneven consumer delays, the
+  // receive-side peak stays within credits x MAX chunk x sources — the
+  // documented bound — rather than drifting toward O(payload).
+  constexpr size_t kChunk = 1024;
+  constexpr size_t kMaxChunk = 4 * kChunk;
+  const int P = pes();
+  const size_t per_pair = 48 * kChunk;
+  auto body = [&](Comm& comm) {
+    StreamOptions options;
+    options.chunk_bytes = kChunk;
+    options.min_chunk_bytes = kChunk / 4;
+    options.max_chunk_bytes = kMaxChunk;
+    options.chunk_mode = StreamChunkMode::kAdaptive;
+    std::vector<uint8_t> payload(per_pair, 5);
+    std::vector<std::span<const uint8_t>> spans(
+        P, std::span<const uint8_t>(payload));
+    std::vector<uint64_t> got(P, 0);
+    const int slow_src = (comm.rank() + 1) % P;
+    comm.AlltoallvStream(
+        spans,
+        [&](int src, std::span<const uint8_t> data, bool) {
+          if (src == slow_src) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          got[src] += data.size();
+        },
+        nullptr, options);
+    for (int s = 0; s < P; ++s) EXPECT_EQ(got[s], per_pair);
+  };
+  std::vector<NetStatsSnapshot> stats;
+  if (kind() == TransportKind::kTcp) {
+    stats = TcpCluster::RunWithStats(P, body);
+  } else {
+    Cluster::Options cluster_options;
+    cluster_options.num_pes = P;
+    stats = Cluster::Run(cluster_options, body).stats;
+  }
+  const uint64_t per_source =
+      (Comm::kStreamSendCreditChunks + 2) *
+          (kMaxChunk + sizeof(StreamChunkHeader)) +
+      sizeof(StreamSizeHeader) + 8 * sizeof(StreamCreditMsg);
+  for (int pe = 0; pe < P; ++pe) {
+    EXPECT_LE(stats[pe].recv_buffer_peak_bytes,
+              static_cast<uint64_t>(P - 1) * per_source)
+        << "PE " << pe;
+  }
+}
+
+TEST(AdaptiveChunkControllerTest, ShrinksForSlowConsumerGrowsForFast) {
+  // P = 2 over the in-process fabric: rank 1's consumer sleeps far beyond
+  // the shrink threshold per chunk, so rank 0's per-destination chunk must
+  // converge to the minimum; rank 0 consumes instantly, so rank 1's chunk
+  // must grow beyond the initial size on its much larger payload.
+  static constexpr size_t kBase = 4096;
+  static constexpr size_t kMin = 512;
+  static constexpr size_t kMax = 32 * 1024;
+  Cluster::Run(2, [](Comm& comm) {
+    StreamOptions options;
+    options.chunk_bytes = kBase;
+    options.min_chunk_bytes = kMin;
+    options.max_chunk_bytes = kMax;
+    options.chunk_mode = StreamChunkMode::kAdaptive;
+    const int me = comm.rank();
+    const int peer = 1 - me;
+    // Rank 0 ships enough chunks to hit the floor; rank 1 ships enough to
+    // climb several doublings.
+    std::vector<uint8_t> payload(me == 0 ? 64 * 1024 : 1024 * 1024, 9);
+    std::vector<std::span<const uint8_t>> spans(
+        2, std::span<const uint8_t>(payload));
+    std::vector<uint64_t> got(2, 0);
+    comm.AlltoallvStream(
+        spans,
+        [&](int src, std::span<const uint8_t> data, bool) {
+          if (me == 1 && src == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(3));
+          }
+          got[src] += data.size();
+        },
+        nullptr, options);
+    EXPECT_EQ(got[peer], peer == 0 ? 64u * 1024 : 1024u * 1024);
+    if (me == 0) {
+      // Every credit from the sleeping consumer arrived > 3 ms late.
+      EXPECT_LE(comm.StreamPeerChunkBytes(1), kMin * 2);
+    } else {
+      // The fast side must have grown at least once over 1 MiB of chunks.
+      EXPECT_GT(comm.StreamPeerChunkBytes(0), kBase);
+    }
+  });
 }
 
 TEST_P(TransportParamTest, AlltoallvStreamUnevenConsumersNoDeadlock) {
@@ -475,23 +680,45 @@ TEST(DegeneratePTest, CollectivesAtTrivialAndOddP) {
             EXPECT_EQ(v, static_cast<uint32_t>(p * 100 + me));
           }
         }
-        // Streaming exchange with rank-dependent payload sizes.
-        std::vector<uint8_t> payload(static_cast<size_t>(512 * (me + 1)),
-                                     static_cast<uint8_t>(me));
-        std::vector<std::span<const uint8_t>> spans(
-            P, std::span<const uint8_t>(payload));
-        std::vector<uint64_t> got(P, 0);
-        comm.AlltoallvStream(
-            spans,
-            [&](int src, std::span<const uint8_t> data, bool) {
-              for (uint8_t b : data) {
-                EXPECT_EQ(b, static_cast<uint8_t>(src));
-              }
-              got[src] += data.size();
-            },
-            nullptr, /*chunk_bytes=*/256);
-        for (int p = 0; p < P; ++p) {
-          EXPECT_EQ(got[p], static_cast<uint64_t>(512 * (p + 1)));
+        // Streaming exchange with rank-dependent payload sizes, under both
+        // credit protocols (the tournament pairing (r - rank) mod P is the
+        // schedule actually exercised at odd P — partner mutuality must
+        // hold without the XOR shortcut).
+        for (StreamCreditMode credit_mode :
+             {StreamCreditMode::kPiggyback, StreamCreditMode::kStandalone}) {
+          StreamOptions options;
+          options.chunk_bytes = 256;
+          options.credit_mode = credit_mode;
+          std::vector<uint8_t> payload(static_cast<size_t>(512 * (me + 1)),
+                                       static_cast<uint8_t>(me));
+          std::vector<std::span<const uint8_t>> spans(
+              P, std::span<const uint8_t>(payload));
+          std::vector<uint64_t> got(P, 0);
+          comm.AlltoallvStream(
+              spans,
+              [&](int src, std::span<const uint8_t> data, bool) {
+                for (uint8_t b : data) {
+                  EXPECT_EQ(b, static_cast<uint8_t>(src));
+                }
+                got[src] += data.size();
+              },
+              nullptr, options);
+          for (int p = 0; p < P; ++p) {
+            EXPECT_EQ(got[p], static_cast<uint64_t>(512 * (p + 1)));
+          }
+        }
+        // Streaming allgather at the same degenerate sizes.
+        {
+          std::vector<uint32_t> mine(static_cast<size_t>(me + 1),
+                                     static_cast<uint32_t>(1000 + me));
+          auto all = comm.AllgatherVStreamed<uint32_t>(
+              mine, StreamOptions{.chunk_bytes = 64});
+          for (int p = 0; p < P; ++p) {
+            ASSERT_EQ(all[p].size(), static_cast<size_t>(p + 1));
+            for (uint32_t v : all[p]) {
+              EXPECT_EQ(v, static_cast<uint32_t>(1000 + p));
+            }
+          }
         }
       });
     }
