@@ -67,17 +67,21 @@ struct SortRunResult {
 /// the TCP mesh setup is likewise bounded by the connect deadline.
 struct RunOptions {
   net::TransportKind transport = net::TransportKind::kInProc;
-  /// In-process fabric only: per-channel in-flight byte cap (0 = off).
+  /// In-process fabric (per-channel cap) or hier (node-uplink channel
+  /// cap): in-flight byte bound, 0 = off.
   size_t channel_cap_bytes = 0;
-  /// TCP only: reader-thread mailbox watermark (0 = drain eagerly).
+  /// TCP (reader-thread mailbox watermark) or hier (demux pause
+  /// watermark): 0 = drain eagerly.
   size_t tcp_recv_watermark_bytes = 0;
   /// TCP only: mesh-setup deadline (0 = wait forever).
   int64_t tcp_connect_timeout_ms = 30'000;
+  /// Hier only: PEs per emulated node (0 = the default of 2).
+  int pes_per_node = 0;
 };
 
 /// Parses --transport / --channel-cap / --recv-watermark /
-/// --connect-timeout-ms; a bad value aborts the bench (a silent inproc
-/// fallback would mislabel every measured number).
+/// --connect-timeout-ms / --pes-per-node; a bad value aborts the bench (a
+/// silent inproc fallback would mislabel every measured number).
 inline RunOptions RunOptionsFromFlags(const FlagParser& flags) {
   RunOptions options;
   auto kind = net::ParseTransportKind(flags.GetString("transport", "inproc"));
@@ -95,7 +99,8 @@ inline RunOptions RunOptionsFromFlags(const FlagParser& flags) {
   if (options.transport == net::TransportKind::kTcp &&
       options.channel_cap_bytes != 0) {
     std::fprintf(stderr,
-                 "--channel-cap applies to the in-process fabric only\n");
+                 "--channel-cap applies to the in-process fabric and the "
+                 "hier uplink only\n");
     std::exit(2);
   }
   int64_t watermark = ParseSize(flags.GetString("recv-watermark", "0"));
@@ -104,12 +109,21 @@ inline RunOptions RunOptionsFromFlags(const FlagParser& flags) {
     std::exit(2);
   }
   options.tcp_recv_watermark_bytes = static_cast<size_t>(watermark);
-  if (options.transport != net::TransportKind::kTcp &&
+  if (options.transport == net::TransportKind::kInProc &&
       options.tcp_recv_watermark_bytes != 0) {
     std::fprintf(stderr,
-                 "--recv-watermark applies to the tcp transport only\n");
+                 "--recv-watermark applies to the tcp and hier transports "
+                 "only\n");
     std::exit(2);
   }
+  int64_t pes_per_node = flags.GetInt("pes-per-node", 0);
+  if (pes_per_node < 0 ||
+      (pes_per_node != 0 && options.transport != net::TransportKind::kHier)) {
+    std::fprintf(stderr,
+                 "--pes-per-node applies to the hier transport only\n");
+    std::exit(2);
+  }
+  options.pes_per_node = static_cast<int>(pes_per_node);
   int64_t connect_timeout =
       flags.GetInt("connect-timeout-ms", options.tcp_connect_timeout_ms);
   if (connect_timeout < 0) {
@@ -130,8 +144,12 @@ inline SortRunResult RunCanonical(int num_pes, workload::Distribution dist,
   // credit window lets the reader pause with a credit queued behind data,
   // throttling the streamed exchanges (see TcpTransport::Options). The
   // window is sized from the LARGEST chunk the adaptive controller may
-  // grow to, not the configured initial chunk.
-  if (run_options.transport == net::TransportKind::kTcp &&
+  // grow to, not the configured initial chunk — and on the hierarchical
+  // transport by the number of PEs SHARING the node's uplink endpoint,
+  // whose flows all land behind the same demux pause: a per-PE-sized
+  // watermark would silently under-provision the node endpoint.
+  if ((run_options.transport == net::TransportKind::kTcp ||
+       run_options.transport == net::TransportKind::kHier) &&
       run_options.tcp_recv_watermark_bytes != 0) {
     size_t chunk = config.stream_chunk_bytes != 0
                        ? config.stream_chunk_bytes
@@ -142,17 +160,24 @@ inline SortRunResult RunCanonical(int num_pes, workload::Distribution dist,
     if (config.stream_chunk_mode == net::StreamChunkMode::kFixed) {
       max_chunk = chunk;
     }
+    size_t pes_per_uplink =
+        run_options.transport == net::TransportKind::kHier
+            ? static_cast<size_t>(
+                  run_options.pes_per_node > 0 ? run_options.pes_per_node : 2)
+            : 1;
     size_t credit_window = net::Comm::kStreamSendCreditChunks *
-                           (max_chunk + sizeof(net::StreamChunkHeader));
+                           (max_chunk + sizeof(net::StreamChunkHeader)) *
+                           pes_per_uplink;
     if (run_options.tcp_recv_watermark_bytes < credit_window) {
       std::fprintf(stderr,
                    "warning: --recv-watermark=%zu is below the streaming "
-                   "credit window (%zu bytes = %llu chunks x %zu max); "
-                   "credit frames may stall behind paused reads\n",
+                   "credit window (%zu bytes = %llu chunks x %zu max x %zu "
+                   "PE(s) per uplink); credit frames may stall behind "
+                   "paused reads\n",
                    run_options.tcp_recv_watermark_bytes, credit_window,
                    static_cast<unsigned long long>(
                        net::Comm::kStreamSendCreditChunks),
-                   max_chunk);
+                   max_chunk, pes_per_uplink);
     }
   }
   result.reports.resize(num_pes);
@@ -179,6 +204,7 @@ inline SortRunResult RunCanonical(int num_pes, workload::Distribution dist,
       run_options.tcp_recv_watermark_bytes;
   cluster_options.tcp_connect_timeout_ms =
       run_options.tcp_connect_timeout_ms;
+  cluster_options.pes_per_node = run_options.pes_per_node;
   net::RunOverTransport(run_options.transport, cluster_options, body);
   result.wall_ms = (NowNanos() - start) * 1e-6;
   result.valid = all_valid;

@@ -5,8 +5,13 @@
 //   ./sortbench_cli --pes 8 --records-per-pe 50000 --algo canonical
 //   ./sortbench_cli --algo striped --skewed
 //   ./sortbench_cli --transport=tcp --pes 4     # PEs as separate processes
-//   ./sortbench_cli --stats                     # per-phase I/O, net volume
-//                                               # and peak net buffering
+//   ./sortbench_cli --transport=hier --pes 8 --pes-per-node 2
+//                                               # 4 node processes x 2 PE
+//                                               # threads, one TCP uplink
+//                                               # endpoint per node
+//   ./sortbench_cli --stats                     # per-phase I/O, net volume,
+//                                               # peak net buffering and the
+//                                               # intra/inter-node split
 //   ./sortbench_cli --hosts=hosts.txt --rank=0  # one rank of a real
 //                                               # cross-machine mesh
 //
@@ -15,10 +20,20 @@
 // same sort code, nothing shared but messages. Reports and the validation
 // verdict travel to rank 0 over the same transport.
 //
+// With --transport=hier the paper's two-level geometry runs for real: one
+// forked OS process per NODE, each hosting --pes-per-node PE threads over
+// net::HierarchicalTransport — same-node PEs exchange through shared
+// memory, and ONE TcpTransport endpoint per node carries every cross-node
+// flow, so N nodes hold an N-endpoint mesh (N*(N-1) directed channels)
+// instead of a P-endpoint one.
+//
 // With --hosts=FILE (one "host:port" per line, rank = line number) the
 // same command runs on every machine with its own --rank; the mesh
 // rendezvouses by connect-retry within --connect-timeout-ms, so start
 // order is arbitrary and a machine that never comes up is a clean error.
+// Lines may carry slot counts ("host:port xK"): the file then describes
+// the NODES of the hierarchical transport — --rank names the line (node),
+// and that machine runs the node's K PE threads behind one endpoint.
 // A peer dying mid-sort surfaces as net::CommError and exit code 3 on the
 // survivors — never a hang.
 #include <csignal>
@@ -28,13 +43,17 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "core/canonical_mergesort.h"
 #include "core/striped_mergesort.h"
 #include "net/cluster.h"
+#include "net/hierarchical_transport.h"
 #include "net/tcp_transport.h"
+#include "net/topology.h"
 #include "sim/cost_model.h"
 #include "util/flags.h"
 #include "util/timer.h"
@@ -52,6 +71,9 @@ struct CliOptions {
   bool skewed = false;
   bool stats = false;
   net::TransportKind transport = net::TransportKind::kInProc;
+  /// Hier transport: PEs per node of the two-level machine (the paper ran
+  /// 2 PEs/node behind one network interface).
+  int pes_per_node = 2;
   /// Cross-machine mode: rank→host:port list (one per line) and this
   /// process's rank. Every machine runs the same command with its own
   /// --rank; the mesh rendezvouses by connect-retry within the deadline.
@@ -100,14 +122,17 @@ PeOutcome RunOnePe(net::Comm& comm, const CliOptions& options) {
 /// credit-protocol gauges: standalone credit messages vs credits that rode
 /// data frames for free, and the adaptive controller's converged chunk.
 void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
-  std::printf("%-18s  %10s  %12s  %12s  %14s  %11s  %11s  %9s\n", "phase",
-              "wall_max_s", "io_MiB", "net_out_MiB", "peak_netbuf_KiB",
-              "credit_msgs", "piggy_creds", "chunk_KiB");
+  std::printf("%-18s  %10s  %12s  %12s  %10s  %10s  %14s  %11s  %11s  %9s\n",
+              "phase", "wall_max_s", "io_MiB", "net_out_MiB", "intra_MiB",
+              "inter_MiB", "peak_netbuf_KiB", "credit_msgs", "piggy_creds",
+              "chunk_KiB");
   for (int p = 0; p < static_cast<int>(core::Phase::kNumPhases); ++p) {
     core::Phase phase = static_cast<core::Phase>(p);
     double wall_max_s = 0;
     uint64_t io_bytes = 0;
     uint64_t net_bytes = 0;
+    uint64_t intra_bytes = 0;
+    uint64_t inter_bytes = 0;
     uint64_t peak_buf = 0;
     uint64_t credit_msgs = 0;
     uint64_t piggy = 0;
@@ -117,16 +142,21 @@ void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
       wall_max_s = std::max(wall_max_s, s.wall_s);
       io_bytes += s.io.bytes();
       net_bytes += s.net.bytes_sent;
+      intra_bytes += s.net.intra_node_bytes;
+      inter_bytes += s.net.inter_node_bytes;
       peak_buf = std::max(peak_buf, s.net.recv_buffer_peak_bytes);
       credit_msgs += s.net.credit_msgs;
       piggy += s.net.piggybacked_credits;
       chunk = std::max(chunk, s.net.stream_chunk_bytes);
     }
     std::printf(
-        "%-18s  %10.3f  %12.1f  %12.1f  %14.1f  %11llu  %11llu  %9.1f\n",
+        "%-18s  %10.3f  %12.1f  %12.1f  %10.1f  %10.1f  %14.1f  %11llu  "
+        "%11llu  %9.1f\n",
         core::PhaseName(phase), wall_max_s,
         static_cast<double>(io_bytes) / (1 << 20),
         static_cast<double>(net_bytes) / (1 << 20),
+        static_cast<double>(intra_bytes) / (1 << 20),
+        static_cast<double>(inter_bytes) / (1 << 20),
         static_cast<double>(peak_buf) / 1024.0,
         static_cast<unsigned long long>(credit_msgs),
         static_cast<unsigned long long>(piggy),
@@ -157,6 +187,36 @@ void PrintSummary(const CliOptions& options,
   if (options.stats) PrintPhaseStats(reports);
 }
 
+/// Rank 0 gathers every PE's report and verdict over the transport itself
+/// and prints the summary; the final barrier keeps teardown off the wire
+/// while reports are still in flight. Shared by the flat TCP ranks and
+/// the hierarchical node threads.
+int GatherAndReport(net::Comm& comm, const CliOptions& options,
+                    const PeOutcome& outcome, int64_t start_nanos) {
+  constexpr int kReportTag = 1;
+  constexpr int kOkTag = 2;
+  int exit_code = 0;
+  if (comm.rank() == 0) {
+    std::vector<core::SortReport> reports(comm.size());
+    reports[0] = outcome.report;
+    bool ok = outcome.ok;
+    for (int p = 1; p < comm.size(); ++p) {
+      reports[p] = comm.RecvValue<core::SortReport>(p, kReportTag);
+      // No short-circuit: every posted ok message must be drained.
+      uint8_t peer_ok = comm.RecvValue<uint8_t>(p, kOkTag);
+      ok = ok && peer_ok != 0;
+    }
+    double wall_s = (NowNanos() - start_nanos) * 1e-9;
+    PrintSummary(options, reports, ok, wall_s);
+    exit_code = ok ? 0 : 1;
+  } else {
+    comm.SendValue<core::SortReport>(0, kReportTag, outcome.report);
+    comm.SendValue<uint8_t>(0, kOkTag, outcome.ok ? 1 : 0);
+  }
+  comm.Barrier();  // no teardown while a peer still exchanges reports
+  return exit_code;
+}
+
 /// Threads-in-one-process mode (the emulation default).
 int RunInProc(const CliOptions& options) {
   std::mutex mu;
@@ -182,6 +242,9 @@ int RunInProc(const CliOptions& options) {
 int RunTcpRank(int rank, int num_pes, int listen_fd,
                const std::vector<net::TcpTransport::Peer>& peers,
                const CliOptions& options, int64_t start_nanos);
+int RunHierNode(const net::Topology& topo, int node, int listen_fd,
+                const std::vector<net::TcpTransport::Peer>& node_peers,
+                const CliOptions& options, int64_t start_nanos);
 
 /// Cross-machine mode (--hosts=FILE --rank=R): this process is one rank of
 /// a real multi-node mesh. Each machine runs the same command; the
@@ -194,24 +257,36 @@ int RunHosts(const CliOptions& options) {
     std::fprintf(stderr, "%s\n", peers.status().ToString().c_str());
     return 2;
   }
-  const int P = static_cast<int>(peers.value().size());
-  if (options.rank < 0 || options.rank >= P) {
+  const int lines = static_cast<int>(peers.value().size());
+  if (options.rank < 0 || options.rank >= lines) {
     std::fprintf(stderr,
-                 "--rank must be in [0, %d) to match %s (got %d)\n", P,
+                 "--rank must be in [0, %d) to match %s (got %d)\n", lines,
                  options.hosts_file.c_str(), options.rank);
     return 2;
   }
-  auto listener =
-      net::CreateListener(peers.value()[options.rank].port, /*backlog=*/P);
+  auto listener = net::CreateListener(peers.value()[options.rank].port,
+                                      /*backlog=*/lines);
   if (!listener.ok()) {
     std::fprintf(stderr, "rank %d: %s\n", options.rank,
                  listener.status().ToString().c_str());
     return 2;
   }
+  net::Topology topo = net::TopologyFromPeers(peers.value());
   CliOptions opts = options;
-  opts.pes = P;  // the hosts file, not --pes, defines the cluster
-  return RunTcpRank(opts.rank, P, listener.value().fd, peers.value(), opts,
-                    NowNanos());
+  opts.pes = topo.num_pes();  // the hosts file, not --pes, defines the
+                              // cluster
+  if (topo.num_pes() != lines) {
+    // Slotted hosts file (any line with xK > 1, even a single node): each
+    // line is a NODE and --rank names the line; this machine runs that
+    // node's PE threads behind one endpoint. Keying on the slot totals
+    // rather than Topology::hierarchical() keeps a one-node "host:port xK"
+    // file from silently collapsing to a 1-PE flat run.
+    opts.transport = net::TransportKind::kHier;
+    return RunHierNode(topo, opts.rank, listener.value().fd, peers.value(),
+                       opts, NowNanos());
+  }
+  return RunTcpRank(opts.rank, lines, listener.value().fd, peers.value(),
+                    opts, NowNanos());
 }
 
 /// One TCP rank, start to finish: mesh setup, the sort, report gathering
@@ -233,29 +308,7 @@ int RunTcpRank(int rank, int num_pes, int listen_fd,
   try {
     net::Comm comm(rank, num_pes, transport.value().get());
     PeOutcome outcome = RunOnePe(comm, options);
-
-    constexpr int kReportTag = 1;
-    constexpr int kOkTag = 2;
-    int exit_code = 0;
-    if (rank == 0) {
-      std::vector<core::SortReport> reports(num_pes);
-      reports[0] = outcome.report;
-      bool ok = outcome.ok;
-      for (int p = 1; p < num_pes; ++p) {
-        reports[p] = comm.RecvValue<core::SortReport>(p, kReportTag);
-        // No short-circuit: every posted ok message must be drained.
-        uint8_t peer_ok = comm.RecvValue<uint8_t>(p, kOkTag);
-        ok = ok && peer_ok != 0;
-      }
-      double wall_s = (NowNanos() - start_nanos) * 1e-9;
-      PrintSummary(options, reports, ok, wall_s);
-      exit_code = ok ? 0 : 1;
-    } else {
-      comm.SendValue<core::SortReport>(0, kReportTag, outcome.report);
-      comm.SendValue<uint8_t>(0, kOkTag, outcome.ok ? 1 : 0);
-    }
-    comm.Barrier();  // no teardown while a peer still exchanges reports
-    return exit_code;
+    return GatherAndReport(comm, options, outcome, start_nanos);
   } catch (const net::CommError& e) {
     // A peer died mid-sort: contain it — report, abort this endpoint so
     // OUR peers' waits cancel too, and exit with a distinct code.
@@ -265,54 +318,92 @@ int RunTcpRank(int rank, int num_pes, int listen_fd,
   }
 }
 
-/// Multi-process mode: fork one OS process per PE; the mesh runs over
-/// loopback TCP. Listeners are created before forking so no connect can
-/// race a bind; rank 0 gathers per-PE reports over the transport itself
-/// and prints the summary.
-int RunTcp(const CliOptions& options) {
-  const int P = options.pes;
-  auto listeners = net::CreateLoopbackListeners(P);
-  if (!listeners.ok()) {
-    std::fprintf(stderr, "listener setup failed: %s\n",
-                 listeners.status().ToString().c_str());
+/// One NODE of the hierarchical deployment, start to finish: the node's
+/// TCP uplink endpoint joins the N-node mesh, a HierarchicalTransport
+/// fronts it for the node's PE threads, each thread runs the full SPMD
+/// sort body, and teardown is collective. A peer failure surfaces as
+/// net::CommError and exit code 3 — leader death takes the node, exactly
+/// the containment contract of the thread harnesses.
+int RunHierNode(const net::Topology& topo, int node, int listen_fd,
+                const std::vector<net::TcpTransport::Peer>& node_peers,
+                const CliOptions& options, int64_t start_nanos) {
+  net::TcpTransport::Options tcp_options;
+  tcp_options.connect_timeout_ms = options.connect_timeout_ms;
+  auto uplink = net::TcpTransport::Connect(node, topo.num_nodes(), listen_fd,
+                                           node_peers, tcp_options);
+  if (!uplink.ok()) {
+    std::fprintf(stderr, "node %d: %s\n", node,
+                 uplink.status().ToString().c_str());
     return 2;
   }
-  auto peers = net::LoopbackPeers(listeners.value());
+  int exit_code = 0;
+  {
+    net::HierarchicalTransport hier(topo, node, uplink.value().get());
+    const int first = topo.node_first(node);
+    const int k = topo.node_size(node);
+    std::vector<std::thread> threads;
+    threads.reserve(k);
+    std::mutex mu;
+    for (int lr = 0; lr < k; ++lr) {
+      const int rank = first + lr;
+      threads.emplace_back([&, rank] {
+        int rc = 0;
+        try {
+          net::Comm comm(rank, topo.num_pes(), &hier, &topo);
+          PeOutcome outcome = RunOnePe(comm, options);
+          rc = GatherAndReport(comm, options, outcome, start_nanos);
+        } catch (const net::CommError& e) {
+          std::fprintf(stderr, "rank %d: peer failure: %s\n", rank,
+                       e.what());
+          hier.KillPe(rank, e.status());
+          rc = 3;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        exit_code = std::max(exit_code, rc);
+      });
+    }
+    for (auto& t : threads) t.join();
+    // ~HierarchicalTransport: collective CLOSE exchange with the peer
+    // node processes, then the uplink's collective TCP teardown.
+  }
+  return exit_code;
+}
 
-  int64_t start = NowNanos();
+/// Forks one OS process per index in [0, count): each child keeps only
+/// its own listener and runs `child_main(idx)`; the parent reaps in
+/// completion order and fails fast — if any child dies (mesh setup error,
+/// validation CHECK), the survivors are blocked on it forever, so the
+/// remaining mesh is killed instead of hanging the launcher. Shared by
+/// the per-PE (tcp) and per-node (hier) launchers.
+int ForkAndReap(int count, const std::vector<net::TcpListener>& listeners,
+                const std::function<int(int)>& child_main) {
   std::fflush(stdout);  // children inherit the stdio buffer; don't let
   std::fflush(stderr);  // them re-flush the banner
   std::vector<pid_t> children;
-  for (int rank = 0; rank < P; ++rank) {
+  for (int idx = 0; idx < count; ++idx) {
     pid_t pid = ::fork();
     if (pid < 0) {
       std::perror("fork");
-      // Already-forked ranks are blocked in mesh setup waiting for peers
-      // that will never exist — reap them before giving up.
+      // Already-forked children are blocked in mesh setup waiting for
+      // peers that will never exist — reap them before giving up.
       for (pid_t child : children) ::kill(child, SIGKILL);
       for (pid_t child : children) ::waitpid(child, nullptr, 0);
-      for (int r = 0; r < P; ++r) ::close(listeners.value()[r].fd);
+      for (int i = 0; i < count; ++i) ::close(listeners[i].fd);
       return 2;
     }
     if (pid == 0) {
       // Child: keep only my listener; everything else arrives via sockets.
-      for (int other = 0; other < P; ++other) {
-        if (other != rank) ::close(listeners.value()[other].fd);
+      for (int other = 0; other < count; ++other) {
+        if (other != idx) ::close(listeners[other].fd);
       }
-      int exit_code = RunTcpRank(rank, P, listeners.value()[rank].fd, peers,
-                                 options, start);
+      int exit_code = child_main(idx);
       std::fflush(stdout);
       std::fflush(stderr);
       std::_Exit(exit_code);  // forked child: skip parent-inherited atexit
     }
     children.push_back(pid);
   }
-  for (int rank = 0; rank < P; ++rank) {
-    ::close(listeners.value()[rank].fd);
-  }
-  // Reap in completion order and fail fast: if any rank dies (mesh setup
-  // error, validation CHECK), the survivors are blocked on it forever —
-  // kill the remaining mesh instead of hanging the launcher.
+  for (int idx = 0; idx < count; ++idx) ::close(listeners[idx].fd);
   int exit_code = 0;
   std::vector<pid_t> alive = children;
   while (!alive.empty()) {
@@ -328,6 +419,48 @@ int RunTcp(const CliOptions& options) {
     }
   }
   return exit_code;
+}
+
+/// Multi-process mode: fork one OS process per PE; the mesh runs over
+/// loopback TCP. Listeners are created before forking so no connect can
+/// race a bind; rank 0 gathers per-PE reports over the transport itself
+/// and prints the summary.
+int RunTcp(const CliOptions& options) {
+  const int P = options.pes;
+  auto listeners = net::CreateLoopbackListeners(P);
+  if (!listeners.ok()) {
+    std::fprintf(stderr, "listener setup failed: %s\n",
+                 listeners.status().ToString().c_str());
+    return 2;
+  }
+  auto peers = net::LoopbackPeers(listeners.value());
+  int64_t start = NowNanos();
+  return ForkAndReap(P, listeners.value(), [&](int rank) {
+    return RunTcpRank(rank, P, listeners.value()[rank].fd, peers, options,
+                      start);
+  });
+}
+
+/// Hierarchical multi-process mode: fork one OS process per NODE, each
+/// running --pes-per-node PE threads behind one TCP uplink endpoint — the
+/// paper's several-PEs-per-network-interface geometry, with N*(N-1)
+/// directed node channels instead of P*(P-1).
+int RunHier(const CliOptions& options) {
+  net::Topology topo =
+      net::Topology::Uniform(options.pes, options.pes_per_node);
+  const int N = topo.num_nodes();
+  auto listeners = net::CreateLoopbackListeners(N);
+  if (!listeners.ok()) {
+    std::fprintf(stderr, "listener setup failed: %s\n",
+                 listeners.status().ToString().c_str());
+    return 2;
+  }
+  auto peers = net::LoopbackPeers(listeners.value());
+  int64_t start = NowNanos();
+  return ForkAndReap(N, listeners.value(), [&](int node) {
+    return RunHierNode(topo, node, listeners.value()[node].fd, peers,
+                       options, start);
+  });
 }
 
 }  // namespace
@@ -352,6 +485,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.transport = kind.value();
+  if (flags.Has("pes-per-node")) {
+    if (options.transport != net::TransportKind::kHier) {
+      // Silently dropping the grouping would mislabel the run; bench_util
+      // rejects the same combination.
+      std::fprintf(stderr,
+                   "--pes-per-node applies to --transport=hier only\n");
+      return 2;
+    }
+    options.pes_per_node =
+        static_cast<int>(flags.GetInt("pes-per-node", options.pes_per_node));
+    if (options.pes_per_node < 1) {
+      std::fprintf(stderr, "--pes-per-node must be >= 1 (got %d)\n",
+                   options.pes_per_node);
+      return 2;
+    }
+  }
   options.hosts_file = flags.GetString("hosts", "");
   options.rank = static_cast<int>(flags.GetInt("rank", -1));
   options.connect_timeout_ms =
@@ -389,13 +538,22 @@ int main(int argc, char** argv) {
     }
     return RunHosts(options);
   }
+  const char* mode = "in-process threads";
+  if (options.transport == net::TransportKind::kTcp) {
+    mode = "multi-process tcp";
+  } else if (options.transport == net::TransportKind::kHier) {
+    mode = "hierarchical: node processes x PE threads";
+  }
   std::printf("gensort : %llu records x 100 B on %d PEs (%s keys, %s)\n",
               static_cast<unsigned long long>(options.records) * options.pes,
-              options.pes, options.skewed ? "skewed" : "uniform",
-              options.transport == net::TransportKind::kTcp
-                  ? "multi-process tcp"
-                  : "in-process threads");
+              options.pes, options.skewed ? "skewed" : "uniform", mode);
 
-  return options.transport == net::TransportKind::kTcp ? RunTcp(options)
-                                                       : RunInProc(options);
+  switch (options.transport) {
+    case net::TransportKind::kTcp:
+      return RunTcp(options);
+    case net::TransportKind::kHier:
+      return RunHier(options);
+    default:
+      return RunInProc(options);
+  }
 }

@@ -35,6 +35,10 @@ void PhaseStats::Accumulate(const PhaseStats& other) {
   net.piggybacked_credits += other.net.piggybacked_credits;
   net.stream_chunk_bytes =
       std::max(net.stream_chunk_bytes, other.net.stream_chunk_bytes);
+  net.intra_node_msgs += other.net.intra_node_msgs;
+  net.intra_node_bytes += other.net.intra_node_bytes;
+  net.inter_node_msgs += other.net.inter_node_msgs;
+  net.inter_node_bytes += other.net.inter_node_bytes;
   elements_sorted += other.elements_sorted;
   elements_merged += other.elements_merged;
   merge_ways = std::max(merge_ways, other.merge_ways);
@@ -86,6 +90,12 @@ void PhaseCollector::End(Phase phase) {
       now.piggybacked_credits - net_at_begin_.piggybacked_credits;
   s.net.credit_msgs += credit_delta;
   s.net.piggybacked_credits += piggy_delta;
+  s.net.intra_node_msgs += now.intra_node_msgs - net_at_begin_.intra_node_msgs;
+  s.net.intra_node_bytes +=
+      now.intra_node_bytes - net_at_begin_.intra_node_bytes;
+  s.net.inter_node_msgs += now.inter_node_msgs - net_at_begin_.inter_node_msgs;
+  s.net.inter_node_bytes +=
+      now.inter_node_bytes - net_at_begin_.inter_node_bytes;
   // Gauge: the phase's latest effective streaming chunk. Assigned only
   // when this interval actually streamed (any credit traffic, or the
   // gauge moved); a phase that never streams keeps 0 rather than

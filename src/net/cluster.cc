@@ -111,12 +111,16 @@ uint64_t Fabric::max_channel_queued_bytes() const {
 }
 
 void Cluster::Run(int num_pes, const PeBody& body) {
-  Run(Options{num_pes, 0}, body);
+  Options options;
+  options.num_pes = num_pes;
+  Run(options, body);
 }
 
 std::vector<NetStatsSnapshot> Cluster::RunWithStats(int num_pes,
                                                     const PeBody& body) {
-  return Run(Options{num_pes, 0}, body).stats;
+  Options options;
+  options.num_pes = num_pes;
+  return Run(options, body).stats;
 }
 
 Cluster::Result Cluster::Run(const Options& options, const PeBody& body) {

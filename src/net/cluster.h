@@ -105,6 +105,13 @@ class Cluster {
     /// TCP only: mesh-setup deadline, forwarded to
     /// TcpTransport::Options::connect_timeout_ms (0 = wait forever).
     int64_t tcp_connect_timeout_ms = 30'000;
+    /// Hier only (RunOverTransport with TransportKind::kHier): PEs per
+    /// node of the emulated two-level machine; 0 = the default of 2 (the
+    /// paper's geometry). Ignored when `node_sizes` is set.
+    int pes_per_node = 0;
+    /// Hier only: explicit (possibly uneven) node sizes; must sum to
+    /// num_pes when non-empty.
+    std::vector<int> node_sizes;
   };
 
   struct Result {

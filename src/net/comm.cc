@@ -19,6 +19,10 @@ std::vector<uint8_t> Comm::Recv(int src, int tag) {
 }
 
 void Comm::Barrier() {
+  if (TwoLevelActive()) {
+    BarrierTwoLevel();
+    return;
+  }
   // Dissemination barrier: in round k, PE i signals (i + 2^k) mod P and
   // waits for (i - 2^k) mod P. O(log P) rounds, no central bottleneck.
   // The receive is posted before the send so a capped fabric always has a
@@ -38,6 +42,10 @@ void Comm::Barrier() {
 }
 
 void Comm::Broadcast(int root, std::vector<uint8_t>& data) {
+  if (TwoLevelActive()) {
+    BroadcastTwoLevel(root, data);
+    return;
+  }
   // Binomial tree rooted at `root`, in root-relative rank space: PE `rel`
   // receives from `rel` with its highest set bit cleared, then forwards to
   // rel + b for every power of two b above its own highest bit. Forwarding
@@ -60,8 +68,56 @@ void Comm::Broadcast(int root, std::vector<uint8_t>& data) {
   for (SendRequest& f : forwards) f.Wait();
 }
 
+namespace {
+
+/// Length-prefixed (rank, payload) list — the wire form the gather-shaped
+/// collectives pass around: [u32 count] then per entry [u32 rank]
+/// [u64 len][len bytes]. Shared by the tree allgather and the two-level
+/// (node-blob) allgather.
+std::vector<uint8_t> PackRankedParts(
+    const std::vector<std::pair<uint32_t, std::vector<uint8_t>>>& entries) {
+  std::vector<uint8_t> blob;
+  uint32_t count = static_cast<uint32_t>(entries.size());
+  blob.insert(blob.end(), reinterpret_cast<uint8_t*>(&count),
+              reinterpret_cast<uint8_t*>(&count) + sizeof(count));
+  for (const auto& [rank, bytes] : entries) {
+    uint32_t r = rank;
+    uint64_t n = bytes.size();
+    blob.insert(blob.end(), reinterpret_cast<uint8_t*>(&r),
+                reinterpret_cast<uint8_t*>(&r) + sizeof(r));
+    blob.insert(blob.end(), reinterpret_cast<uint8_t*>(&n),
+                reinterpret_cast<uint8_t*>(&n) + sizeof(n));
+    blob.insert(blob.end(), bytes.begin(), bytes.end());
+  }
+  return blob;
+}
+
+void UnpackRankedParts(
+    const std::vector<uint8_t>& blob,
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>>* out) {
+  size_t offset = 0;
+  uint32_t count;
+  std::memcpy(&count, blob.data(), sizeof(count));
+  offset += sizeof(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t r;
+    uint64_t n;
+    std::memcpy(&r, blob.data() + offset, sizeof(r));
+    offset += sizeof(r);
+    std::memcpy(&n, blob.data() + offset, sizeof(n));
+    offset += sizeof(n);
+    out->emplace_back(r, std::vector<uint8_t>(blob.begin() + offset,
+                                              blob.begin() + offset + n));
+    offset += n;
+  }
+  DEMSORT_CHECK_EQ(offset, blob.size());
+}
+
+}  // namespace
+
 std::vector<std::vector<uint8_t>> Comm::AllgatherBytes(
     const std::vector<uint8_t>& local) {
+  if (TwoLevelActive()) return AllgatherBytesTwoLevel(local);
   // Algorithm switch by payload size, like tuned MPI implementations:
   //  * small contributions: binomial-tree gather to rank 0 + binomial
   //    broadcast — O(log P) rounds, latency-optimal;
@@ -118,67 +174,28 @@ std::vector<std::vector<uint8_t>> Comm::TreeAllgatherBytes(
   std::vector<std::pair<uint32_t, std::vector<uint8_t>>> parts;
   parts.emplace_back(static_cast<uint32_t>(rank_), local);
 
-  auto pack = [](const std::vector<std::pair<uint32_t, std::vector<uint8_t>>>&
-                     entries) {
-    std::vector<uint8_t> blob;
-    uint32_t count = static_cast<uint32_t>(entries.size());
-    blob.insert(blob.end(), reinterpret_cast<uint8_t*>(&count),
-                reinterpret_cast<uint8_t*>(&count) + sizeof(count));
-    for (const auto& [rank, bytes] : entries) {
-      uint32_t r = rank;
-      uint64_t n = bytes.size();
-      blob.insert(blob.end(), reinterpret_cast<uint8_t*>(&r),
-                  reinterpret_cast<uint8_t*>(&r) + sizeof(r));
-      blob.insert(blob.end(), reinterpret_cast<uint8_t*>(&n),
-                  reinterpret_cast<uint8_t*>(&n) + sizeof(n));
-      blob.insert(blob.end(), bytes.begin(), bytes.end());
-    }
-    return blob;
-  };
-  auto unpack_into =
-      [](const std::vector<uint8_t>& blob,
-         std::vector<std::pair<uint32_t, std::vector<uint8_t>>>* out) {
-        size_t offset = 0;
-        uint32_t count;
-        std::memcpy(&count, blob.data(), sizeof(count));
-        offset += sizeof(count);
-        for (uint32_t i = 0; i < count; ++i) {
-          uint32_t r;
-          uint64_t n;
-          std::memcpy(&r, blob.data() + offset, sizeof(r));
-          offset += sizeof(r);
-          std::memcpy(&n, blob.data() + offset, sizeof(n));
-          offset += sizeof(n);
-          out->emplace_back(
-              r, std::vector<uint8_t>(blob.begin() + offset,
-                                      blob.begin() + offset + n));
-          offset += n;
-        }
-        DEMSORT_CHECK_EQ(offset, blob.size());
-      };
-
   for (int bit = 1; bit < size_; bit <<= 1) {
     if ((rank_ & bit) != 0) {
-      std::vector<uint8_t> blob = pack(parts);
+      std::vector<uint8_t> blob = PackRankedParts(parts);
       Send(rank_ - bit, tag, blob.data(), blob.size());
       parts.clear();
       break;
     }
     if (rank_ + bit < size_) {
       std::vector<uint8_t> blob = Recv(rank_ + bit, tag);
-      unpack_into(blob, &parts);
+      UnpackRankedParts(blob, &parts);
     }
   }
 
   std::vector<uint8_t> packed;
   if (rank_ == 0) {
     DEMSORT_CHECK_EQ(parts.size(), static_cast<size_t>(size_));
-    packed = pack(parts);
+    packed = PackRankedParts(parts);
   }
   Broadcast(0, packed);
 
   std::vector<std::pair<uint32_t, std::vector<uint8_t>>> all;
-  unpack_into(packed, &all);
+  UnpackRankedParts(packed, &all);
   std::vector<std::vector<uint8_t>> out(size_);
   for (auto& [rank, bytes] : all) {
     DEMSORT_CHECK_LT(rank, static_cast<uint32_t>(size_));
@@ -293,6 +310,17 @@ void Comm::AlltoallvStream(const StreamSendProvider& send_for,
                            const ChunkConsumer& consumer,
                            const StreamSizeCallback& on_size,
                            const StreamOptions& options) {
+  if (TwoLevelActive()) {
+    AlltoallvStreamTwoLevel(send_for, consumer, on_size, options);
+    return;
+  }
+  AlltoallvStreamFlat(send_for, consumer, on_size, options);
+}
+
+void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
+                               const ChunkConsumer& consumer,
+                               const StreamSizeCallback& on_size,
+                               const StreamOptions& options) {
   const ResolvedStreamTuning tune = ResolveStreamTuning(options);
   DEMSORT_CHECK_GT(tune.base_chunk_bytes, 0u);
 
@@ -614,6 +642,552 @@ void Comm::AlltoallvStream(const StreamSendProvider& send_for,
     }
   }
   for (auto& [sr, n] : outstanding) sr.Wait();
+}
+
+// ---------------------------------------------------------------------------
+// Two-level (node-aware) collectives: node-local traffic stays on the
+// shared-memory path, only the node leaders cross node boundaries. See the
+// README's "Topology & hierarchy" section.
+
+namespace {
+
+/// The leader sub-communicator's transport view: sub rank n is node n's
+/// leader on the underlying full transport; tags pass through unchanged
+/// (the sub-comm draws them from its own half of the collective window).
+class LeaderTransport : public Transport {
+ public:
+  LeaderTransport(Transport* base, const Topology* topo)
+      : base_(base), topo_(topo) {}
+
+  int num_pes() const override { return topo_->num_nodes(); }
+  SendRequest Isend(int src, int dst, int tag, const void* data,
+                    size_t bytes) override {
+    return base_->Isend(g(src), g(dst), tag, data, bytes);
+  }
+  SendRequest IsendGather(int src, int dst, int tag, const void* header,
+                          size_t header_bytes, const void* data,
+                          size_t bytes) override {
+    return base_->IsendGather(g(src), g(dst), tag, header, header_bytes,
+                              data, bytes);
+  }
+  RecvRequest Irecv(int dst, int src, int tag) override {
+    return base_->Irecv(g(dst), g(src), tag);
+  }
+  void KillPe(int pe, const Status& status) override {
+    base_->KillPe(g(pe), status);
+  }
+  void KillLink(int a, int b, const Status& status) override {
+    base_->KillLink(g(a), g(b), status);
+  }
+  NetStats& stats(int pe) override { return base_->stats(g(pe)); }
+
+ private:
+  int g(int sub) const { return topo_->leader_of(sub); }
+
+  Transport* base_;
+  const Topology* topo_;
+};
+
+/// Framing of every node-local delivery of the two-level streaming
+/// exchange: the one direct frame a PE sends each same-node peer, and the
+/// pieces the leader forwards as cross-node chunks land.
+struct HierForwardHeader {
+  uint32_t src = 0;          ///< global source PE
+  uint32_t last = 0;         ///< 1 = final piece of (src -> this PE)
+  uint64_t total_bytes = 0;  ///< the (src -> this PE) payload size
+};
+static_assert(sizeof(HierForwardHeader) == 16);
+static_assert(std::is_trivially_copyable_v<HierForwardHeader>);
+
+/// One (src PE, dst PE) segment of a node-to-node aggregate stream. The
+/// aggregate is [u64 count][count entries][payloads in entry order].
+struct HierAggEntry {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  uint64_t bytes = 0;
+};
+static_assert(sizeof(HierAggEntry) == 16);
+static_assert(std::is_trivially_copyable_v<HierAggEntry>);
+
+std::vector<uint8_t> PackAggHeader(const std::vector<HierAggEntry>& entries) {
+  std::vector<uint8_t> head(sizeof(uint64_t) +
+                            entries.size() * sizeof(HierAggEntry));
+  uint64_t count = entries.size();
+  std::memcpy(head.data(), &count, sizeof(count));
+  if (!entries.empty()) {
+    std::memcpy(head.data() + sizeof(count), entries.data(),
+                entries.size() * sizeof(HierAggEntry));
+  }
+  return head;
+}
+
+}  // namespace
+
+Comm& Comm::LeaderComm() {
+  DEMSORT_CHECK(TwoLevelActive());
+  const Topology& topo = *topology_;
+  DEMSORT_CHECK(topo.is_leader(rank_));
+  if (leader_comm_ == nullptr) {
+    leader_transport_ =
+        std::make_unique<LeaderTransport>(transport_, topology_);
+    leader_comm_ = std::make_unique<Comm>(
+        topo.node_of(rank_), topo.num_nodes(), leader_transport_.get());
+    leader_comm_->tag_offset_ = kCollectiveTagSpace / 2;
+    leader_comm_->tag_limit_ = kCollectiveTagSpace / 2;
+  }
+  // Keep the sub-comm's tuning in lockstep with the parent's knobs (the
+  // adaptive-chunk state persists on the sub-comm itself).
+  leader_comm_->send_window_bytes_ = send_window_bytes_;
+  leader_comm_->stream_chunk_bytes_ = stream_chunk_bytes_;
+  leader_comm_->stream_chunk_mode_ = stream_chunk_mode_;
+  leader_comm_->stream_credit_mode_ = stream_credit_mode_;
+  return *leader_comm_;
+}
+
+void Comm::BarrierTwoLevel() {
+  // Local arrival fan-in to the leader, dissemination barrier among the
+  // leaders, shared-memory release fan-out.
+  const Topology& topo = *topology_;
+  const int tag = AllocateCollectiveTag();
+  const int my_node = topo.node_of(rank_);
+  const int node_leader = topo.leader_of(my_node);
+  uint8_t token = 1;
+  if (rank_ != node_leader) {
+    RecvRequest release = Irecv(node_leader, tag);
+    Isend(node_leader, tag, &token, 1).Wait();
+    release.Wait();
+    return;
+  }
+  const int first = topo.node_first(my_node);
+  const int k = topo.node_size(my_node);
+  std::vector<RecvRequest> arrivals;
+  arrivals.reserve(k - 1);
+  for (int q = first; q < first + k; ++q) {
+    if (q != rank_) arrivals.push_back(Irecv(q, tag));
+  }
+  for (RecvRequest& rr : arrivals) rr.Wait();
+  LeaderComm().Barrier();
+  std::vector<SendRequest> releases;
+  releases.reserve(k - 1);
+  for (int q = first; q < first + k; ++q) {
+    if (q != rank_) releases.push_back(Isend(q, tag, &token, 1));
+  }
+  for (SendRequest& s : releases) s.Wait();
+}
+
+void Comm::BroadcastTwoLevel(int root, std::vector<uint8_t>& data) {
+  // Three hops: a non-leader root hands the payload to its node leader,
+  // the leaders run the binomial tree among themselves (sub rank == node),
+  // and every leader fans out over shared memory.
+  const Topology& topo = *topology_;
+  const int tag = AllocateCollectiveTag();
+  const int root_node = topo.node_of(root);
+  const int root_leader = topo.leader_of(root_node);
+  const int my_node = topo.node_of(rank_);
+  const int my_leader = topo.leader_of(my_node);
+  if (rank_ == root && root != root_leader) {
+    Send(root_leader, tag, data.data(), data.size());
+  }
+  if (rank_ == root_leader && root != root_leader) {
+    data = Recv(root, tag);
+  }
+  if (rank_ == my_leader) {
+    LeaderComm().Broadcast(root_node, data);
+    std::vector<SendRequest> fans;
+    const int first = topo.node_first(my_node);
+    for (int q = first; q < first + topo.node_size(my_node); ++q) {
+      if (q == rank_ || q == root) continue;  // the root already has it
+      fans.push_back(Isend(q, tag, data.data(), data.size()));
+    }
+    for (SendRequest& s : fans) s.Wait();
+  } else if (rank_ != root) {
+    data = Recv(my_leader, tag);
+  }
+}
+
+std::vector<std::vector<uint8_t>> Comm::AllgatherBytesTwoLevel(
+    const std::vector<uint8_t>& local) {
+  // Node gather over shared memory, ONE rank-framed blob per node among
+  // the leaders, full-result fan-out over shared memory: the uplink moves
+  // each node's contribution once per peer node instead of once per peer
+  // PE pair.
+  const Topology& topo = *topology_;
+  const int up_tag = AllocateCollectiveTag();
+  const int down_tag = AllocateCollectiveTag();
+  const int my_node = topo.node_of(rank_);
+  const int node_leader = topo.leader_of(my_node);
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> all;
+  if (rank_ != node_leader) {
+    Send(node_leader, up_tag, local.data(), local.size());
+    UnpackRankedParts(Recv(node_leader, down_tag), &all);
+  } else {
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>> parts;
+    parts.emplace_back(static_cast<uint32_t>(rank_), local);
+    const int first = topo.node_first(my_node);
+    for (int q = first; q < first + topo.node_size(my_node); ++q) {
+      if (q != rank_) {
+        parts.emplace_back(static_cast<uint32_t>(q), Recv(q, up_tag));
+      }
+    }
+    std::vector<std::vector<uint8_t>> node_blobs =
+        LeaderComm().AllgatherV<uint8_t>(PackRankedParts(parts));
+    for (const std::vector<uint8_t>& blob : node_blobs) {
+      UnpackRankedParts(blob, &all);
+    }
+    std::vector<uint8_t> full = PackRankedParts(all);
+    std::vector<SendRequest> fans;
+    for (int q = first; q < first + topo.node_size(my_node); ++q) {
+      if (q != rank_) {
+        fans.push_back(Isend(q, down_tag, full.data(), full.size()));
+      }
+    }
+    for (SendRequest& s : fans) s.Wait();
+  }
+  DEMSORT_CHECK_EQ(all.size(), static_cast<size_t>(size_));
+  std::vector<std::vector<uint8_t>> out(size_);
+  for (auto& [rank, bytes] : all) {
+    DEMSORT_CHECK_LT(rank, static_cast<uint32_t>(size_));
+    out[rank] = std::move(bytes);
+  }
+  return out;
+}
+
+// The two-level streaming exchange. Intra-node payloads travel whole over
+// shared memory (cut to chunk-size spans only at the consumer); cross-node
+// payloads are packed per destination node, streamed leader-to-leader by
+// the flat engine — the PR 4 credit-piggyback protocol runs between the
+// node leaders — and scattered to their destination PEs AS THE CHUNKS
+// LAND. Every byte crosses its node boundary exactly once, and the uplink
+// carries N-1 aggregate streams per node instead of one stream per PE
+// pair.
+//
+// Memory: the SEND side materializes the node's outgoing cross-node
+// payload on the leader (like the paper's bulk-synchronous sub-step
+// buffers bound it per sub-step); the RECEIVE side stays streamed end to
+// end — the engine's O(credit x chunk) bound holds per source NODE, and
+// landed pieces leave the leader for their destination PE immediately.
+void Comm::AlltoallvStreamTwoLevel(const StreamSendProvider& send_for,
+                                   const ChunkConsumer& consumer,
+                                   const StreamSizeCallback& on_size,
+                                   const StreamOptions& options) {
+  const ResolvedStreamTuning tune = ResolveStreamTuning(options);
+  DEMSORT_CHECK_GT(tune.base_chunk_bytes, 0u);
+  const Topology& topo = *topology_;
+  const int P = size_;
+  const int me = rank_;
+  const int my_node = topo.node_of(me);
+  const int node_leader = topo.leader_of(my_node);
+  const int first = topo.node_first(my_node);
+  const int k = topo.node_size(my_node);
+  const int N = topo.num_nodes();
+  const int pack_tag = AllocateCollectiveTag();
+  const int fwd_tag = AllocateCollectiveTag();
+
+  // Consumer-side bookkeeping: the size announcement once per source, at
+  // most one last, pieces cut to the <= max-chunk contract (align-safe:
+  // the base chunk is an align multiple and forwarded pieces are cut at
+  // record boundaries).
+  std::vector<char> announced(P, 0);
+  std::vector<char> closed(P, 0);
+  int open_sources = P;
+  auto dispatch = [&](int src, std::span<const uint8_t> piece, bool last,
+                      uint64_t total) {
+    DEMSORT_CHECK(!closed[src]) << "piece after last from " << src;
+    if (!announced[src]) {
+      announced[src] = 1;
+      if (on_size) on_size(src, total);
+    }
+    if (piece.empty()) {
+      if (last) {
+        consumer(src, {}, true);
+        closed[src] = 1;
+        --open_sources;
+      }
+      return;
+    }
+    const uint64_t cut = tune.base_chunk_bytes;
+    for (uint64_t off = 0; off < piece.size(); off += cut) {
+      const uint64_t n = std::min<uint64_t>(cut, piece.size() - off);
+      consumer(src, piece.subspan(off, n), last && off + n == piece.size());
+    }
+    if (last) {
+      closed[src] = 1;
+      --open_sources;
+    }
+  };
+
+  // ---- 1. Visit every destination exactly once (the provider's span is
+  // only valid until the next call, so each is consumed immediately):
+  // self zero-copy, same-node peers as one direct shared-memory frame
+  // each, remote destinations appended to the per-node pack.
+  std::vector<SendRequest> sends;
+  std::vector<std::vector<HierAggEntry>> pack_entries(N);
+  std::vector<std::vector<uint8_t>> pack_payload(N);
+  for (int dst = 0; dst < P; ++dst) {
+    if (dst == me) {
+      std::span<const uint8_t> mine = send_for(me);
+      dispatch(me, mine, /*last=*/true, mine.size());
+      continue;
+    }
+    std::span<const uint8_t> payload = send_for(dst);
+    if (topo.same_node(dst, me)) {
+      HierForwardHeader hdr{static_cast<uint32_t>(me), 1, payload.size()};
+      sends.push_back(IsendGather(dst, fwd_tag, &hdr, sizeof(hdr),
+                                  payload.data(), payload.size()));
+      continue;
+    }
+    const int nd = topo.node_of(dst);
+    pack_entries[nd].push_back(HierAggEntry{static_cast<uint32_t>(me),
+                                            static_cast<uint32_t>(dst),
+                                            payload.size()});
+    pack_payload[nd].insert(pack_payload[nd].end(), payload.begin(),
+                            payload.end());
+  }
+
+  // ---- 2. Non-leaders ship one pack per remote node to the leader, in
+  // node order (the leader reads them back FIFO from each source).
+  if (me != node_leader) {
+    for (int nd = 0; nd < N; ++nd) {
+      if (nd == my_node) continue;
+      std::vector<uint8_t> head = PackAggHeader(pack_entries[nd]);
+      sends.push_back(IsendGather(node_leader, pack_tag, head.data(),
+                                  head.size(), pack_payload[nd].data(),
+                                  pack_payload[nd].size()));
+    }
+  }
+
+  if (me == node_leader) {
+    // ---- 3a. Assemble the per-node aggregates: own entries first, then
+    // each local peer's pack in rank order; payloads concatenated in
+    // entry order.
+    std::vector<std::vector<uint8_t>> agg(N);
+    {
+      std::vector<std::vector<HierAggEntry>> entries(std::move(pack_entries));
+      std::vector<std::vector<uint8_t>> payloads(std::move(pack_payload));
+      for (int q = first; q < first + k; ++q) {
+        if (q == me) continue;
+        for (int nd = 0; nd < N; ++nd) {
+          if (nd == my_node) continue;
+          std::vector<uint8_t> pack = Recv(q, pack_tag);
+          DEMSORT_CHECK_GE(pack.size(), sizeof(uint64_t));
+          uint64_t count;
+          std::memcpy(&count, pack.data(), sizeof(count));
+          const size_t head = sizeof(uint64_t) +
+                              static_cast<size_t>(count) *
+                                  sizeof(HierAggEntry);
+          DEMSORT_CHECK_GE(pack.size(), head);
+          const size_t old = entries[nd].size();
+          entries[nd].resize(old + count);
+          std::memcpy(entries[nd].data() + old,
+                      pack.data() + sizeof(uint64_t),
+                      static_cast<size_t>(count) * sizeof(HierAggEntry));
+          payloads[nd].insert(payloads[nd].end(), pack.begin() + head,
+                              pack.end());
+        }
+      }
+      for (int nd = 0; nd < N; ++nd) {
+        if (nd == my_node) continue;
+        std::vector<uint8_t> head = PackAggHeader(entries[nd]);
+        agg[nd].reserve(head.size() + payloads[nd].size());
+        agg[nd].insert(agg[nd].end(), head.begin(), head.end());
+        agg[nd].insert(agg[nd].end(), payloads[nd].begin(),
+                       payloads[nd].end());
+      }
+    }
+
+    // ---- 3b. Leader-to-leader streaming rounds. Each landed chunk is
+    // demuxed against the aggregate's entry table and forwarded (or, for
+    // this leader's own traffic, consumed) piece by piece.
+    struct NodeDemux {
+      bool have_count = false;
+      uint64_t entry_count = 0;
+      std::vector<HierAggEntry> entries;
+      size_t entry_idx = 0;
+      uint64_t seg_sent = 0;
+      std::vector<uint8_t> buf;
+      size_t off = 0;
+    };
+    std::vector<NodeDemux> demux(N);
+    const uint64_t align = tune.align_bytes;
+    auto forward = [&](const HierAggEntry& e, std::span<const uint8_t> piece,
+                       bool piece_last) {
+      const int dst = static_cast<int>(e.dst);
+      DEMSORT_CHECK(topo.same_node(dst, me))
+          << "aggregate entry for PE " << dst << " misrouted to node "
+          << my_node;
+      if (dst == me) {
+        dispatch(static_cast<int>(e.src), piece, piece_last, e.bytes);
+        return;
+      }
+      HierForwardHeader hdr{e.src, piece_last ? 1u : 0u, e.bytes};
+      SendRequest sr = IsendGather(dst, fwd_tag, &hdr, sizeof(hdr),
+                                   piece.data(), piece.size());
+      if (sr.done()) {
+        // Shared-memory sends complete inline — including the FAILED
+        // completion of a send to a dead local PE, which must surface as
+        // CommError here, not be dropped.
+        sr.Wait();
+      } else {
+        sends.push_back(std::move(sr));
+      }
+    };
+    auto advance = [&](NodeDemux& dx) {
+      auto avail = [&] { return dx.buf.size() - dx.off; };
+      if (!dx.have_count) {
+        if (avail() < sizeof(uint64_t)) return;
+        std::memcpy(&dx.entry_count, dx.buf.data() + dx.off,
+                    sizeof(uint64_t));
+        dx.off += sizeof(uint64_t);
+        dx.have_count = true;
+        dx.entries.reserve(static_cast<size_t>(dx.entry_count));
+      }
+      while (dx.entries.size() < dx.entry_count &&
+             avail() >= sizeof(HierAggEntry)) {
+        HierAggEntry e;
+        std::memcpy(&e, dx.buf.data() + dx.off, sizeof(e));
+        dx.off += sizeof(e);
+        dx.entries.push_back(e);
+      }
+      if (dx.entries.size() < dx.entry_count) return;
+      while (dx.entry_idx < dx.entries.size()) {
+        const HierAggEntry& e = dx.entries[dx.entry_idx];
+        if (e.bytes == 0) {
+          forward(e, {}, true);
+          ++dx.entry_idx;
+          continue;
+        }
+        const uint64_t remaining = e.bytes - dx.seg_sent;
+        uint64_t take = std::min<uint64_t>(avail(), remaining);
+        if (take < remaining) {
+          take = take / align * align;  // whole records only mid-segment
+          if (take == 0) return;
+        }
+        for (uint64_t done = 0; done < take;) {
+          const uint64_t n =
+              std::min<uint64_t>(tune.max_chunk_bytes, take - done);
+          forward(e, std::span<const uint8_t>(dx.buf.data() + dx.off, n),
+                  dx.seg_sent + done + n == e.bytes);
+          dx.off += n;
+          done += n;
+        }
+        dx.seg_sent += take;
+        if (dx.seg_sent == e.bytes) {
+          ++dx.entry_idx;
+          dx.seg_sent = 0;
+        }
+      }
+      if (dx.off == dx.buf.size()) {
+        dx.buf.clear();
+        dx.off = 0;
+      } else if (dx.off >= (size_t{64} << 10)) {
+        dx.buf.erase(dx.buf.begin(),
+                     dx.buf.begin() + static_cast<ptrdiff_t>(dx.off));
+        dx.off = 0;
+      }
+    };
+    StreamOptions engine_options;
+    engine_options.chunk_bytes = tune.base_chunk_bytes;
+    engine_options.align_bytes = 1;  // aggregates carry their own framing
+    engine_options.min_chunk_bytes = tune.min_chunk_bytes;
+    engine_options.max_chunk_bytes = tune.max_chunk_bytes;
+    engine_options.chunk_mode =
+        tune.adaptive ? StreamChunkMode::kAdaptive : StreamChunkMode::kFixed;
+    engine_options.credit_mode = tune.piggyback
+                                     ? StreamCreditMode::kPiggyback
+                                     : StreamCreditMode::kStandalone;
+    LeaderComm().AlltoallvStream(
+        [&](int nd) {
+          return nd == my_node ? std::span<const uint8_t>()
+                               : std::span<const uint8_t>(agg[nd]);
+        },
+        [&](int nd, std::span<const uint8_t> chunk, bool last) {
+          if (nd == my_node) {
+            DEMSORT_CHECK(chunk.empty());
+            return;
+          }
+          NodeDemux& dx = demux[nd];
+          dx.buf.insert(dx.buf.end(), chunk.begin(), chunk.end());
+          advance(dx);
+          if (last) {
+            DEMSORT_CHECK(dx.have_count);
+            DEMSORT_CHECK_EQ(dx.off, dx.buf.size())
+                << "trailing aggregate bytes from node " << nd;
+            DEMSORT_CHECK_EQ(dx.entry_idx, dx.entries.size());
+            DEMSORT_CHECK_EQ(dx.entries.size(), dx.entry_count);
+          }
+        },
+        /*on_size=*/nullptr, engine_options);
+
+    // ---- 3c. The local peers' direct frames to this leader waited in
+    // shared memory while the engine ran: exactly one per peer.
+    for (int q = first; q < first + k; ++q) {
+      if (q == me) continue;
+      std::vector<uint8_t> frame = Recv(q, fwd_tag);
+      DEMSORT_CHECK_GE(frame.size(), sizeof(HierForwardHeader));
+      HierForwardHeader hdr;
+      std::memcpy(&hdr, frame.data(), sizeof(hdr));
+      dispatch(static_cast<int>(hdr.src),
+               std::span<const uint8_t>(frame.data() + sizeof(hdr),
+                                        frame.size() - sizeof(hdr)),
+               hdr.last != 0, hdr.total_bytes);
+    }
+  } else {
+    // ---- 3'. Non-leaders drain their node-local channels: one direct
+    // frame per same-node peer, plus the leader's forwarded pieces of
+    // every remote source (the leader's own direct frame shares its
+    // channel; the headers demux). Polled so consumption streams across
+    // sources as pieces land.
+    std::vector<int> peers;
+    peers.reserve(k - 1);
+    for (int q = first; q < first + k; ++q) {
+      if (q != me) peers.push_back(q);
+    }
+    std::vector<RecvRequest> rr(peers.size());
+    std::vector<char> chan_done(peers.size(), 0);
+    for (size_t i = 0; i < peers.size(); ++i) {
+      rr[i] = Irecv(peers[i], fwd_tag);
+    }
+    int remote_left = P - k;
+    size_t done_count = 0;
+    PollBackoff backoff;
+    while (done_count < peers.size()) {
+      bool progress = false;
+      for (size_t i = 0; i < peers.size(); ++i) {
+        while (!chan_done[i] && rr[i].done()) {
+          std::vector<uint8_t> frame = rr[i].Take();
+          DEMSORT_CHECK_GE(frame.size(), sizeof(HierForwardHeader));
+          HierForwardHeader hdr;
+          std::memcpy(&hdr, frame.data(), sizeof(hdr));
+          const int src = static_cast<int>(hdr.src);
+          dispatch(src,
+                   std::span<const uint8_t>(frame.data() + sizeof(hdr),
+                                            frame.size() - sizeof(hdr)),
+                   hdr.last != 0, hdr.total_bytes);
+          progress = true;
+          if (hdr.last != 0 && !topo.same_node(src, me)) --remote_left;
+          const bool channel_drained =
+              peers[i] == node_leader
+                  ? (closed[node_leader] != 0 && remote_left == 0)
+                  : true;  // a non-leader peer sends exactly one frame
+          if (channel_drained) {
+            chan_done[i] = 1;
+            ++done_count;
+          } else {
+            rr[i] = Irecv(peers[i], fwd_tag);
+          }
+        }
+      }
+      if (progress) {
+        backoff.Reset();
+      } else {
+        backoff.Idle();
+      }
+    }
+  }
+
+  DEMSORT_CHECK_EQ(open_sources, 0)
+      << "two-level exchange ended with open sources";
+  for (SendRequest& s : sends) s.Wait();
 }
 
 uint64_t Comm::ExclusiveScanSum(uint64_t local) {

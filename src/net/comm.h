@@ -33,11 +33,13 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "net/message.h"
 #include "net/net_stats.h"
+#include "net/topology.h"
 #include "net/transport.h"
 #include "util/logging.h"
 
@@ -86,11 +88,32 @@ class Comm {
   /// active source (see AlltoallvStream).
   static constexpr uint64_t kStreamSendCreditChunks = 4;
 
-  Comm(int rank, int size, Transport* transport)
-      : rank_(rank), size_(size), transport_(transport) {}
+  /// With a hierarchical `topology` (node-local PE groups; see
+  /// net::Topology) the collectives run their two-level schedules:
+  /// node-local traffic stays on the shared-memory path and only the node
+  /// leaders exchange across nodes. A null or flat topology keeps the
+  /// classic flat schedules. The topology must outlive the Comm and must
+  /// describe exactly `size` PEs.
+  Comm(int rank, int size, Transport* transport,
+       const Topology* topology = nullptr)
+      : rank_(rank), size_(size), transport_(transport), topology_(topology) {
+    if (TwoLevelActive()) {
+      // The leader sub-communicator allocates its collective tags from the
+      // upper half of the window, so a leader's two tag sequences can never
+      // alias each other's live exchanges.
+      tag_limit_ = kCollectiveTagSpace / 2;
+    }
+  }
 
   int rank() const { return rank_; }
   int size() const { return size_; }
+
+  const Topology* topology() const { return topology_; }
+  /// True when the collectives run their two-level (node-aware) schedules.
+  bool TwoLevelActive() const {
+    return topology_ != nullptr && topology_->num_pes() == size_ &&
+           topology_->hierarchical();
+  }
 
   // ------------------------------------------------------------ pt2pt ----
   /// Nonblocking send; the payload is copied out before return.
@@ -239,6 +262,7 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     DEMSORT_CHECK_EQ(sends.size(), static_cast<size_t>(size_));
     if (UsePairwiseAlltoallv()) return AlltoallvPairwise(sends);
+    if (TwoLevelActive()) return AlltoallvTwoLevelBuffered(sends);
     int tag = AllocateCollectiveTag();
 
     std::vector<RecvRequest> recvs(size_);
@@ -263,6 +287,39 @@ class Comm {
       std::memcpy(received[p].data(), bytes.data(), bytes.size());
     }
     window.WaitAll();
+    return received;
+  }
+
+  /// Buffered all-to-all over the two-level exchange: same result as the
+  /// full mesh, but built on the node-aware streaming path — intra-node
+  /// payloads travel over shared memory, cross-node payloads ride the
+  /// node-local pack → leader-to-leader streaming rounds → local scatter
+  /// pipeline, so the uplink carries N*(N-1) aggregate streams instead of
+  /// one message per PE pair.
+  template <typename T>
+  std::vector<std::vector<T>> AlltoallvTwoLevelBuffered(
+      const std::vector<std::vector<T>>& sends) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::vector<T>> received(size_);
+    StreamOptions options;
+    options.align_bytes = sizeof(T);
+    AlltoallvStream(
+        [&](int dst) {
+          return std::span<const uint8_t>(
+              reinterpret_cast<const uint8_t*>(sends[dst].data()),
+              sends[dst].size() * sizeof(T));
+        },
+        [&](int src, std::span<const uint8_t> chunk, bool) {
+          DEMSORT_CHECK_EQ(chunk.size() % sizeof(T), 0u);
+          const T* first = reinterpret_cast<const T*>(chunk.data());
+          received[src].insert(received[src].end(), first,
+                               first + chunk.size() / sizeof(T));
+        },
+        [&](int src, uint64_t bytes) {
+          DEMSORT_CHECK_EQ(bytes % sizeof(T), 0u);
+          received[src].reserve(bytes / sizeof(T));
+        },
+        options);
     return received;
   }
 
@@ -429,11 +486,13 @@ class Comm {
   /// built-in collectives.
   int AllocateCollectiveTag() {
     // SPMD discipline keeps per-PE counters aligned across the cluster.
-    DEMSORT_CHECK_LT(collective_seq_, kCollectiveTagSpace)
-        << "collective tag space exhausted after 2^23 collectives; widen "
-           "kCollectiveTagSpace (tags are plain ints) before reuse can "
-           "alias a live exchange";
-    int tag = kCollectiveTagBase + static_cast<int>(collective_seq_);
+    // (Hierarchical Comms run in half the window: the leader
+    // sub-communicator owns the other half — see the constructor.)
+    DEMSORT_CHECK_LT(collective_seq_, tag_limit_)
+        << "collective tag space exhausted; widen kCollectiveTagSpace "
+           "(tags are plain ints) before reuse can alias a live exchange";
+    int tag =
+        kCollectiveTagBase + static_cast<int>(tag_offset_ + collective_seq_);
     ++collective_seq_;
     return tag;
   }
@@ -522,6 +581,26 @@ class Comm {
   std::vector<std::vector<uint8_t>> TreeAllgatherBytes(
       const std::vector<uint8_t>& local);
 
+  // ---- two-level (node-aware) schedules; see the "Topology & hierarchy"
+  // section of the README. Active when TwoLevelActive().
+  void BarrierTwoLevel();
+  void BroadcastTwoLevel(int root, std::vector<uint8_t>& data);
+  std::vector<std::vector<uint8_t>> AllgatherBytesTwoLevel(
+      const std::vector<uint8_t>& local);
+  void AlltoallvStreamFlat(const StreamSendProvider& send_for,
+                           const ChunkConsumer& consumer,
+                           const StreamSizeCallback& on_size,
+                           const StreamOptions& options);
+  void AlltoallvStreamTwoLevel(const StreamSendProvider& send_for,
+                               const ChunkConsumer& consumer,
+                               const StreamSizeCallback& on_size,
+                               const StreamOptions& options);
+  /// The node-leader sub-communicator (leaders only; lazily built): sub
+  /// rank n == node n, mapped onto the full transport by leader rank. Its
+  /// adaptive-chunk controller state persists across collectives like the
+  /// parent's.
+  Comm& LeaderComm();
+
   /// Adaptive-chunk controller state, persistent across collectives so a
   /// converged size carries over to the next exchange with the same peer.
   struct StreamPeerTuning {
@@ -532,7 +611,12 @@ class Comm {
   int rank_;
   int size_;
   Transport* transport_;
+  const Topology* topology_ = nullptr;
+  std::unique_ptr<Transport> leader_transport_;
+  std::unique_ptr<Comm> leader_comm_;
   uint32_t collective_seq_ = 0;
+  uint32_t tag_offset_ = 0;
+  uint32_t tag_limit_ = kCollectiveTagSpace;
   size_t send_window_bytes_ = kDefaultSendWindowBytes;
   size_t stream_chunk_bytes_ = kDefaultStreamChunkBytes;
   StreamChunkMode stream_chunk_mode_ = StreamChunkMode::kAdaptive;

@@ -1,0 +1,409 @@
+#include "net/hierarchical_transport.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "net/comm.h"
+#include "util/logging.h"
+
+namespace demsort::net {
+
+HierarchicalTransport::HierarchicalTransport(const Topology& topo, int node,
+                                             Transport* uplink,
+                                             const Options& options)
+    : topo_(topo),
+      node_(node),
+      uplink_(uplink),
+      options_(options),
+      first_(topo_.node_first(node)),
+      k_(topo_.node_size(node)) {
+  DEMSORT_CHECK_GE(node_, 0);
+  DEMSORT_CHECK_LT(node_, topo_.num_nodes());
+  DEMSORT_CHECK(uplink_ != nullptr);
+  DEMSORT_CHECK_EQ(uplink_->num_pes(), topo_.num_nodes());
+  const int P = topo_.num_pes();
+  stats_.resize(k_);
+  for (auto& s : stats_) s = std::make_unique<NetStats>();
+  mailbox_.resize(static_cast<size_t>(k_) * P);
+  for (int ld = 0; ld < k_; ++ld) {
+    for (int src = 0; src < P; ++src) {
+      // Intra-node sources (self included) are shared memory: off the
+      // receive-buffering gauge, like self-sends on the flat transports.
+      NetStats* recv_stats =
+          topo_.node_of(src) == node_ ? nullptr : stats_[ld].get();
+      mailbox_[static_cast<size_t>(ld) * P + src] =
+          std::make_unique<internal::TagChannel>(/*cap_bytes=*/0, recv_stats);
+    }
+  }
+  demux_.reserve(topo_.num_nodes() - 1);
+  for (int n = 0; n < topo_.num_nodes(); ++n) {
+    if (n == node_) continue;
+    demux_.emplace_back([this, n] { DemuxLoop(n); });
+  }
+}
+
+void HierarchicalTransport::Shutdown() {
+  bool send_closes;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    send_closes = !shutdown_ && !node_dead_;
+    shutdown_ = true;
+  }
+  if (send_closes) {
+    for (int n = 0; n < topo_.num_nodes(); ++n) {
+      if (n != node_) SendControl(n, kHierClose, 0, 0);
+    }
+  }
+  // A demux thread parked at its watermark would never see the peer's
+  // close; an undrained mailbox at teardown is a protocol bug, not a hang.
+  for (auto& ch : mailbox_) ch->CancelWaits();
+}
+
+HierarchicalTransport::~HierarchicalTransport() {
+  Shutdown();
+  for (auto& t : demux_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void HierarchicalTransport::SendControl(int dst_node, HierFrameKind kind,
+                                        int a, int b) {
+  HierFrameHeader hdr{static_cast<uint32_t>(kind), a, b, 0};
+  // Best effort: a dead uplink means the peer already observes the failure
+  // through its own poisoned channels.
+  (void)uplink_->Isend(node_, dst_node, kHierUplinkTag, &hdr, sizeof(hdr));
+}
+
+void HierarchicalTransport::PoisonFrom(int pe, const Status& status) {
+  for (int ld = 0; ld < k_; ++ld) mailbox(ld, pe).Poison(status);
+}
+
+bool HierarchicalTransport::RouteDead(int src, int dst, Status* status) {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  if (node_dead_) {
+    *status = node_dead_status_;
+    return true;
+  }
+  if (dead_pes_.count(src) != 0 || dead_pes_.count(dst) != 0) {
+    int dead = dead_pes_.count(dst) != 0 ? dst : src;
+    *status = Status::IoError("PE " + std::to_string(dead) + " is dead");
+    return true;
+  }
+  if (dead_links_.count({std::min(src, dst), std::max(src, dst)}) != 0) {
+    *status = Status::IoError("link " + std::to_string(src) + "<->" +
+                              std::to_string(dst) + " is severed");
+    return true;
+  }
+  return false;
+}
+
+void HierarchicalTransport::DemuxLoop(int src_node) {
+  while (true) {
+    std::vector<uint8_t> frame;
+    try {
+      frame = uplink_->Irecv(node_, src_node, kHierUplinkTag).Take();
+    } catch (const CommError& e) {
+      // The peer node's uplink endpoint died (or ours was killed): every
+      // PE of that node is unreachable — poison per-rank, like the TCP
+      // reader severing its peer.
+      const int src_first = topo_.node_first(src_node);
+      const int src_count = topo_.node_size(src_node);
+      {
+        std::lock_guard<std::mutex> lock(route_mu_);
+        for (int src = src_first; src < src_first + src_count; ++src) {
+          dead_pes_.insert(src);
+        }
+      }
+      for (int src = src_first; src < src_first + src_count; ++src) {
+        PoisonFrom(src, e.status());
+      }
+      return;
+    }
+    DEMSORT_CHECK_GE(frame.size(), sizeof(HierFrameHeader));
+    HierFrameHeader hdr;
+    std::memcpy(&hdr, frame.data(), sizeof(hdr));
+    switch (hdr.kind) {
+      case kHierClose:
+        return;
+      case kHierKillPe: {
+        Status status =
+            Status::IoError("PE " + std::to_string(hdr.a) + " on node " +
+                            std::to_string(src_node) + " was killed");
+        {
+          std::lock_guard<std::mutex> lock(route_mu_);
+          dead_pes_.insert(hdr.a);
+        }
+        PoisonFrom(hdr.a, status);
+        break;
+      }
+      case kHierKillLink: {
+        int mine = hdr.a;
+        int remote = hdr.b;
+        if (!local(mine)) std::swap(mine, remote);
+        if (local(mine)) {
+          Status status =
+              Status::IoError("link " + std::to_string(hdr.a) + "<->" +
+                              std::to_string(hdr.b) + " severed");
+          {
+            std::lock_guard<std::mutex> lock(route_mu_);
+            dead_links_.insert(
+                {std::min(hdr.a, hdr.b), std::max(hdr.a, hdr.b)});
+          }
+          mailbox(topo_.local_rank(mine), remote).Poison(status);
+        }
+        break;
+      }
+      case kHierData: {
+        const int src = hdr.a;
+        const int dst = hdr.b;
+        DEMSORT_CHECK(local(dst))
+            << "misrouted uplink frame for PE " << dst << " at node "
+            << node_;
+        frame.erase(frame.begin(), frame.begin() + sizeof(HierFrameHeader));
+        const int ld = topo_.local_rank(dst);
+        stats_[ld]->RecordRecv(frame.size());
+        internal::TagChannel& box = mailbox(ld, src);
+        // Exempt from the (unused) channel cap: admission is decided here,
+        // by pausing this demux loop at the watermark — the uplink then
+        // backs up into the sender's credit.
+        (void)box.Offer(hdr.tag, std::move(frame), /*exempt_from_cap=*/true);
+        const size_t watermark = options_.recv_watermark_bytes;
+        if (watermark != 0 && box.queued_bytes() >= watermark) {
+          box.WaitQueuedBelow(std::max<size_t>(1, watermark / 2));
+        }
+        break;
+      }
+      default:
+        DEMSORT_CHECK(false) << "bad uplink frame kind " << hdr.kind;
+    }
+  }
+}
+
+SendRequest HierarchicalTransport::Isend(int src, int dst, int tag,
+                                         const void* data, size_t bytes) {
+  DEMSORT_CHECK(local(src))
+      << "hierarchical endpoint serves node " << node_ << ", not PE " << src;
+  DEMSORT_CHECK_GE(dst, 0);
+  DEMSORT_CHECK_LT(dst, topo_.num_pes());
+  if (local(dst)) {
+    std::vector<uint8_t> payload(static_cast<const uint8_t*>(data),
+                                 static_cast<const uint8_t*>(data) + bytes);
+    if (src != dst) {
+      NetStats& s = *stats_[topo_.local_rank(src)];
+      s.RecordSend(bytes);
+      s.RecordIntraNode(bytes);
+      stats_[topo_.local_rank(dst)]->RecordRecv(bytes);
+    }
+    return mailbox(topo_.local_rank(dst), src)
+        .Offer(tag, std::move(payload), /*exempt_from_cap=*/true);
+  }
+  return UplinkSend(src, dst, tag, nullptr, 0, data, bytes);
+}
+
+SendRequest HierarchicalTransport::IsendGather(int src, int dst, int tag,
+                                               const void* header,
+                                               size_t header_bytes,
+                                               const void* data,
+                                               size_t bytes) {
+  DEMSORT_CHECK(local(src))
+      << "hierarchical endpoint serves node " << node_ << ", not PE " << src;
+  DEMSORT_CHECK_GE(dst, 0);
+  DEMSORT_CHECK_LT(dst, topo_.num_pes());
+  if (local(dst)) {
+    // Single-copy frame assembly, like the flat fabric's gather path.
+    std::vector<uint8_t> payload(header_bytes + bytes);
+    std::memcpy(payload.data(), header, header_bytes);
+    if (bytes != 0) std::memcpy(payload.data() + header_bytes, data, bytes);
+    if (src != dst) {
+      NetStats& s = *stats_[topo_.local_rank(src)];
+      s.RecordSend(payload.size());
+      s.RecordIntraNode(payload.size());
+      stats_[topo_.local_rank(dst)]->RecordRecv(payload.size());
+    }
+    return mailbox(topo_.local_rank(dst), src)
+        .Offer(tag, std::move(payload), /*exempt_from_cap=*/true);
+  }
+  return UplinkSend(src, dst, tag, header, header_bytes, data, bytes);
+}
+
+SendRequest HierarchicalTransport::UplinkSend(int src, int dst, int tag,
+                                              const void* header,
+                                              size_t header_bytes,
+                                              const void* data,
+                                              size_t bytes) {
+  Status dead;
+  if (RouteDead(src, dst, &dead)) return SendRequest::Failed(dead);
+  NetStats& s = *stats_[topo_.local_rank(src)];
+  s.RecordSend(header_bytes + bytes);
+  s.RecordInterNode(header_bytes + bytes);
+  HierFrameHeader hdr{kHierData, src, dst, tag};
+  const int dst_node = topo_.node_of(dst);
+  if (header_bytes == 0) {
+    return uplink_->IsendGather(node_, dst_node, kHierUplinkTag, &hdr,
+                                sizeof(hdr), data, bytes);
+  }
+  // Three-part frame: merge the 16-byte routing header with the caller's
+  // small gather header so the payload still travels in a single copy.
+  std::vector<uint8_t> merged(sizeof(hdr) + header_bytes);
+  std::memcpy(merged.data(), &hdr, sizeof(hdr));
+  std::memcpy(merged.data() + sizeof(hdr), header, header_bytes);
+  return uplink_->IsendGather(node_, dst_node, kHierUplinkTag, merged.data(),
+                              merged.size(), data, bytes);
+}
+
+RecvRequest HierarchicalTransport::Irecv(int dst, int src, int tag) {
+  DEMSORT_CHECK(local(dst))
+      << "hierarchical endpoint serves node " << node_ << ", not PE " << dst;
+  DEMSORT_CHECK_GE(src, 0);
+  DEMSORT_CHECK_LT(src, topo_.num_pes());
+  return mailbox(topo_.local_rank(dst), src).PostRecv(tag);
+}
+
+void HierarchicalTransport::KillPe(int pe, const Status& status) {
+  DEMSORT_CHECK_GE(pe, 0);
+  DEMSORT_CHECK_LT(pe, topo_.num_pes());
+  if (!local(pe)) {
+    // Local-only sever, like the TCP endpoint killing a remote rank: our
+    // PEs stop hearing from `pe` and future sends to it fail.
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      dead_pes_.insert(pe);
+    }
+    PoisonFrom(pe, status);
+    return;
+  }
+  if (topo_.is_leader(pe)) {
+    // Node death: the leader fronts the node's uplink, so the whole node's
+    // mailboxes poison and the uplink endpoint is killed — peer nodes
+    // observe it in their demux threads and fail per-rank.
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      if (node_dead_) return;
+      node_dead_ = true;
+      node_dead_status_ = status;
+    }
+    uplink_->KillPe(node_, status);
+    for (auto& ch : mailbox_) ch->Poison(status);
+    return;
+  }
+  // Non-leader: exactly this rank dies. Poison its receives and every
+  // local view of it, and tell the other nodes so their PEs' waits on it
+  // cancel too.
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    dead_pes_.insert(pe);
+  }
+  const int lpe = topo_.local_rank(pe);
+  for (int src = 0; src < topo_.num_pes(); ++src) {
+    mailbox(lpe, src).Poison(status);
+  }
+  PoisonFrom(pe, status);
+  for (int n = 0; n < topo_.num_nodes(); ++n) {
+    if (n != node_) SendControl(n, kHierKillPe, pe, 0);
+  }
+}
+
+void HierarchicalTransport::KillLink(int a, int b, const Status& status) {
+  DEMSORT_CHECK_GE(a, 0);
+  DEMSORT_CHECK_LT(a, topo_.num_pes());
+  DEMSORT_CHECK_GE(b, 0);
+  DEMSORT_CHECK_LT(b, topo_.num_pes());
+  const bool la = local(a);
+  const bool lb = local(b);
+  if (!la && !lb) return;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    dead_links_.insert({std::min(a, b), std::max(a, b)});
+  }
+  if (la) mailbox(topo_.local_rank(a), b).Poison(status);
+  if (lb && a != b) mailbox(topo_.local_rank(b), a).Poison(status);
+  if (la != lb) {
+    // Exactly this pair fails on the remote side too; other pairs bridging
+    // the same two nodes keep flowing.
+    SendControl(topo_.node_of(la ? b : a), kHierKillLink, a, b);
+  }
+}
+
+NetStats& HierarchicalTransport::stats(int pe) {
+  DEMSORT_CHECK(local(pe))
+      << "hierarchical endpoint serves node " << node_ << ", not PE " << pe;
+  return *stats_[topo_.local_rank(pe)];
+}
+
+// ---------------------------------------------------------------------------
+
+HierCluster::Result HierCluster::Run(const Options& options,
+                                     const PeBody& body) {
+  const Topology& topo = options.topology;
+  const int P = topo.num_pes();
+  const int N = topo.num_nodes();
+  Fabric::Options fabric_options;
+  fabric_options.num_pes = N;
+  fabric_options.channel_cap_bytes = options.uplink_channel_cap_bytes;
+  Fabric uplink(fabric_options);
+  HierarchicalTransport::Options t_options;
+  t_options.recv_watermark_bytes = options.recv_watermark_bytes;
+  std::vector<std::unique_ptr<HierarchicalTransport>> nodes(N);
+  for (int n = 0; n < N; ++n) {
+    nodes[n] = std::make_unique<HierarchicalTransport>(topo, n, &uplink,
+                                                       t_options);
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(P);
+  std::vector<std::exception_ptr> errors(P);
+  std::atomic<int> first_failed{-1};
+  for (int pe = 0; pe < P; ++pe) {
+    HierarchicalTransport* transport = nodes[topo.node_of(pe)].get();
+    threads.emplace_back([&, pe, transport] {
+      try {
+        Comm comm(pe, P, transport,
+                  options.flat_collectives ? nullptr : &topo);
+        body(comm);
+      } catch (const std::exception& e) {
+        errors[pe] = std::current_exception();
+        int expect = -1;
+        first_failed.compare_exchange_strong(expect, pe);
+        // Cancel the peers' waits BEFORE this thread exits (a leader death
+        // takes its whole node — the documented containment contract).
+        transport->KillPe(pe, Status::Internal("PE " + std::to_string(pe) +
+                                               " failed: " + e.what()));
+      } catch (...) {
+        errors[pe] = std::current_exception();
+        int expect = -1;
+        first_failed.compare_exchange_strong(expect, pe);
+        transport->KillPe(pe, Status::Internal("PE " + std::to_string(pe) +
+                                               " failed"));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  Result result;
+  result.stats.reserve(P);
+  for (int pe = 0; pe < P; ++pe) {
+    result.stats.push_back(nodes[topo.node_of(pe)]->stats(pe).Snapshot());
+  }
+  for (int n = 0; n < N; ++n) {
+    NetStatsSnapshot s = uplink.stats(n).Snapshot();
+    result.uplink_total.messages_sent += s.messages_sent;
+    result.uplink_total.bytes_sent += s.bytes_sent;
+    result.uplink_total.messages_received += s.messages_received;
+    result.uplink_total.bytes_received += s.bytes_received;
+  }
+  // Collective teardown in one thread: every node's closes go out before
+  // any node joins its demux threads.
+  for (int n = 0; n < N; ++n) nodes[n]->Shutdown();
+  nodes.clear();
+
+  const int failed = first_failed.load();
+  if (failed >= 0) {
+    DEMSORT_LOG(kError) << "PE " << failed << " failed first; rethrowing";
+    std::rethrow_exception(errors[failed]);
+  }
+  return result;
+}
+
+}  // namespace demsort::net

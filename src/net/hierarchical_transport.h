@@ -1,0 +1,209 @@
+// HierarchicalTransport: the node-aware Transport — PEs of one node talk
+// over in-process shared-memory mailboxes (zero serialization, no wire
+// framing), PEs of different nodes talk through ONE per-node uplink
+// endpoint that multiplexes every cross-node (src PE, dst PE, tag) flow of
+// the node over the node-to-node channel.
+//
+// The paper's testbed runs several PEs per node behind one network
+// interface; the flat transports ignore that and pay P*(P-1) connections.
+// Here the uplink is itself a net::Transport over NODES (in-process Fabric
+// for the emulation, TcpTransport for real deployments — N endpoints, so
+// an N-node mesh holds N*(N-1) directed channels instead of P*(P-1)), and
+// every cross-node message travels as [HierFrameHeader | payload] on one
+// well-known uplink tag. A demux thread per peer node pulls frames off the
+// uplink and delivers them into the destination PE's ordinary TagChannel
+// mailbox, so the Transport contract — per-(src, tag) FIFO, MPI-style
+// matching, 64-bit sizes, Request completion — holds unchanged and the
+// transport-generic conformance/streaming/fault suites run unmodified.
+//
+// Flow control: intra-node traffic is local memory (exempt from the
+// receive-buffering gauge, like self-sends on the flat transports).
+// Cross-node traffic can be bounded end to end: the demux thread pauses at
+// Options::recv_watermark_bytes of undrained mailbox (the TCP reader's
+// watermark pattern), which backs the uplink channel up into the sender's
+// Isend credit when the uplink itself is bounded (capped Fabric / TCP
+// socket).
+//
+// Failure containment (the PR 3 contract, preserved through the proxy):
+//  * KillPe(non-leader) poisons the victim's channels on its node and
+//    broadcasts a kill frame so every other node poisons its mailboxes
+//    from the victim — per-rank CommError everywhere, nothing else fails.
+//  * KillPe(leader) is node death: the leader fronts the node's uplink, so
+//    the whole node's mailboxes poison and the uplink endpoint is killed;
+//    peer nodes observe the dead uplink (their demux threads fail over to
+//    poisoning every mailbox from the dead node's PEs).
+//  * KillLink(a, b) between nodes fails exactly the (a, b) pair: the local
+//    side poisons its mailbox and fails future sends, a link-kill frame
+//    makes the remote side do the same; traffic of every other pair —
+//    including other pairs bridging the same two nodes — is untouched.
+//
+// Teardown is collective, like the TCP transport: each node's destructor
+// sends a CLOSE frame per peer node and joins its demux threads when the
+// peers' closes arrive, so no in-flight frame is lost.
+#ifndef DEMSORT_NET_HIERARCHICAL_TRANSPORT_H_
+#define DEMSORT_NET_HIERARCHICAL_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/cluster.h"
+#include "net/topology.h"
+#include "net/transport.h"
+
+namespace demsort::net {
+
+class Comm;
+
+/// Prefixes every frame on the node-to-node uplink.
+struct HierFrameHeader {
+  uint32_t kind = 0;  ///< HierFrameKind
+  int32_t a = 0;      ///< kData: source PE; kKillPe: victim; kKillLink: a
+  int32_t b = 0;      ///< kData: destination PE; kKillLink: b
+  int32_t tag = 0;    ///< kData: the application/collective tag
+};
+static_assert(sizeof(HierFrameHeader) == 16);
+static_assert(std::is_trivially_copyable_v<HierFrameHeader>);
+
+enum HierFrameKind : uint32_t {
+  kHierData = 1,
+  kHierKillPe = 2,
+  kHierKillLink = 3,
+  kHierClose = 4,
+};
+
+/// The one uplink tag every cross-node flow multiplexes onto. Outside both
+/// the application tag space and the collective window.
+inline constexpr int kHierUplinkTag = 1 << 30;
+
+class HierarchicalTransport : public Transport {
+ public:
+  struct Options {
+    /// Pause the per-peer-node demux thread once the mailbox it just
+    /// delivered into holds this many undrained bytes; resume at half —
+    /// the uplink then backs up into the sender's credit exactly like the
+    /// TCP reader watermark. 0 = drain eagerly.
+    size_t recv_watermark_bytes = 0;
+  };
+
+  /// Serves the PEs of node `node` of `topo`. `uplink` is a Transport over
+  /// NODES (uplink->num_pes() == topo.num_nodes()) on which this object
+  /// sends and receives as rank `node`; it must outlive this transport and
+  /// all nodes' transports must be destroyed concurrently (collective
+  /// teardown).
+  HierarchicalTransport(const Topology& topo, int node, Transport* uplink,
+                        const Options& options);
+  HierarchicalTransport(const Topology& topo, int node, Transport* uplink)
+      : HierarchicalTransport(topo, node, uplink, Options()) {}
+  ~HierarchicalTransport() override;
+
+  HierarchicalTransport(const HierarchicalTransport&) = delete;
+  HierarchicalTransport& operator=(const HierarchicalTransport&) = delete;
+
+  int num_pes() const override { return topo_.num_pes(); }
+  const Topology& topology() const { return topo_; }
+  int node() const { return node_; }
+
+  SendRequest Isend(int src, int dst, int tag, const void* data,
+                    size_t bytes) override;
+  SendRequest IsendGather(int src, int dst, int tag, const void* header,
+                          size_t header_bytes, const void* data,
+                          size_t bytes) override;
+  RecvRequest Irecv(int dst, int src, int tag) override;
+
+  void KillPe(int pe, const Status& status) override;
+  void KillLink(int a, int b, const Status& status) override;
+
+  /// Serves this node's PEs only (like the TCP endpoint serves one rank).
+  NetStats& stats(int pe) override;
+
+  /// First half of the collective teardown: sends the CLOSE frames and
+  /// releases any watermark-parked demux thread, without joining. The
+  /// destructor calls it (idempotent) and then joins; a harness that
+  /// destroys several node transports from ONE thread must call Shutdown()
+  /// on all of them first, or the first destructor would wait for closes
+  /// the later nodes have not sent yet.
+  void Shutdown();
+
+ private:
+  internal::TagChannel& mailbox(int local_dst, int src) {
+    return *mailbox_[static_cast<size_t>(local_dst) * topo_.num_pes() + src];
+  }
+  bool local(int pe) const { return topo_.node_of(pe) == node_; }
+
+  /// Queues one cross-node payload on the uplink (kData framing).
+  SendRequest UplinkSend(int src, int dst, int tag, const void* header,
+                         size_t header_bytes, const void* data, size_t bytes);
+  /// Best-effort control frame to one peer node (kill/close notifications).
+  void SendControl(int dst_node, HierFrameKind kind, int a, int b);
+  /// Pulls frames from `src_node` and demuxes them into PE mailboxes.
+  void DemuxLoop(int src_node);
+  /// Poisons every mailbox that receives from `pe` (all local PEs' views).
+  void PoisonFrom(int pe, const Status& status);
+  /// True (and fills `status`) if sends between `src` and `dst` must fail.
+  bool RouteDead(int src, int dst, Status* status);
+
+  Topology topo_;
+  int node_;
+  Transport* uplink_;
+  Options options_;
+  int first_;  // first global rank of this node
+  int k_;      // PEs on this node
+
+  std::vector<std::unique_ptr<NetStats>> stats_;  // per local PE
+  // mailbox_[local_dst * P + global_src]: the destination PE's per-source
+  // mailboxes. Intra-node sources (self included) are local memory: no
+  // receive-buffering gauge, exactly like self-sends on the flat fabrics.
+  std::vector<std::unique_ptr<internal::TagChannel>> mailbox_;
+  std::vector<std::thread> demux_;  // one per peer node
+
+  std::mutex route_mu_;
+  bool shutdown_ = false;
+  bool node_dead_ = false;
+  Status node_dead_status_;
+  std::set<int> dead_pes_;
+  std::set<std::pair<int, int>> dead_links_;  // normalized (min, max)
+};
+
+/// In-process emulation harness for the two-level machine, mirroring
+/// Cluster::Run: one shared uplink Fabric over the NODES, one
+/// HierarchicalTransport per node, and one thread per PE. A PE that throws
+/// is killed on its node transport first (leader death takes the node, the
+/// PR 3 containment contract), then the FIRST PE's exception is rethrown.
+class HierCluster {
+ public:
+  using PeBody = std::function<void(Comm&)>;
+
+  struct Options {
+    Topology topology = Topology::Flat(1);
+    /// Per-channel cap of the node-to-node uplink fabric; 0 = unbounded.
+    size_t uplink_channel_cap_bytes = 0;
+    /// Demux pause watermark (see HierarchicalTransport::Options).
+    size_t recv_watermark_bytes = 0;
+    /// Run the PEs' Comms WITHOUT the topology: collectives use the flat
+    /// schedules while the traffic still routes through the hierarchy —
+    /// the A/B baseline of micro_net --topo-compare.
+    bool flat_collectives = false;
+  };
+
+  struct Result {
+    std::vector<NetStatsSnapshot> stats;  // per PE
+    NetStatsSnapshot uplink_total;        // summed over node endpoints
+  };
+
+  static void Run(const Topology& topology, const PeBody& body) {
+    Options options;
+    options.topology = topology;
+    Run(options, body);
+  }
+  static Result Run(const Options& options, const PeBody& body);
+};
+
+}  // namespace demsort::net
+
+#endif  // DEMSORT_NET_HIERARCHICAL_TRANSPORT_H_

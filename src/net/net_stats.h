@@ -33,6 +33,15 @@ struct NetStatsSnapshot {
   /// Effective chunk size of this PE's most recent streaming send (the
   /// adaptive controller's converged value). A gauge like the peak.
   uint64_t stream_chunk_bytes = 0;
+  /// Send-side classification by the node topology (hierarchical transport
+  /// only; flat transports have no node map and leave both at zero):
+  /// traffic to a same-node PE travels over shared memory, traffic to a
+  /// remote PE crosses the node's one uplink. Self-sends count in neither,
+  /// like the volume counters.
+  uint64_t intra_node_msgs = 0;
+  uint64_t intra_node_bytes = 0;
+  uint64_t inter_node_msgs = 0;
+  uint64_t inter_node_bytes = 0;
 
   NetStatsSnapshot operator-(const NetStatsSnapshot& rhs) const {
     return NetStatsSnapshot{messages_sent - rhs.messages_sent,
@@ -42,7 +51,11 @@ struct NetStatsSnapshot {
                             recv_buffer_peak_bytes,
                             credit_msgs - rhs.credit_msgs,
                             piggybacked_credits - rhs.piggybacked_credits,
-                            stream_chunk_bytes};
+                            stream_chunk_bytes,
+                            intra_node_msgs - rhs.intra_node_msgs,
+                            intra_node_bytes - rhs.intra_node_bytes,
+                            inter_node_msgs - rhs.inter_node_msgs,
+                            inter_node_bytes - rhs.inter_node_bytes};
   }
 };
 
@@ -89,6 +102,17 @@ class NetStats {
     stream_chunk_bytes_.store(bytes, std::memory_order_relaxed);
   }
 
+  /// One message left this PE for a same-node peer (shared-memory path).
+  void RecordIntraNode(uint64_t bytes) {
+    intra_node_msgs_.fetch_add(1, std::memory_order_relaxed);
+    intra_node_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  /// One message left this PE for a remote node (through the uplink).
+  void RecordInterNode(uint64_t bytes) {
+    inter_node_msgs_.fetch_add(1, std::memory_order_relaxed);
+    inter_node_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
   NetStatsSnapshot Snapshot() const {
     return NetStatsSnapshot{
         messages_sent_.load(std::memory_order_relaxed),
@@ -98,7 +122,11 @@ class NetStats {
         recv_buffer_peak_.load(std::memory_order_relaxed),
         credit_msgs_.load(std::memory_order_relaxed),
         piggybacked_credits_.load(std::memory_order_relaxed),
-        stream_chunk_bytes_.load(std::memory_order_relaxed)};
+        stream_chunk_bytes_.load(std::memory_order_relaxed),
+        intra_node_msgs_.load(std::memory_order_relaxed),
+        intra_node_bytes_.load(std::memory_order_relaxed),
+        inter_node_msgs_.load(std::memory_order_relaxed),
+        inter_node_bytes_.load(std::memory_order_relaxed)};
   }
 
  private:
@@ -111,6 +139,10 @@ class NetStats {
   std::atomic<uint64_t> credit_msgs_{0};
   std::atomic<uint64_t> piggybacked_credits_{0};
   std::atomic<uint64_t> stream_chunk_bytes_{0};
+  std::atomic<uint64_t> intra_node_msgs_{0};
+  std::atomic<uint64_t> intra_node_bytes_{0};
+  std::atomic<uint64_t> inter_node_msgs_{0};
+  std::atomic<uint64_t> inter_node_bytes_{0};
 };
 
 }  // namespace demsort::net

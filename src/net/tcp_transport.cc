@@ -22,6 +22,7 @@
 
 #include "net/cluster.h"
 #include "net/comm.h"
+#include "net/hierarchical_transport.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -661,17 +662,41 @@ StatusOr<std::vector<TcpTransport::Peer>> ParseHostsFile(
     }
     char* parse_end = nullptr;
     long port = std::strtol(entry.c_str() + colon + 1, &parse_end, 10);
-    if (*parse_end != '\0' || port < 1 || port > 65535) {
+    if (parse_end == entry.c_str() + colon + 1 || port < 1 || port > 65535) {
       return bad("bad port in '" + entry + "'");
     }
+    // Optional per-node slot count: "host:port xK" declares K PEs sharing
+    // this endpoint's node (the hierarchical transport's uplink). Default 1.
+    long slots = 1;
+    const char* rest = parse_end;
+    while (*rest == ' ' || *rest == '\t') ++rest;
+    if (*rest != '\0') {
+      if (*rest != 'x') {
+        return bad("trailing junk in '" + entry +
+                   "' (expected a ' xK' slot count)");
+      }
+      char* slots_end = nullptr;
+      slots = std::strtol(rest + 1, &slots_end, 10);
+      if (slots_end == rest + 1 || *slots_end != '\0' || slots < 1) {
+        return bad("bad slot count in '" + entry + "'");
+      }
+    }
     peers.push_back(TcpTransport::Peer{entry.substr(0, colon),
-                                       static_cast<uint16_t>(port)});
+                                       static_cast<uint16_t>(port),
+                                       static_cast<int>(slots)});
   }
   if (peers.empty()) {
     return Status::InvalidArgument("hosts file '" + path +
                                    "' names no ranks");
   }
   return peers;
+}
+
+Topology TopologyFromPeers(const std::vector<TcpTransport::Peer>& peers) {
+  std::vector<int> sizes;
+  sizes.reserve(peers.size());
+  for (const TcpTransport::Peer& p : peers) sizes.push_back(p.slots);
+  return Topology(std::move(sizes));
 }
 
 std::vector<TcpTransport::Peer> LoopbackPeers(
@@ -747,9 +772,28 @@ void RunOverTransport(TransportKind kind, const Cluster::Options& options,
     tcp_options.recv_watermark_bytes = options.tcp_recv_watermark_bytes;
     tcp_options.connect_timeout_ms = options.tcp_connect_timeout_ms;
     TcpCluster::RunWithStats(options.num_pes, body, tcp_options);
+  } else if (kind == TransportKind::kHier) {
+    HierCluster::Options hier_options;
+    if (!options.node_sizes.empty()) {
+      auto topo = Topology::FromNodeSizes(options.node_sizes);
+      DEMSORT_CHECK_OK(topo.status());
+      DEMSORT_CHECK_EQ(topo.value().num_pes(), options.num_pes)
+          << "node sizes must sum to num_pes";
+      hier_options.topology = std::move(topo).value();
+    } else {
+      hier_options.topology = Topology::Uniform(
+          options.num_pes,
+          options.pes_per_node > 0 ? options.pes_per_node : 2);
+    }
+    // The fabric channel cap bounds the node-to-node uplink channels and
+    // the tcp watermark maps onto the demux pause — both backpressure
+    // knobs translate to their hierarchical equivalents.
+    hier_options.uplink_channel_cap_bytes = options.channel_cap_bytes;
+    hier_options.recv_watermark_bytes = options.tcp_recv_watermark_bytes;
+    HierCluster::Run(hier_options, body);
   } else {
     DEMSORT_CHECK_EQ(options.tcp_recv_watermark_bytes, 0u)
-        << "the reader watermark applies to the tcp transport only";
+        << "the reader watermark applies to the tcp and hier transports only";
     Cluster::Run(options, body);
   }
 }

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "net/cluster.h"
+#include "net/topology.h"
 #include "net/transport.h"
 #include "util/status.h"
 
@@ -58,6 +59,10 @@ class TcpTransport : public Transport {
   struct Peer {
     std::string host;
     uint16_t port = 0;
+    /// PEs sharing this endpoint's node ("host:port xK" in a hosts file):
+    /// 1 for the flat one-PE-per-rank mesh; >1 describes a node of the
+    /// hierarchical transport, whose uplink this endpoint becomes.
+    int slots = 1;
   };
 
   struct Options {
@@ -196,8 +201,16 @@ StatusOr<TcpListener> CreateListener(uint16_t port, int backlog);
 
 /// Parses a rank→endpoint list for cross-machine meshes: one "host:port"
 /// per line, rank = line number; blank lines and '#' comments ignored.
+/// A line may carry a per-node slot count — "host:port xK" (default x1) —
+/// declaring K PEs behind that endpoint; mixed counts are fine. Slotted
+/// files describe the two-level machine: line = node, and the PE ranks
+/// are contiguous per node (see TopologyFromPeers).
 StatusOr<std::vector<TcpTransport::Peer>> ParseHostsFile(
     const std::string& path);
+
+/// The node topology a (possibly slotted) hosts file describes: line n =
+/// node n with its slot count of PEs. All-1 slots = the flat machine.
+Topology TopologyFromPeers(const std::vector<TcpTransport::Peer>& peers);
 
 /// Peer list ("127.0.0.1", port) matching CreateLoopbackListeners' output.
 std::vector<TcpTransport::Peer> LoopbackPeers(

@@ -334,10 +334,19 @@ class Transport {
 enum class TransportKind {
   kInProc,  ///< net::Fabric mailboxes, PEs are threads of one process
   kTcp,     ///< net::TcpTransport sockets, PEs may be separate processes
+  kHier,    ///< net::HierarchicalTransport: node-local shared-memory PE
+            ///< groups behind one uplink endpoint per node
 };
 
 inline const char* TransportKindName(TransportKind kind) {
-  return kind == TransportKind::kTcp ? "tcp" : "inproc";
+  switch (kind) {
+    case TransportKind::kTcp:
+      return "tcp";
+    case TransportKind::kHier:
+      return "hier";
+    default:
+      return "inproc";
+  }
 }
 
 inline StatusOr<TransportKind> ParseTransportKind(const std::string& name) {
@@ -345,8 +354,9 @@ inline StatusOr<TransportKind> ParseTransportKind(const std::string& name) {
     return TransportKind::kInProc;
   }
   if (name == "tcp" || name == "socket") return TransportKind::kTcp;
+  if (name == "hier" || name == "hierarchical") return TransportKind::kHier;
   return Status::InvalidArgument("unknown transport '" + name +
-                                 "' (expected inproc|tcp)");
+                                 "' (expected inproc|tcp|hier)");
 }
 
 namespace internal {

@@ -26,6 +26,7 @@
 #include "net/cluster.h"
 #include "net/comm.h"
 #include "net/fault_transport.h"
+#include "net/hierarchical_transport.h"
 #include "net/tcp_transport.h"
 #include "util/timer.h"
 #include "workload/generators.h"
@@ -49,9 +50,10 @@ std::vector<PeOutcome> RunWithFault(TransportKind kind, int num_pes,
                                     const std::function<void(Comm&)>& body) {
   auto injector = std::make_shared<FaultInjector>(spec);
   std::vector<PeOutcome> outcomes(num_pes);
-  auto pe_main = [&](int pe, Transport* transport) {
+  auto pe_main = [&](int pe, Transport* transport,
+                     const Topology* topo = nullptr) {
     try {
-      Comm comm(pe, num_pes, transport);
+      Comm comm(pe, num_pes, transport, topo);
       body(comm);
       outcomes[pe].completed = true;
     } catch (const CommError& e) {
@@ -74,6 +76,35 @@ std::vector<PeOutcome> RunWithFault(TransportKind kind, int num_pes,
       threads.emplace_back([&, pe] { pe_main(pe, &fault); });
     }
     for (auto& t : threads) t.join();
+    return outcomes;
+  }
+
+  if (kind == TransportKind::kHier) {
+    // Uneven {1, P-1} shape: a singleton node plus a multi-PE node, so the
+    // suite's fixed victim/link specs land on leaders AND non-leaders, and
+    // PE pairs named by the link specs actually exchange traffic (they
+    // share the big node).
+    Topology topo = num_pes > 1
+                        ? Topology(std::vector<int>{1, num_pes - 1})
+                        : Topology::Flat(1);
+    Fabric uplink(topo.num_nodes());
+    std::vector<std::unique_ptr<HierarchicalTransport>> nodes;
+    std::vector<std::unique_ptr<FaultTransport>> faults;
+    for (int n = 0; n < topo.num_nodes(); ++n) {
+      nodes.push_back(
+          std::make_unique<HierarchicalTransport>(topo, n, &uplink));
+      faults.push_back(
+          std::make_unique<FaultTransport>(nodes[n].get(), injector));
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(num_pes);
+    for (int pe = 0; pe < num_pes; ++pe) {
+      Transport* transport = faults[topo.node_of(pe)].get();
+      threads.emplace_back(
+          [&, pe, transport] { pe_main(pe, transport, &topo); });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& node : nodes) node->Shutdown();
     return outcomes;
   }
 
@@ -470,7 +501,8 @@ TEST(FaultInjectorTest, SeedDerivationIsDeterministicAndInRange) {
 
 INSTANTIATE_TEST_SUITE_P(Transports, FaultParamTest,
                          ::testing::Values(TransportKind::kInProc,
-                                           TransportKind::kTcp),
+                                           TransportKind::kTcp,
+                                           TransportKind::kHier),
                          [](const auto& info) {
                            return std::string(TransportKindName(info.param));
                          });
