@@ -394,6 +394,8 @@ struct TopoModeStats {
   uint64_t inter_bytes = 0;
   uint64_t intra_bytes = 0;
   uint64_t uplink_msgs = 0;
+  uint64_t pool_leases = 0;
+  uint64_t pool_hits = 0;
   double seconds = 0;
 };
 
@@ -440,25 +442,33 @@ TopoModeStats RunTopoExchange(const Topology& topo, bool flat_collectives,
     s.inter_msgs += pe.inter_node_msgs;
     s.inter_bytes += pe.inter_node_bytes;
     s.intra_bytes += pe.intra_node_bytes;
+    s.pool_leases += pe.pool_leases;
+    s.pool_hits += pe.pool_hits;
   }
   s.uplink_msgs = result.uplink_total.messages_sent;
   return s;
 }
 
 void PrintTopoMode(const char* name, const TopoModeStats& s) {
-  std::printf("%-12s  %10llu  %11llu  %13.1f  %13.1f  %11llu  %8.3f\n", name,
-              static_cast<unsigned long long>(s.total_msgs),
+  std::printf("%-12s  %10llu  %11llu  %13.1f  %13.1f  %11llu  %9.1f  %8.3f\n",
+              name, static_cast<unsigned long long>(s.total_msgs),
               static_cast<unsigned long long>(s.inter_msgs),
               static_cast<double>(s.inter_bytes) / (1 << 20),
               static_cast<double>(s.intra_bytes) / (1 << 20),
-              static_cast<unsigned long long>(s.uplink_msgs), s.seconds);
+              static_cast<unsigned long long>(s.uplink_msgs),
+              100.0 * static_cast<double>(s.pool_hits) /
+                  static_cast<double>(std::max<uint64_t>(s.pool_leases, 1)),
+              s.seconds);
 }
 
 /// The self-checking hierarchy smoke (CI runs this in Release): at P = 8
 /// with 2 PEs/node the two-level schedule must put strictly fewer
 /// messages on the node uplinks than the flat pairwise schedule over the
-/// same hierarchy, and the cross-node connection arithmetic must be the
-/// node mesh N*(N-1), not the flat P*(P-1).
+/// same hierarchy, the cross-node connection arithmetic must be the node
+/// mesh N*(N-1), not the flat P*(P-1) — AND the uplink win must not be
+/// bought with time or local copies: two-level wall time must stay within
+/// 1.25x of flat and its intra-node volume under 2x flat's (the zero-copy
+/// leader data path pays for the hierarchy).
 int RunTopoCompare(const std::string& snapshot_path) {
   const int pes = 8;
   const int per_node = 2;
@@ -478,9 +488,9 @@ int RunTopoCompare(const std::string& snapshot_path) {
       "topology comparison: P=%d, %d PEs/node (%d nodes), %zu B/pair, "
       "%zu B chunks, %d reps\n",
       pes, per_node, topo.num_nodes(), per_pair, chunk, reps);
-  std::printf("%-12s  %10s  %11s  %13s  %13s  %11s  %8s\n", "schedule",
+  std::printf("%-12s  %10s  %11s  %13s  %13s  %11s  %9s  %8s\n", "schedule",
               "total_msgs", "inter_msgs", "inter_MiB", "intra_MiB",
-              "uplink_msgs", "sec");
+              "uplink_msgs", "pool_hit%", "sec");
   PrintTopoMode("flat", flat);
   PrintTopoMode("two-level", hier);
   std::printf(
@@ -500,12 +510,15 @@ int RunTopoCompare(const std::string& snapshot_path) {
       std::fprintf(f,
                    "    \"%s\": {\"total_msgs\": %llu, \"inter_msgs\": %llu, "
                    "\"inter_bytes\": %llu, \"intra_bytes\": %llu, "
-                   "\"uplink_msgs\": %llu, \"seconds\": %.6f}%s\n",
+                   "\"uplink_msgs\": %llu, \"pool_leases\": %llu, "
+                   "\"pool_hits\": %llu, \"seconds\": %.6f}%s\n",
                    name, static_cast<unsigned long long>(s.total_msgs),
                    static_cast<unsigned long long>(s.inter_msgs),
                    static_cast<unsigned long long>(s.inter_bytes),
                    static_cast<unsigned long long>(s.intra_bytes),
-                   static_cast<unsigned long long>(s.uplink_msgs), s.seconds,
+                   static_cast<unsigned long long>(s.uplink_msgs),
+                   static_cast<unsigned long long>(s.pool_leases),
+                   static_cast<unsigned long long>(s.pool_hits), s.seconds,
                    last ? "" : ",");
     };
     std::fprintf(f,
@@ -523,11 +536,19 @@ int RunTopoCompare(const std::string& snapshot_path) {
     std::fclose(f);
   }
 
+  const double wall_ratio = hier.seconds / flat.seconds;
+  const double intra_ratio = static_cast<double>(hier.intra_bytes) /
+                             static_cast<double>(flat.intra_bytes);
+  std::printf(
+      "two-level/flat ratios: wall %.2fx (must be <= 1.25), intra bytes "
+      "%.2fx (must be < 2)\n",
+      wall_ratio, intra_ratio);
   const bool pass = hier_links == static_cast<uint64_t>(topo.num_nodes()) *
                                       (topo.num_nodes() - 1) &&
                     hier_links < flat_links &&
                     hier.inter_msgs < flat.inter_msgs &&
-                    hier.uplink_msgs < flat.uplink_msgs;
+                    hier.uplink_msgs < flat.uplink_msgs &&
+                    wall_ratio <= 1.25 && intra_ratio < 2.0;
   std::printf("topo-compare: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Reproducible perf snapshot: runs the streaming-collective comparison
 # (micro_net --credit-compare), the flat-vs-hierarchical topology sweep
-# (micro_net --topo-compare, P=8 at 2 PEs/node), and the fig5 all-to-all
-# I/O-volume sweep at fixed seeds/sizes, and emits one machine-readable
-# BENCH_PR5.json — the file future PRs diff to see the perf trajectory.
+# (micro_net --topo-compare, P=8 at 2 PEs/node — since the zero-copy
+# leader path this also gates two-level wall <= 1.25x flat and intra-node
+# bytes < 2x flat), and the fig5 all-to-all I/O-volume sweep at fixed
+# seeds/sizes, and emits one machine-readable BENCH_PR6.json — the file
+# future PRs diff to see the perf trajectory.
 #
 # Usage: bench/run_bench.sh [BUILD_DIR] [OUT_JSON]
 #   BUILD_DIR  cmake build directory holding micro_net + fig5 (default: build)
-#   OUT_JSON   output path (default: BENCH_PR5.json in the repo root)
+#   OUT_JSON   output path (default: BENCH_PR6.json in the repo root)
 #
 # Everything here is deterministic up to wall-clock timings: the workload
 # seeds are fixed (FigureConfig's default seed), the sweep sizes are pinned
@@ -17,7 +19,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR5.json}"
+OUT="${2:-BENCH_PR6.json}"
 
 if [[ ! -x "$BUILD_DIR/micro_net" ]]; then
   echo "error: $BUILD_DIR/micro_net not built (need Google Benchmark)" >&2
@@ -35,7 +37,8 @@ trap 'rm -rf "$tmpdir"' EXIT
 "$BUILD_DIR/micro_net" --credit-compare --snapshot="$tmpdir/stream.json"
 
 # 1b. Flat vs hierarchical schedules over the same 2-PEs/node machine
-#     (also the pass/fail smoke: fewer uplink messages, N*(N-1) links).
+#     (also the pass/fail smoke: fewer uplink messages, N*(N-1) links,
+#     two-level wall <= 1.25x flat, intra-node bytes < 2x flat).
 "$BUILD_DIR/micro_net" --topo-compare --snapshot="$tmpdir/topo.json"
 
 # 2. Fig. 5 all-to-all I/O volume at fixed sizes: P = 1..8 at the default
@@ -56,7 +59,7 @@ awk '
 
 {
   echo '{'
-  echo '  "snapshot": "BENCH_PR5",'
+  echo '  "snapshot": "BENCH_PR6",'
   echo '  "fixed_params": {"fig5_elements_per_pe": 131072, "fig5_max_pes": 8},'
   echo '  "stream":'
   sed 's/^/  /' "$tmpdir/stream.json" | sed '$ s/}$/},/'

@@ -122,10 +122,11 @@ PeOutcome RunOnePe(net::Comm& comm, const CliOptions& options) {
 /// credit-protocol gauges: standalone credit messages vs credits that rode
 /// data frames for free, and the adaptive controller's converged chunk.
 void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
-  std::printf("%-18s  %10s  %12s  %12s  %10s  %10s  %14s  %11s  %11s  %9s\n",
-              "phase", "wall_max_s", "io_MiB", "net_out_MiB", "intra_MiB",
-              "inter_MiB", "peak_netbuf_KiB", "credit_msgs", "piggy_creds",
-              "chunk_KiB");
+  std::printf(
+      "%-18s  %10s  %12s  %12s  %10s  %10s  %14s  %11s  %11s  %9s  %9s\n",
+      "phase", "wall_max_s", "io_MiB", "net_out_MiB", "intra_MiB",
+      "inter_MiB", "peak_netbuf_KiB", "credit_msgs", "piggy_creds",
+      "chunk_KiB", "pool_hit%");
   for (int p = 0; p < static_cast<int>(core::Phase::kNumPhases); ++p) {
     core::Phase phase = static_cast<core::Phase>(p);
     double wall_max_s = 0;
@@ -137,6 +138,8 @@ void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
     uint64_t credit_msgs = 0;
     uint64_t piggy = 0;
     uint64_t chunk = 0;
+    uint64_t pool_leases = 0;
+    uint64_t pool_hits = 0;
     for (const core::SortReport& r : reports) {
       const core::PhaseStats& s = r.Get(phase);
       wall_max_s = std::max(wall_max_s, s.wall_s);
@@ -148,10 +151,12 @@ void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
       credit_msgs += s.net.credit_msgs;
       piggy += s.net.piggybacked_credits;
       chunk = std::max(chunk, s.net.stream_chunk_bytes);
+      pool_leases += s.net.pool_leases;
+      pool_hits += s.net.pool_hits;
     }
     std::printf(
         "%-18s  %10.3f  %12.1f  %12.1f  %10.1f  %10.1f  %14.1f  %11llu  "
-        "%11llu  %9.1f\n",
+        "%11llu  %9.1f  %9.1f\n",
         core::PhaseName(phase), wall_max_s,
         static_cast<double>(io_bytes) / (1 << 20),
         static_cast<double>(net_bytes) / (1 << 20),
@@ -160,7 +165,9 @@ void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
         static_cast<double>(peak_buf) / 1024.0,
         static_cast<unsigned long long>(credit_msgs),
         static_cast<unsigned long long>(piggy),
-        static_cast<double>(chunk) / 1024.0);
+        static_cast<double>(chunk) / 1024.0,
+        100.0 * static_cast<double>(pool_hits) /
+            static_cast<double>(std::max<uint64_t>(pool_leases, 1)));
   }
 }
 

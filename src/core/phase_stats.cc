@@ -39,6 +39,9 @@ void PhaseStats::Accumulate(const PhaseStats& other) {
   net.intra_node_bytes += other.net.intra_node_bytes;
   net.inter_node_msgs += other.net.inter_node_msgs;
   net.inter_node_bytes += other.net.inter_node_bytes;
+  net.pool_leases += other.net.pool_leases;
+  net.pool_hits += other.net.pool_hits;
+  net.pool_recycled_bytes += other.net.pool_recycled_bytes;
   elements_sorted += other.elements_sorted;
   elements_merged += other.elements_merged;
   merge_ways = std::max(merge_ways, other.merge_ways);
@@ -96,6 +99,10 @@ void PhaseCollector::End(Phase phase) {
   s.net.inter_node_msgs += now.inter_node_msgs - net_at_begin_.inter_node_msgs;
   s.net.inter_node_bytes +=
       now.inter_node_bytes - net_at_begin_.inter_node_bytes;
+  s.net.pool_leases += now.pool_leases - net_at_begin_.pool_leases;
+  s.net.pool_hits += now.pool_hits - net_at_begin_.pool_hits;
+  s.net.pool_recycled_bytes +=
+      now.pool_recycled_bytes - net_at_begin_.pool_recycled_bytes;
   // Gauge: the phase's latest effective streaming chunk. Assigned only
   // when this interval actually streamed (any credit traffic, or the
   // gauge moved); a phase that never streams keeps 0 rather than

@@ -38,9 +38,12 @@ class Fabric : public Transport {
     int num_pes = 1;
     /// 0 = unbounded (compatible default).
     size_t channel_cap_bytes = 0;
+    /// Outstanding-lease cap of the shared frame-buffer pool; 0 =
+    /// unbounded. See BufferPool::Options::budget_bytes.
+    size_t pool_budget_bytes = 0;
   };
 
-  explicit Fabric(int num_pes) : Fabric(Options{num_pes, 0}) {}
+  explicit Fabric(int num_pes) : Fabric(Options{num_pes, 0, 0}) {}
   explicit Fabric(const Options& options);
 
   int num_pes() const override { return num_pes_; }
@@ -49,6 +52,7 @@ class Fabric : public Transport {
   SendRequest IsendGather(int src, int dst, int tag, const void* header,
                           size_t header_bytes, const void* data,
                           size_t bytes) override;
+  SendRequest IsendFrame(int src, int dst, int tag, Frame frame) override;
   RecvRequest Irecv(int dst, int src, int tag) override;
 
   /// Poisons every channel from or to `pe`: peers' posted and future
@@ -78,6 +82,9 @@ class Fabric : public Transport {
 
   int num_pes_;
   size_t channel_cap_bytes_;
+  /// Shared recycling pool for message frames; shared_ptr because frames
+  /// sitting in mailboxes may outlive the Fabric (see buffer_pool.h).
+  std::shared_ptr<BufferPool> pool_;
   std::vector<std::unique_ptr<internal::TagChannel>> channels_;
   std::vector<std::unique_ptr<NetStats>> stats_;
 };
@@ -112,6 +119,11 @@ class Cluster {
     /// Hier only: explicit (possibly uneven) node sizes; must sum to
     /// num_pes when non-empty.
     std::vector<int> node_sizes;
+    /// Frame-buffer pool budget (outstanding leased bytes; 0 = unbounded),
+    /// forwarded to the transport's BufferPool. See buffer_pool.h and the
+    /// bench_util.h stall warning before capping this below the watermark
+    /// plus one credit window.
+    size_t pool_budget_bytes = 0;
   };
 
   struct Result {

@@ -1,6 +1,7 @@
 #include "net/comm.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <deque>
 #include <thread>
@@ -213,24 +214,55 @@ constexpr uint64_t kStreamRecvLookahead = 2;
 /// Short local name for the credit window (documented in comm.h).
 constexpr uint64_t kStreamSendCredit = Comm::kStreamSendCreditChunks;
 
-/// Stall pacing for the streaming poll loops: spin-yield while stalls are
-/// short (credits normally turn around in microseconds), then nap briefly
-/// so a long peer-side stall (a consumer blocked on disk, a paused TCP
-/// reader) does not cost a full core — which would steal cycles from the
-/// very consumer being waited on when PEs share a machine.
-class PollBackoff {
+/// Event-driven pacing for the streaming poll loops. Every receive a loop
+/// posts hooks its completion (RecvRequest::OnDone) to Signal(), so an
+/// idle pass sleeps on the eventcount and wakes the instant ANY hooked
+/// receive lands — on an oversubscribed host it is the nap quantum, not
+/// bandwidth, that otherwise bounds every chunk round-trip. The wait stays
+/// TIMED because not every gate is a receive (send-window reclaim on a
+/// remote transport, a peer whose consumer stalls): the fallback nap
+/// preserves the old polling loop's liveness exactly. Snapshot() is taken
+/// BEFORE the poll pass, so a receive that completes mid-pass makes the
+/// next IdleWait return immediately — no wakeup is lost. The eventcount
+/// lives behind a shared_ptr because hooks run on the COMPLETING thread
+/// (a shared-memory sender, the demux reactor): one may still be inside
+/// Signal() after the waiter observed done() and moved on.
+class RecvSignal {
  public:
-  void Idle() {
+  /// Completion hook to attach to every receive the loop waits on.
+  std::function<void()> Hook() const {
+    return [s = s_] {
+      s->seq.fetch_add(1);  // seq_cst: orders against the waiter's flag
+      if (s->waiting.load()) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    };
+  }
+  uint64_t Snapshot() const { return s_->seq.load(); }
+  void Reset() { idle_polls_ = 0; }
+  void IdleWait(uint64_t seen) {
+    if (s_->seq.load() != seen) return;
     if (++idle_polls_ <= kSpinPolls) {
       std::this_thread::yield();
-    } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      return;
     }
+    std::unique_lock<std::mutex> lock(s_->mu);
+    s_->waiting.store(true);
+    s_->cv.wait_for(lock, std::chrono::microseconds(100),
+                    [&] { return s_->seq.load() != seen; });
+    s_->waiting.store(false);
   }
-  void Reset() { idle_polls_ = 0; }
 
  private:
-  static constexpr int kSpinPolls = 64;
+  static constexpr int kSpinPolls = 16;
+  struct State {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<bool> waiting{false};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  std::shared_ptr<State> s_ = std::make_shared<State>();
   int idle_polls_ = 0;
 };
 
@@ -275,6 +307,7 @@ Comm::ResolvedStreamTuning Comm::ResolveStreamTuning(
                                      ? stream_credit_mode_
                                      : options.credit_mode;
   t.piggyback = credit_mode != StreamCreditMode::kStandalone;
+  t.credit_unit = std::max<uint64_t>(1, options.credit_unit);
   return t;
 }
 
@@ -297,11 +330,13 @@ Comm::ResolvedStreamTuning Comm::ResolveStreamTuning(
 // how the sender knows to stop re-posting credit receives — every posted
 // receive is matched, no probe primitive needed, nothing leaks.
 //
-// Liveness: no blocking wait is taken inside a round — every gate
-// (partner credits, send-window admission, incoming chunks) is polled with
-// backoff while the other directions keep progressing, and whenever a poll
-// pass makes no progress, any piggyback-withheld credits are flushed
-// standalone first (a blocked PE must never starve its partner's sender).
+// Liveness: no indefinite blocking wait is taken inside a round — every
+// gate (partner credits, send-window admission, incoming chunks) is polled
+// while the other directions keep progressing; a pass that makes no
+// progress first flushes any piggyback-withheld credits standalone (a
+// blocked PE must never starve its partner's sender), then sleeps on the
+// RecvSignal eventcount, woken by the next receive completion or by the
+// timed fallback for the gates that are not receives.
 // Rounds of different PEs need not be synchronized: a fast PE's header and
 // first credit-window chunks simply queue at the future partner (bounded
 // by O(credit x chunk) per source), and a waiting chain always ends at a
@@ -320,19 +355,35 @@ void Comm::AlltoallvStream(const StreamSendProvider& send_for,
 void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
                                const ChunkConsumer& consumer,
                                const StreamSizeCallback& on_size,
-                               const StreamOptions& options) {
+                               const StreamOptions& options,
+                               const FrameConsumer& frame_consumer,
+                               const SegmentedSendProvider& seg_send_for) {
   const ResolvedStreamTuning tune = ResolveStreamTuning(options);
   DEMSORT_CHECK_GT(tune.base_chunk_bytes, 0u);
 
   // Self delivery is zero-copy: the provider's span goes straight to the
   // consumer in chunk-size pieces (local memory traffic, like self-sends).
   auto deliver_self = [&] {
-    std::span<const uint8_t> mine = send_for(rank_);
+    std::span<const uint8_t> mine;
+    if (seg_send_for) {
+      for (std::span<const uint8_t> seg : seg_send_for(rank_)) {
+        DEMSORT_CHECK(seg.empty())
+            << "segmented delivery requires an empty self stream";
+      }
+    } else {
+      mine = send_for(rank_);
+    }
     if (on_size) on_size(rank_, mine.size());
     if (mine.empty()) {
-      consumer(rank_, {}, true);
+      if (frame_consumer) {
+        frame_consumer(rank_, Frame(), true);
+      } else {
+        consumer(rank_, {}, true);
+      }
       return;
     }
+    DEMSORT_CHECK(!frame_consumer)
+        << "framed delivery requires an empty self stream";
     const uint64_t chunk = tune.base_chunk_bytes;
     for (uint64_t off = 0; off < mine.size(); off += chunk) {
       uint64_t n = std::min<uint64_t>(chunk, mine.size() - off);
@@ -372,16 +423,20 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
   // later rounds, hard-absorbed at the end. Their counts are stale (our
   // stream to that partner is fully sent) but every message must be taken
   // or it would sit in the mailbox forever.
+  // Declared before every container of hooked receives so the hooks'
+  // shared state outlives them (see RecvSignal).
+  RecvSignal signal;
   struct PendingClose {
     int peer;
     RecvRequest rr;
   };
   std::vector<PendingClose> closes;
-  auto absorb_credit_msg = [&](std::vector<uint8_t> bytes,
-                               uint64_t* credits_out) -> bool {
-    DEMSORT_CHECK_EQ(bytes.size(), sizeof(StreamCreditMsg));
+  // Taken as a Frame (not a detached vector) so the tiny credit buffers
+  // recycle into the pool instead of costing a fresh allocation each.
+  auto absorb_credit_msg = [&](Frame msg, uint64_t* credits_out) -> bool {
+    DEMSORT_CHECK_EQ(msg.size(), sizeof(StreamCreditMsg));
     StreamCreditMsg cm;
-    std::memcpy(&cm, bytes.data(), sizeof(cm));
+    std::memcpy(&cm, msg.data(), sizeof(cm));
     if (credits_out != nullptr) *credits_out += cm.credits;
     return (cm.flags & kStreamCreditCloseFlag) != 0;
   };
@@ -393,10 +448,11 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
         continue;
       }
       progress = true;
-      if (absorb_credit_msg(closes[i].rr.Take(), nullptr)) {
+      if (absorb_credit_msg(closes[i].rr.TakeFrame(), nullptr)) {
         closes.erase(closes.begin() + i);
       } else {
         closes[i].rr = Irecv(closes[i].peer, credit_tag);
+        closes[i].rr.OnDone(signal.Hook());
         ++i;
       }
     }
@@ -422,9 +478,21 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
     chunk = std::max(tune.align_bytes,
                      chunk / tune.align_bytes * tune.align_bytes);
 
-    // ---- outgoing stream.
-    std::span<const uint8_t> payload = send_for(q);
-    const uint64_t total_out = payload.size();
+    // ---- outgoing stream: a list of segments walked in order (the plain
+    // provider's span is one segment); chunks are cut at segment
+    // boundaries, which the segmented callers keep record-aligned.
+    std::array<std::span<const uint8_t>, 1> one_seg;
+    StreamSegments segs;
+    if (seg_send_for) {
+      segs = seg_send_for(q);
+    } else {
+      one_seg[0] = send_for(q);
+      segs = one_seg;
+    }
+    uint64_t total_out = 0;
+    for (std::span<const uint8_t> s : segs) total_out += s.size();
+    size_t seg_i = 0;
+    uint64_t seg_off = 0;
     uint64_t sent_bytes = 0;
     uint64_t chunks_sent = 0;
     uint64_t credits_in = 0;  // cumulative credits q granted this round
@@ -433,10 +501,12 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
 
     // ---- credit intake (one posted receive until the close arrives).
     RecvRequest credit_rr = Irecv(q, credit_tag);
+    credit_rr.OnDone(signal.Hook());
     bool close_seen = false;
 
     // ---- incoming stream.
     RecvRequest header_rr = Irecv(q, data_tag);
+    header_rr.OnDone(signal.Hook());
     bool size_known = false;
     uint64_t total_in = 0;
     uint64_t taken_bytes = 0;
@@ -476,6 +546,7 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
       while (inflight.size() <
              std::min<uint64_t>(kStreamRecvLookahead, guaranteed)) {
         inflight.push_back(Irecv(q, data_tag));
+        inflight.back().OnDone(signal.Hook());
       }
     };
 
@@ -483,8 +554,11 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
       bool progress = false;
       while (!close_seen && credit_rr.done()) {
         progress = true;
-        close_seen = absorb_credit_msg(credit_rr.Take(), &credits_in);
-        if (!close_seen) credit_rr = Irecv(q, credit_tag);
+        close_seen = absorb_credit_msg(credit_rr.TakeFrame(), &credits_in);
+        if (!close_seen) {
+          credit_rr = Irecv(q, credit_tag);
+          credit_rr.OnDone(signal.Hook());
+        }
       }
       return progress;
     };
@@ -493,7 +567,7 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
       bool progress = false;
       if (!size_known) {
         if (!header_rr.done()) return false;
-        std::vector<uint8_t> hdr = header_rr.Take();
+        Frame hdr = header_rr.TakeFrame();
         DEMSORT_CHECK_EQ(hdr.size(), sizeof(StreamSizeHeader));
         StreamSizeHeader h;
         std::memcpy(&h, hdr.data(), sizeof(h));
@@ -503,7 +577,11 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
         progress = true;
         if (on_size) on_size(q, total_in);
         if (total_in == 0) {
-          consumer(q, {}, true);
+          if (frame_consumer) {
+            frame_consumer(q, Frame(), true);
+          } else {
+            consumer(q, {}, true);
+          }
           flush_credits(/*closing=*/true);
         } else {
           post_recvs();
@@ -511,22 +589,27 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
       }
       while (taken_bytes < total_in && !inflight.empty() &&
              inflight.front().done()) {
-        std::vector<uint8_t> data = inflight.front().Take();
+        // The chunk stays a pooled Frame end to end: the header is
+        // Consumed (an offset bump, no memmove) and framed consumers get
+        // the frame itself, moved.
+        Frame data = inflight.front().TakeFrame();
         inflight.pop_front();
         DEMSORT_CHECK_GT(data.size(), sizeof(StreamChunkHeader));
         StreamChunkHeader ch;
         std::memcpy(&ch, data.data(), sizeof(ch));
         credits_in += ch.credits;
-        size_t n = data.size() - sizeof(StreamChunkHeader);
+        data.Consume(sizeof(StreamChunkHeader));
+        size_t n = data.size();
         DEMSORT_CHECK_LE(n, tune.max_chunk_bytes);
         DEMSORT_CHECK_LE(taken_bytes + n, total_in);
         taken_bytes += n;
         bool last = taken_bytes == total_in;
-        consumer(q,
-                 std::span<const uint8_t>(
-                     data.data() + sizeof(StreamChunkHeader), n),
-                 last);
-        ++pending_credits;
+        if (frame_consumer) {
+          frame_consumer(q, std::move(data), last);
+        } else {
+          consumer(q, data.span(), last);
+        }
+        pending_credits += tune.credit_unit;
         progress = true;
         if (last) {
           flush_credits(/*closing=*/true);
@@ -554,7 +637,7 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
         progress = true;
       }
       while (sent_bytes < total_out) {
-        if (chunks_sent >= kStreamSendCredit + credits_in) {
+        if (chunks_sent >= kStreamSendCredit + credits_in / tune.credit_unit) {
           // Credit-gated: the consumer's pace, not the transport's
           // admission, is what must throttle this stream.
           if (stall_started_ns < 0) stall_started_ns = NowNanos();
@@ -581,8 +664,13 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
           }
         }
         reclaim_sends();
+        while (seg_i < segs.size() && seg_off == segs[seg_i].size()) {
+          ++seg_i;
+          seg_off = 0;
+        }
+        DEMSORT_CHECK_LT(seg_i, segs.size());
         size_t n = static_cast<size_t>(
-            std::min<uint64_t>(chunk, total_out - sent_bytes));
+            std::min<uint64_t>(chunk, segs[seg_i].size() - seg_off));
         size_t frame = sizeof(StreamChunkHeader) + n;
         if (send_window_bytes_ != 0 && !outstanding.empty() &&
             inflight_bytes + frame > send_window_bytes_) {
@@ -597,8 +685,9 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
         }
         StreamChunkHeader ch{carried, 0};
         track_send(IsendGather(q, data_tag, &ch, sizeof(ch),
-                               payload.data() + sent_bytes, n),
+                               segs[seg_i].data() + seg_off, n),
                    frame);
+        seg_off += n;
         sent_bytes += n;
         ++chunks_sent;
         progress = true;
@@ -606,22 +695,22 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
       return progress;
     };
 
-    PollBackoff backoff;
     while (!(header_sent && sent_bytes == total_out && size_known &&
              taken_bytes == total_in)) {
+      const uint64_t seen = signal.Snapshot();
       bool progress = try_send();
       progress |= poll_recv();
       progress |= poll_credits();
       progress |= poll_closes();
       if (progress) {
-        backoff.Reset();
+        signal.Reset();
         continue;
       }
       // Blocked with nothing to do: release any piggyback-withheld
       // credits first — a stalled PE must never starve its partner's
       // sender (the liveness valve of the piggyback protocol).
       flush_credits(/*closing=*/false);
-      backoff.Idle();
+      signal.IdleWait(seen);
     }
     DEMSORT_CHECK(close_sent);
     DEMSORT_CHECK(inflight.empty());
@@ -637,7 +726,7 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
   // its sender to finish consuming our (fully sent) stream, which requires
   // nothing further from this PE.
   for (PendingClose& pc : closes) {
-    while (!absorb_credit_msg(pc.rr.Take(), nullptr)) {
+    while (!absorb_credit_msg(pc.rr.TakeFrame(), nullptr)) {
       pc.rr = Irecv(pc.peer, credit_tag);
     }
   }
@@ -709,16 +798,14 @@ struct HierAggEntry {
 static_assert(sizeof(HierAggEntry) == 16);
 static_assert(std::is_trivially_copyable_v<HierAggEntry>);
 
-std::vector<uint8_t> PackAggHeader(const std::vector<HierAggEntry>& entries) {
-  std::vector<uint8_t> head(sizeof(uint64_t) +
-                            entries.size() * sizeof(HierAggEntry));
-  uint64_t count = entries.size();
-  std::memcpy(head.data(), &count, sizeof(count));
-  if (!entries.empty()) {
-    std::memcpy(head.data() + sizeof(count), entries.data(),
-                entries.size() * sizeof(HierAggEntry));
-  }
-  return head;
+/// Zero bytes after the entry table that bring the aggregate header to an
+/// `align` multiple, so with the engine chunking at `align` granularity
+/// every chunk boundary — and hence every forwarded piece — falls on a
+/// record boundary. Deterministic from (count, align) on both sides.
+size_t AggHeaderPad(uint64_t entry_count, uint64_t align) {
+  const uint64_t head =
+      sizeof(uint64_t) + entry_count * sizeof(HierAggEntry);
+  return static_cast<size_t>((align - head % align) % align);
 }
 
 }  // namespace
@@ -854,18 +941,21 @@ std::vector<std::vector<uint8_t>> Comm::AllgatherBytesTwoLevel(
 
 // The two-level streaming exchange. Intra-node payloads travel whole over
 // shared memory (cut to chunk-size spans only at the consumer); cross-node
-// payloads are packed per destination node, streamed leader-to-leader by
-// the flat engine — the PR 4 credit-piggyback protocol runs between the
-// node leaders — and scattered to their destination PEs AS THE CHUNKS
-// LAND. Every byte crosses its node boundary exactly once, and the uplink
-// carries N-1 aggregate streams per node instead of one stream per PE
-// pair.
+// payloads flow to the node leader as one pooled segment frame per
+// (source PE, remote destination) pair, are streamed leader-to-leader by
+// the flat engine as per-node aggregates — the PR 4 credit-piggyback
+// protocol runs between the node leaders — and are scattered to their
+// destination PEs AS THE CHUNKS LAND. Every byte crosses its node
+// boundary exactly once, and the uplink carries N-1 aggregate streams per
+// node instead of one stream per PE pair.
 //
-// Memory: the SEND side materializes the node's outgoing cross-node
-// payload on the leader (like the paper's bulk-synchronous sub-step
-// buffers bound it per sub-step); the RECEIVE side stays streamed end to
-// end — the engine's O(credit x chunk) bound holds per source NODE, and
-// landed pieces leave the leader for their destination PE immediately.
+// Memory: the SEND side holds the node's outgoing cross-node payload on
+// the leader (like the paper's bulk-synchronous sub-step buffers bound it
+// per sub-step) — but as the landed segment frames themselves, streamed
+// from in place via the engine's segmented provider, never concatenated;
+// the RECEIVE side stays streamed end to end — the engine's
+// O(credit x chunk) bound holds per source NODE, and landed pieces leave
+// the leader for their destination PE immediately.
 void Comm::AlltoallvStreamTwoLevel(const StreamSendProvider& send_for,
                                    const ChunkConsumer& consumer,
                                    const StreamSizeCallback& on_size,
@@ -920,9 +1010,39 @@ void Comm::AlltoallvStreamTwoLevel(const StreamSendProvider& send_for,
   // only valid until the next call, so each is consumed immediately):
   // self zero-copy, same-node peers as one direct shared-memory frame
   // each, remote destinations appended to the per-node pack.
+  //
+  // The LEADER skips the pack scratch entirely and lays the aggregate
+  // header out in its final wire form up front: the aggregate for node nd
+  // always holds exactly k x node_size(nd) entries (one per
+  // local-PE/remote-PE pair, empty segments included), so the header
+  // region can be sized before any peer pack arrives. The leader's own
+  // payload is written once, directly behind the entry table; local
+  // peers' payloads are never copied on the leader at all — their pack
+  // frames become send segments in step 3a. Entry slots are filled in
+  // stream order: the leader's own segments first, then each local
+  // peer's in rank order.
   std::vector<SendRequest> sends;
-  std::vector<std::vector<HierAggEntry>> pack_entries(N);
-  std::vector<std::vector<uint8_t>> pack_payload(N);
+  std::vector<std::vector<uint8_t>> agg(N);   // leader only
+  std::vector<size_t> agg_entry_off(N, 0);    // next unfilled entry slot
+  if (me == node_leader) {
+    for (int nd = 0; nd < N; ++nd) {
+      if (nd == my_node) continue;
+      const uint64_t count =
+          static_cast<uint64_t>(k) * static_cast<uint64_t>(topo.node_size(nd));
+      // Padded to the record size, so the engine's align-granular chunk
+      // boundaries land on record boundaries throughout the payload
+      // region (the demux fast path).
+      const size_t head = sizeof(uint64_t) +
+                          static_cast<size_t>(count) * sizeof(HierAggEntry);
+      agg[nd].resize(head + AggHeaderPad(count, tune.align_bytes), uint8_t{0});
+      std::memcpy(agg[nd].data(), &count, sizeof(count));
+      agg_entry_off[nd] = sizeof(uint64_t);
+    }
+  }
+  auto agg_put_entry = [&](int nd, const HierAggEntry& e) {
+    std::memcpy(agg[nd].data() + agg_entry_off[nd], &e, sizeof(e));
+    agg_entry_off[nd] += sizeof(e);
+  };
   for (int dst = 0; dst < P; ++dst) {
     if (dst == me) {
       std::span<const uint8_t> mine = send_for(me);
@@ -937,74 +1057,90 @@ void Comm::AlltoallvStreamTwoLevel(const StreamSendProvider& send_for,
       continue;
     }
     const int nd = topo.node_of(dst);
-    pack_entries[nd].push_back(HierAggEntry{static_cast<uint32_t>(me),
-                                            static_cast<uint32_t>(dst),
-                                            payload.size()});
-    pack_payload[nd].insert(pack_payload[nd].end(), payload.begin(),
-                            payload.end());
-  }
-
-  // ---- 2. Non-leaders ship one pack per remote node to the leader, in
-  // node order (the leader reads them back FIFO from each source).
-  if (me != node_leader) {
-    for (int nd = 0; nd < N; ++nd) {
-      if (nd == my_node) continue;
-      std::vector<uint8_t> head = PackAggHeader(pack_entries[nd]);
-      sends.push_back(IsendGather(node_leader, pack_tag, head.data(),
-                                  head.size(), pack_payload[nd].data(),
-                                  pack_payload[nd].size()));
+    const HierAggEntry e{static_cast<uint32_t>(me), static_cast<uint32_t>(dst),
+                         payload.size()};
+    if (me == node_leader) {
+      agg_put_entry(nd, e);
+      agg[nd].insert(agg[nd].end(), payload.begin(), payload.end());
+    } else {
+      // ---- 2. Non-leaders ship each segment to the leader NOW, one
+      // frame per remote destination ([HierAggEntry | payload], one copy,
+      // straight into the pooled frame — no pack scratch), in destination
+      // order (the leader reads them back FIFO). A store-and-forward hop,
+      // not logical traffic: the byte is counted where it really travels,
+      // on the uplink.
+      sends.push_back(IsendGatherForward(node_leader, pack_tag, &e, sizeof(e),
+                                         payload.data(), payload.size()));
     }
   }
 
   if (me == node_leader) {
-    // ---- 3a. Assemble the per-node aggregates: own entries first, then
-    // each local peer's pack in rank order; payloads concatenated in
-    // entry order.
-    std::vector<std::vector<uint8_t>> agg(N);
-    {
-      std::vector<std::vector<HierAggEntry>> entries(std::move(pack_entries));
-      std::vector<std::vector<uint8_t>> payloads(std::move(pack_payload));
-      for (int q = first; q < first + k; ++q) {
-        if (q == me) continue;
-        for (int nd = 0; nd < N; ++nd) {
-          if (nd == my_node) continue;
-          std::vector<uint8_t> pack = Recv(q, pack_tag);
-          DEMSORT_CHECK_GE(pack.size(), sizeof(uint64_t));
-          uint64_t count;
-          std::memcpy(&count, pack.data(), sizeof(count));
-          const size_t head = sizeof(uint64_t) +
-                              static_cast<size_t>(count) *
-                                  sizeof(HierAggEntry);
-          DEMSORT_CHECK_GE(pack.size(), head);
-          const size_t old = entries[nd].size();
-          entries[nd].resize(old + count);
-          std::memcpy(entries[nd].data() + old,
-                      pack.data() + sizeof(uint64_t),
-                      static_cast<size_t>(count) * sizeof(HierAggEntry));
-          payloads[nd].insert(payloads[nd].end(), pack.begin() + head,
-                              pack.end());
-        }
-      }
+    // ---- 3a. Land each local peer's segment frames (peer rank order,
+    // destinations ascending within a peer — exactly the order step 1
+    // sent them): the entry goes into its pre-sized header slot, the
+    // entry header is Consume'd off the pooled frame, and the frame
+    // itself becomes a send segment the engine streams from directly —
+    // a local peer's payload is never copied on the leader.
+    std::vector<std::vector<Frame>> packs(N);  // per nd, in stream order
+    for (int q = first; q < first + k; ++q) {
+      if (q == me) continue;
       for (int nd = 0; nd < N; ++nd) {
         if (nd == my_node) continue;
-        std::vector<uint8_t> head = PackAggHeader(entries[nd]);
-        agg[nd].reserve(head.size() + payloads[nd].size());
-        agg[nd].insert(agg[nd].end(), head.begin(), head.end());
-        agg[nd].insert(agg[nd].end(), payloads[nd].begin(),
-                       payloads[nd].end());
+        for (int j = 0; j < topo.node_size(nd); ++j) {
+          // Taken as a Frame so the buffer recycles into the pool.
+          Frame seg = Irecv(q, pack_tag).TakeFrame();
+          DEMSORT_CHECK_GE(seg.size(), sizeof(HierAggEntry));
+          HierAggEntry e;
+          std::memcpy(&e, seg.data(), sizeof(e));
+          DEMSORT_CHECK_EQ(static_cast<int>(e.src), q);
+          DEMSORT_CHECK_EQ(topo.node_of(static_cast<int>(e.dst)), nd);
+          DEMSORT_CHECK_EQ(seg.size(), sizeof(e) + e.bytes);
+          agg_put_entry(nd, e);
+          seg.Consume(sizeof(e));
+          // Zero-copy only pays for segments worth at least one per-pair
+          // chunk: the engine cuts wire chunks at segment boundaries, so
+          // keeping a tiny payload as its own segment would cost a wire
+          // message where flat pays one chunk. Tiny segments coalesce
+          // into the aggregate buffer instead (stream order allows it
+          // only while no frame segment precedes them).
+          if (seg.size() < tune.base_chunk_bytes && packs[nd].empty()) {
+            agg[nd].insert(agg[nd].end(), seg.data(),
+                           seg.data() + seg.size());
+          } else {
+            packs[nd].push_back(std::move(seg));
+          }
+        }
+      }
+    }
+    // The aggregate stream for node nd: [header + own payload] followed by
+    // each peer's pack payload, in place. Segment boundaries are record
+    // boundaries (payload sizes are whole records), so the engine's cuts
+    // keep the demux fast path intact.
+    std::vector<std::vector<std::span<const uint8_t>>> agg_segs(N);
+    for (int nd = 0; nd < N; ++nd) {
+      if (nd == my_node) continue;
+      agg_segs[nd].reserve(1 + packs[nd].size());
+      agg_segs[nd].push_back(std::span<const uint8_t>(agg[nd]));
+      for (const Frame& f : packs[nd]) {
+        agg_segs[nd].push_back(f.span());
       }
     }
 
     // ---- 3b. Leader-to-leader streaming rounds. Each landed chunk is
     // demuxed against the aggregate's entry table and forwarded (or, for
-    // this leader's own traffic, consumed) piece by piece.
+    // this leader's own traffic, consumed) piece by piece. Chunks arrive
+    // as pooled frames and are parsed IN PLACE: a chunk that lies entirely
+    // within one segment moves to its destination PE whole (the forward
+    // header Prepend'ed into the frame's headroom — zero copy); only
+    // segment-straddling cuts and partial framing units are copied.
     struct NodeDemux {
       bool have_count = false;
       uint64_t entry_count = 0;
+      uint64_t pad_left = 0;  // header pad (see AggHeaderPad) still to skip
       std::vector<HierAggEntry> entries;
       size_t entry_idx = 0;
       uint64_t seg_sent = 0;
-      std::vector<uint8_t> buf;
+      std::vector<uint8_t> buf;  // split tails only (the slow path)
       size_t off = 0;
     };
     std::vector<NodeDemux> demux(N);
@@ -1020,12 +1156,32 @@ void Comm::AlltoallvStreamTwoLevel(const StreamSendProvider& send_for,
         return;
       }
       HierForwardHeader hdr{e.src, piece_last ? 1u : 0u, e.bytes};
-      SendRequest sr = IsendGather(dst, fwd_tag, &hdr, sizeof(hdr),
-                                   piece.data(), piece.size());
+      SendRequest sr = IsendGatherForward(dst, fwd_tag, &hdr, sizeof(hdr),
+                                          piece.data(), piece.size());
       if (sr.done()) {
         // Shared-memory sends complete inline — including the FAILED
         // completion of a send to a dead local PE, which must surface as
         // CommError here, not be dropped.
+        sr.Wait();
+      } else {
+        sends.push_back(std::move(sr));
+      }
+    };
+    // Whole-frame forward: the chunk frame itself moves to the destination
+    // PE's mailbox, the forward header written into the headroom the
+    // uplink and chunk headers left behind. Falls back to the copying
+    // span path for this leader's own traffic and headroom-less frames.
+    auto forward_frame = [&](const HierAggEntry& e, Frame frame,
+                             bool piece_last) {
+      const int dst = static_cast<int>(e.dst);
+      if (dst == me || frame.headroom() < sizeof(HierForwardHeader)) {
+        forward(e, frame.span(), piece_last);
+        return;
+      }
+      HierForwardHeader hdr{e.src, piece_last ? 1u : 0u, e.bytes};
+      frame.Prepend(&hdr, sizeof(hdr));
+      SendRequest sr = IsendFrameForward(dst, fwd_tag, std::move(frame));
+      if (sr.done()) {
         sr.Wait();
       } else {
         sends.push_back(std::move(sr));
@@ -1040,6 +1196,7 @@ void Comm::AlltoallvStreamTwoLevel(const StreamSendProvider& send_for,
         dx.off += sizeof(uint64_t);
         dx.have_count = true;
         dx.entries.reserve(static_cast<size_t>(dx.entry_count));
+        dx.pad_left = AggHeaderPad(dx.entry_count, align);
       }
       while (dx.entries.size() < dx.entry_count &&
              avail() >= sizeof(HierAggEntry)) {
@@ -1049,6 +1206,12 @@ void Comm::AlltoallvStreamTwoLevel(const StreamSendProvider& send_for,
         dx.entries.push_back(e);
       }
       if (dx.entries.size() < dx.entry_count) return;
+      if (dx.pad_left > 0) {
+        const size_t skip = std::min<size_t>(dx.pad_left, avail());
+        dx.off += skip;
+        dx.pad_left -= skip;
+        if (dx.pad_left > 0) return;
+      }
       while (dx.entry_idx < dx.entries.size()) {
         const HierAggEntry& e = dx.entries[dx.entry_idx];
         if (e.bytes == 0) {
@@ -1085,51 +1248,177 @@ void Comm::AlltoallvStreamTwoLevel(const StreamSendProvider& send_for,
         dx.off = 0;
       }
     };
+    // In-place demux of one landed chunk frame (the fast path, taken
+    // whenever no split tail is buffered). Framing units — count, entry
+    // table, header pad — are parsed with Frame::Consume; payload bytes
+    // are forwarded either as the moved frame (chunk entirely inside one
+    // segment, the common case with aligned streams) or as a span cut at
+    // the segment boundary. Whatever cannot make whole-unit progress is
+    // stashed into dx.buf, flipping that node to the buffered path until
+    // the tail drains.
+    auto in_place = [&](NodeDemux& dx, Frame frame) {
+      auto stash_rest = [&](Frame& f) {
+        dx.buf.insert(dx.buf.end(), f.data(), f.data() + f.size());
+      };
+      if (!dx.have_count) {
+        if (frame.size() < sizeof(uint64_t)) {
+          stash_rest(frame);
+          return;
+        }
+        std::memcpy(&dx.entry_count, frame.data(), sizeof(uint64_t));
+        frame.Consume(sizeof(uint64_t));
+        dx.have_count = true;
+        dx.entries.reserve(static_cast<size_t>(dx.entry_count));
+        dx.pad_left = AggHeaderPad(dx.entry_count, align);
+      }
+      while (dx.entries.size() < dx.entry_count &&
+             frame.size() >= sizeof(HierAggEntry)) {
+        HierAggEntry e;
+        std::memcpy(&e, frame.data(), sizeof(e));
+        frame.Consume(sizeof(e));
+        dx.entries.push_back(e);
+      }
+      if (dx.entries.size() < dx.entry_count) {
+        stash_rest(frame);
+        return;
+      }
+      if (dx.pad_left > 0) {
+        const size_t skip =
+            std::min<size_t>(static_cast<size_t>(dx.pad_left), frame.size());
+        frame.Consume(skip);
+        dx.pad_left -= skip;
+        if (dx.pad_left > 0) return;
+      }
+      while (dx.entry_idx < dx.entries.size()) {
+        const HierAggEntry& e = dx.entries[dx.entry_idx];
+        if (e.bytes == 0) {
+          forward(e, {}, true);
+          ++dx.entry_idx;
+          continue;
+        }
+        if (frame.empty()) return;
+        const uint64_t remaining = e.bytes - dx.seg_sent;
+        if (frame.size() <= remaining) {
+          // The whole rest of the frame belongs to this one segment.
+          const bool seg_last = frame.size() == remaining;
+          if (!seg_last && frame.size() % align != 0) {
+            // Misaligned mid-segment tail (an unaligned final engine
+            // chunk): forward whole records, buffer the fragment.
+            const uint64_t take = frame.size() / align * align;
+            if (take > 0) {
+              forward(e, frame.span().subspan(0, take), false);
+              frame.Consume(static_cast<size_t>(take));
+              dx.seg_sent += take;
+            }
+            stash_rest(frame);
+            return;
+          }
+          dx.seg_sent += frame.size();
+          if (seg_last) {
+            ++dx.entry_idx;
+            dx.seg_sent = 0;
+          }
+          forward_frame(e, std::move(frame), seg_last);
+          // Zero-byte segments after the moved frame need no bytes.
+          while (dx.entry_idx < dx.entries.size() &&
+                 dx.entries[dx.entry_idx].bytes == 0) {
+            forward(dx.entries[dx.entry_idx], {}, true);
+            ++dx.entry_idx;
+          }
+          return;
+        }
+        // The frame runs past this segment: complete it with a span cut —
+        // the one remaining copy of the demux.
+        forward(e, frame.span().subspan(0, static_cast<size_t>(remaining)),
+                true);
+        frame.Consume(static_cast<size_t>(remaining));
+        ++dx.entry_idx;
+        dx.seg_sent = 0;
+      }
+      DEMSORT_CHECK(frame.empty())
+          << "trailing aggregate bytes past the entry table";
+    };
+    // The chunk knob is sized for ONE pair stream, but a leader-to-leader
+    // aggregate multiplexes every pair flow between the two nodes (up to
+    // k x k_peer of them) into one stream — cutting it at the per-pair
+    // chunk would put k^2 more serial chunks on the credit-gated critical
+    // path than any flat pair exchange pays. Scale the engine's chunk by
+    // the aggregation factor (capped so the O(credit x chunk) receive
+    // bound per source node stays modest) so a leader round costs about
+    // as many credit round-trips as a flat round; downstream contracts
+    // are unaffected because forwarded pieces are re-cut to the per-PE
+    // chunk before reaching any consumer.
+    constexpr uint64_t kLeaderChunkCapBytes = uint64_t{1} << 20;
+    uint64_t peer_k = 1;
+    for (int nd = 0; nd < N; ++nd) {
+      if (nd == my_node) continue;
+      peer_k = std::max<uint64_t>(peer_k, topo.node_size(nd));
+    }
+    const uint64_t agg_factor = static_cast<uint64_t>(k) * peer_k;
+    auto scale_chunk = [&](uint64_t per_pair_chunk) {
+      return std::min(kLeaderChunkCapBytes,
+                      std::max(per_pair_chunk, per_pair_chunk * agg_factor));
+    };
     StreamOptions engine_options;
-    engine_options.chunk_bytes = tune.base_chunk_bytes;
-    engine_options.align_bytes = 1;  // aggregates carry their own framing
-    engine_options.min_chunk_bytes = tune.min_chunk_bytes;
-    engine_options.max_chunk_bytes = tune.max_chunk_bytes;
+    engine_options.chunk_bytes = scale_chunk(tune.base_chunk_bytes);
+    // Chunk at record granularity (the header is padded to match), so
+    // chunk boundaries fall on record boundaries and landed frames can
+    // move to their destination PE whole.
+    engine_options.align_bytes = tune.align_bytes;
+    engine_options.min_chunk_bytes = scale_chunk(tune.min_chunk_bytes);
+    engine_options.max_chunk_bytes = scale_chunk(tune.max_chunk_bytes);
     engine_options.chunk_mode =
         tune.adaptive ? StreamChunkMode::kAdaptive : StreamChunkMode::kFixed;
     engine_options.credit_mode = tune.piggyback
                                      ? StreamCreditMode::kPiggyback
                                      : StreamCreditMode::kStandalone;
-    LeaderComm().AlltoallvStream(
-        [&](int nd) {
-          return nd == my_node ? std::span<const uint8_t>()
-                               : std::span<const uint8_t>(agg[nd]);
-        },
-        [&](int nd, std::span<const uint8_t> chunk, bool last) {
+    // Coarser wire chunks must not shrink the credit economy: denominate
+    // credits in per-pair chunks (one wire chunk carries agg_factor of
+    // them), so cluster-wide credit totals — and the piggyback ratio the
+    // counters report — match the flat engine's for the same payload.
+    engine_options.credit_unit = std::max<uint64_t>(
+        1, engine_options.chunk_bytes / tune.base_chunk_bytes);
+    LeaderComm().AlltoallvStreamFlat(
+        /*send_for=*/nullptr,
+        /*consumer=*/nullptr,
+        /*on_size=*/nullptr, engine_options,
+        [&](int nd, Frame chunk, bool last) {
           if (nd == my_node) {
             DEMSORT_CHECK(chunk.empty());
             return;
           }
           NodeDemux& dx = demux[nd];
-          dx.buf.insert(dx.buf.end(), chunk.begin(), chunk.end());
-          advance(dx);
+          if (dx.buf.empty()) {
+            in_place(dx, std::move(chunk));
+          } else {
+            // A split tail is buffered: stay on the buffered path until it
+            // drains (advance clears dx.buf at the next whole boundary).
+            dx.buf.insert(dx.buf.end(), chunk.data(),
+                          chunk.data() + chunk.size());
+            advance(dx);
+          }
           if (last) {
             DEMSORT_CHECK(dx.have_count);
+            DEMSORT_CHECK_EQ(dx.pad_left, 0u);
             DEMSORT_CHECK_EQ(dx.off, dx.buf.size())
                 << "trailing aggregate bytes from node " << nd;
             DEMSORT_CHECK_EQ(dx.entry_idx, dx.entries.size());
             DEMSORT_CHECK_EQ(dx.entries.size(), dx.entry_count);
           }
         },
-        /*on_size=*/nullptr, engine_options);
+        [&](int nd) { return StreamSegments(agg_segs[nd]); });
 
     // ---- 3c. The local peers' direct frames to this leader waited in
     // shared memory while the engine ran: exactly one per peer.
     for (int q = first; q < first + k; ++q) {
       if (q == me) continue;
-      std::vector<uint8_t> frame = Recv(q, fwd_tag);
+      Frame frame = Irecv(q, fwd_tag).TakeFrame();
       DEMSORT_CHECK_GE(frame.size(), sizeof(HierForwardHeader));
       HierForwardHeader hdr;
       std::memcpy(&hdr, frame.data(), sizeof(hdr));
-      dispatch(static_cast<int>(hdr.src),
-               std::span<const uint8_t>(frame.data() + sizeof(hdr),
-                                        frame.size() - sizeof(hdr)),
-               hdr.last != 0, hdr.total_bytes);
+      frame.Consume(sizeof(hdr));
+      dispatch(static_cast<int>(hdr.src), frame.span(), hdr.last != 0,
+               hdr.total_bytes);
     }
   } else {
     // ---- 3'. Non-leaders drain their node-local channels: one direct
@@ -1142,27 +1431,27 @@ void Comm::AlltoallvStreamTwoLevel(const StreamSendProvider& send_for,
     for (int q = first; q < first + k; ++q) {
       if (q != me) peers.push_back(q);
     }
+    RecvSignal signal;
     std::vector<RecvRequest> rr(peers.size());
     std::vector<char> chan_done(peers.size(), 0);
     for (size_t i = 0; i < peers.size(); ++i) {
       rr[i] = Irecv(peers[i], fwd_tag);
+      rr[i].OnDone(signal.Hook());
     }
     int remote_left = P - k;
     size_t done_count = 0;
-    PollBackoff backoff;
     while (done_count < peers.size()) {
+      const uint64_t seen = signal.Snapshot();
       bool progress = false;
       for (size_t i = 0; i < peers.size(); ++i) {
         while (!chan_done[i] && rr[i].done()) {
-          std::vector<uint8_t> frame = rr[i].Take();
+          Frame frame = rr[i].TakeFrame();
           DEMSORT_CHECK_GE(frame.size(), sizeof(HierForwardHeader));
           HierForwardHeader hdr;
           std::memcpy(&hdr, frame.data(), sizeof(hdr));
+          frame.Consume(sizeof(hdr));
           const int src = static_cast<int>(hdr.src);
-          dispatch(src,
-                   std::span<const uint8_t>(frame.data() + sizeof(hdr),
-                                            frame.size() - sizeof(hdr)),
-                   hdr.last != 0, hdr.total_bytes);
+          dispatch(src, frame.span(), hdr.last != 0, hdr.total_bytes);
           progress = true;
           if (hdr.last != 0 && !topo.same_node(src, me)) --remote_left;
           const bool channel_drained =
@@ -1174,13 +1463,14 @@ void Comm::AlltoallvStreamTwoLevel(const StreamSendProvider& send_for,
             ++done_count;
           } else {
             rr[i] = Irecv(peers[i], fwd_tag);
+            rr[i].OnDone(signal.Hook());
           }
         }
       }
       if (progress) {
-        backoff.Reset();
+        signal.Reset();
       } else {
-        backoff.Idle();
+        signal.IdleWait(seen);
       }
     }
   }

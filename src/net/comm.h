@@ -35,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "net/message.h"
@@ -536,6 +537,7 @@ class Comm {
     uint64_t max_chunk_bytes = 0;
     bool adaptive = false;
     bool piggyback = true;
+    uint64_t credit_unit = 1;
   };
   ResolvedStreamTuning ResolveStreamTuning(const StreamOptions& options) const;
 
@@ -587,10 +589,45 @@ class Comm {
   void BroadcastTwoLevel(int root, std::vector<uint8_t>& data);
   std::vector<std::vector<uint8_t>> AllgatherBytesTwoLevel(
       const std::vector<uint8_t>& local);
+  /// Frame-granular delivery of the internal streaming engine: the landed
+  /// chunk arrives as the pooled transport frame itself (chunk header
+  /// already consumed into headroom), MOVED — the two-level demux forwards
+  /// it onward without a copy. Engine-internal; the public API stays
+  /// span-based.
+  using FrameConsumer = std::function<void(int src, Frame chunk, bool last)>;
+  /// Segmented send payload: the stream for one destination is the
+  /// concatenation of these spans, walked in order by the sender — chunks
+  /// are cut at segment boundaries, so no segment is ever coalesced into
+  /// a scratch buffer. Unlike StreamSendProvider's until-next-call rule,
+  /// every span (and the returned outer span) must stay valid until the
+  /// exchange returns: the two-level leader streams straight out of the
+  /// landed pack frames. The self stream must be empty.
+  using StreamSegments = std::span<const std::span<const uint8_t>>;
+  using SegmentedSendProvider = std::function<StreamSegments(int dst)>;
+  /// `frame_consumer`, when set, replaces `consumer` entirely (which may
+  /// then be null); the self stream must be empty under framed delivery.
+  /// `seg_send_for`, when set, replaces `send_for` (which may then be
+  /// null).
   void AlltoallvStreamFlat(const StreamSendProvider& send_for,
                            const ChunkConsumer& consumer,
                            const StreamSizeCallback& on_size,
-                           const StreamOptions& options);
+                           const StreamOptions& options,
+                           const FrameConsumer& frame_consumer = nullptr,
+                           const SegmentedSendProvider& seg_send_for = nullptr);
+  /// Store-and-forward sends (this PE moving another PE's bytes): same
+  /// delivery semantics as IsendGather/IsendFrame, but a transport that
+  /// knows the hop is internal (the hierarchical leader path) exempts it
+  /// from the per-PE traffic counters like a self-send — each logical byte
+  /// is counted once, at its real hop.
+  SendRequest IsendGatherForward(int dst, int tag, const void* header,
+                                 size_t header_bytes, const void* data,
+                                 size_t bytes) {
+    return transport_->IsendGatherForward(rank_, dst, tag, header,
+                                          header_bytes, data, bytes);
+  }
+  SendRequest IsendFrameForward(int dst, int tag, Frame frame) {
+    return transport_->IsendFrameForward(rank_, dst, tag, std::move(frame));
+  }
   void AlltoallvStreamTwoLevel(const StreamSendProvider& send_for,
                                const ChunkConsumer& consumer,
                                const StreamSizeCallback& on_size,

@@ -25,6 +25,9 @@ HierarchicalTransport::HierarchicalTransport(const Topology& topo, int node,
   DEMSORT_CHECK(uplink_ != nullptr);
   DEMSORT_CHECK_EQ(uplink_->num_pes(), topo_.num_nodes());
   const int P = topo_.num_pes();
+  BufferPool::Options pool_options;
+  pool_options.budget_bytes = options_.pool_budget_bytes;
+  pool_ = std::make_shared<BufferPool>(pool_options);
   stats_.resize(k_);
   for (auto& s : stats_) s = std::make_unique<NetStats>();
   mailbox_.resize(static_cast<size_t>(k_) * P);
@@ -38,10 +41,14 @@ HierarchicalTransport::HierarchicalTransport(const Topology& topo, int node,
           std::make_unique<internal::TagChannel>(/*cap_bytes=*/0, recv_stats);
     }
   }
-  demux_.reserve(topo_.num_nodes() - 1);
-  for (int n = 0; n < topo_.num_nodes(); ++n) {
-    if (n == node_) continue;
-    demux_.emplace_back([this, n] { DemuxLoop(n); });
+  if (topo_.num_nodes() > 1) {
+    // Every mailbox drain signals the reactor's eventcount: that is what
+    // ends a watermark pause, and Signal is one atomic bump unless the
+    // reactor is actually asleep.
+    for (auto& ch : mailbox_) {
+      ch->SetDrainListener([this] { event_.Signal(); });
+    }
+    reactor_ = std::thread([this] { ReactorLoop(); });
   }
 }
 
@@ -57,16 +64,17 @@ void HierarchicalTransport::Shutdown() {
       if (n != node_) SendControl(n, kHierClose, 0, 0);
     }
   }
-  // A demux thread parked at its watermark would never see the peer's
+  // A reactor paused at a mailbox watermark would never see the peer's
   // close; an undrained mailbox at teardown is a protocol bug, not a hang.
   for (auto& ch : mailbox_) ch->CancelWaits();
+  // Senders blocked on the pool budget must not outlive the transport.
+  pool_->CancelWaits();
+  event_.Signal();
 }
 
 HierarchicalTransport::~HierarchicalTransport() {
   Shutdown();
-  for (auto& t : demux_) {
-    if (t.joinable()) t.join();
-  }
+  if (reactor_.joinable()) reactor_.join();
 }
 
 void HierarchicalTransport::SendControl(int dst_node, HierFrameKind kind,
@@ -100,85 +108,150 @@ bool HierarchicalTransport::RouteDead(int src, int dst, Status* status) {
   return false;
 }
 
-void HierarchicalTransport::DemuxLoop(int src_node) {
-  while (true) {
-    std::vector<uint8_t> frame;
-    try {
-      frame = uplink_->Irecv(node_, src_node, kHierUplinkTag).Take();
-    } catch (const CommError& e) {
-      // The peer node's uplink endpoint died (or ours was killed): every
-      // PE of that node is unreachable — poison per-rank, like the TCP
-      // reader severing its peer.
-      const int src_first = topo_.node_first(src_node);
-      const int src_count = topo_.node_size(src_node);
-      {
-        std::lock_guard<std::mutex> lock(route_mu_);
-        for (int src = src_first; src < src_first + src_count; ++src) {
-          dead_pes_.insert(src);
-        }
-      }
-      for (int src = src_first; src < src_first + src_count; ++src) {
-        PoisonFrom(src, e.status());
-      }
-      return;
+void HierarchicalTransport::FailPeerNode(int src_node, const Status& status) {
+  // The peer node's uplink endpoint died (or ours was killed): every PE of
+  // that node is unreachable — poison per-rank, like the TCP reader
+  // severing its peer.
+  const int src_first = topo_.node_first(src_node);
+  const int src_count = topo_.node_size(src_node);
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    for (int src = src_first; src < src_first + src_count; ++src) {
+      dead_pes_.insert(src);
     }
-    DEMSORT_CHECK_GE(frame.size(), sizeof(HierFrameHeader));
-    HierFrameHeader hdr;
-    std::memcpy(&hdr, frame.data(), sizeof(hdr));
-    switch (hdr.kind) {
-      case kHierClose:
-        return;
-      case kHierKillPe: {
-        Status status =
-            Status::IoError("PE " + std::to_string(hdr.a) + " on node " +
-                            std::to_string(src_node) + " was killed");
-        {
-          std::lock_guard<std::mutex> lock(route_mu_);
-          dead_pes_.insert(hdr.a);
-        }
-        PoisonFrom(hdr.a, status);
-        break;
+  }
+  for (int src = src_first; src < src_first + src_count; ++src) {
+    PoisonFrom(src, status);
+  }
+}
+
+void HierarchicalTransport::ReactorLoop() {
+  // One posted receive per open peer; a peer whose last delivery crossed
+  // the watermark is skipped (not served, never parked) until the
+  // destination mailbox drains to half, so one slow consumer cannot stall
+  // the other peers' traffic — and a dead peer is failed over per-rank
+  // while the rest keep flowing (the thread-per-peer demux got the latter
+  // for free; the reactor must do both explicitly).
+  //
+  // Event-driven, not polled: a scan pass that makes no progress sleeps on
+  // the eventcount, which every posted receive's completion (OnDone) and
+  // every mailbox drain signals. The Snapshot-before-scan ordering makes
+  // the sleep race-free — anything that fires mid-scan bumps the count and
+  // the Wait returns immediately. Sleeping (instead of a backoff poll)
+  // matters beyond CPU: demux latency quantizes the leaders' credit loop,
+  // and a sleep-polled reactor visibly starves credit piggybacking.
+  struct Peer {
+    int node = -1;
+    RecvRequest rr;
+    bool posted = false;
+    bool open = true;
+    internal::TagChannel* paused_box = nullptr;
+  };
+  std::vector<Peer> peers;
+  peers.reserve(topo_.num_nodes() - 1);
+  for (int n = 0; n < topo_.num_nodes(); ++n) {
+    if (n == node_) continue;
+    Peer p;
+    p.node = n;
+    peers.push_back(std::move(p));
+  }
+  const size_t watermark = options_.recv_watermark_bytes;
+  const size_t resume_below =
+      watermark == 0 ? 0 : std::max<size_t>(1, watermark / 2);
+  size_t open_count = peers.size();
+  while (open_count > 0) {
+    const uint64_t seen = event_.Snapshot();
+    bool progressed = false;
+    for (Peer& p : peers) {
+      if (!p.open) continue;
+      if (p.paused_box != nullptr) {
+        if (!p.paused_box->DrainedBelow(resume_below)) continue;
+        p.paused_box = nullptr;
       }
-      case kHierKillLink: {
-        int mine = hdr.a;
-        int remote = hdr.b;
-        if (!local(mine)) std::swap(mine, remote);
-        if (local(mine)) {
+      if (!p.posted) {
+        p.rr = uplink_->Irecv(node_, p.node, kHierUplinkTag);
+        p.posted = true;
+        p.rr.OnDone([this] { event_.Signal(); });
+      }
+      if (!p.rr.done()) continue;
+      p.posted = false;
+      Frame frame;
+      try {
+        frame = p.rr.TakeFrame();
+      } catch (const CommError& e) {
+        FailPeerNode(p.node, e.status());
+        p.rr = RecvRequest();
+        p.open = false;
+        --open_count;
+        progressed = true;
+        continue;
+      }
+      p.rr = RecvRequest();
+      progressed = true;
+      DEMSORT_CHECK_GE(frame.size(), sizeof(HierFrameHeader));
+      HierFrameHeader hdr;
+      std::memcpy(&hdr, frame.data(), sizeof(hdr));
+      switch (hdr.kind) {
+        case kHierClose:
+          p.open = false;
+          --open_count;
+          break;
+        case kHierKillPe: {
           Status status =
-              Status::IoError("link " + std::to_string(hdr.a) + "<->" +
-                              std::to_string(hdr.b) + " severed");
+              Status::IoError("PE " + std::to_string(hdr.a) + " on node " +
+                              std::to_string(p.node) + " was killed");
           {
             std::lock_guard<std::mutex> lock(route_mu_);
-            dead_links_.insert(
-                {std::min(hdr.a, hdr.b), std::max(hdr.a, hdr.b)});
+            dead_pes_.insert(hdr.a);
           }
-          mailbox(topo_.local_rank(mine), remote).Poison(status);
+          PoisonFrom(hdr.a, status);
+          break;
         }
-        break;
-      }
-      case kHierData: {
-        const int src = hdr.a;
-        const int dst = hdr.b;
-        DEMSORT_CHECK(local(dst))
-            << "misrouted uplink frame for PE " << dst << " at node "
-            << node_;
-        frame.erase(frame.begin(), frame.begin() + sizeof(HierFrameHeader));
-        const int ld = topo_.local_rank(dst);
-        stats_[ld]->RecordRecv(frame.size());
-        internal::TagChannel& box = mailbox(ld, src);
-        // Exempt from the (unused) channel cap: admission is decided here,
-        // by pausing this demux loop at the watermark — the uplink then
-        // backs up into the sender's credit.
-        (void)box.Offer(hdr.tag, std::move(frame), /*exempt_from_cap=*/true);
-        const size_t watermark = options_.recv_watermark_bytes;
-        if (watermark != 0 && box.queued_bytes() >= watermark) {
-          box.WaitQueuedBelow(std::max<size_t>(1, watermark / 2));
+        case kHierKillLink: {
+          int mine = hdr.a;
+          int remote = hdr.b;
+          if (!local(mine)) std::swap(mine, remote);
+          if (local(mine)) {
+            Status status =
+                Status::IoError("link " + std::to_string(hdr.a) + "<->" +
+                                std::to_string(hdr.b) + " severed");
+            {
+              std::lock_guard<std::mutex> lock(route_mu_);
+              dead_links_.insert(
+                  {std::min(hdr.a, hdr.b), std::max(hdr.a, hdr.b)});
+            }
+            mailbox(topo_.local_rank(mine), remote).Poison(status);
+          }
+          break;
         }
-        break;
+        case kHierData: {
+          const int src = hdr.a;
+          const int dst = hdr.b;
+          DEMSORT_CHECK(local(dst))
+              << "misrouted uplink frame for PE " << dst << " at node "
+              << node_;
+          // Strip the routing header in place: the bytes become Prepend
+          // headroom, and the payload MOVES into the mailbox — the frame's
+          // only copies are at the two Isend contract boundaries.
+          frame.Consume(sizeof(HierFrameHeader));
+          const int ld = topo_.local_rank(dst);
+          stats_[ld]->RecordRecv(frame.size());
+          internal::TagChannel& box = mailbox(ld, src);
+          // Exempt from the (unused) channel cap: admission is decided
+          // here, by pausing this peer at the watermark — the uplink then
+          // backs up into the sender's credit.
+          (void)box.Offer(hdr.tag, std::move(frame),
+                          /*exempt_from_cap=*/true);
+          if (watermark != 0 && box.queued_bytes() >= watermark) {
+            p.paused_box = &box;
+          }
+          break;
+        }
+        default:
+          DEMSORT_CHECK(false) << "bad uplink frame kind " << hdr.kind;
       }
-      default:
-        DEMSORT_CHECK(false) << "bad uplink frame kind " << hdr.kind;
     }
+    if (!progressed) event_.Wait(seen);
   }
 }
 
@@ -189,8 +262,11 @@ SendRequest HierarchicalTransport::Isend(int src, int dst, int tag,
   DEMSORT_CHECK_GE(dst, 0);
   DEMSORT_CHECK_LT(dst, topo_.num_pes());
   if (local(dst)) {
-    std::vector<uint8_t> payload(static_cast<const uint8_t*>(data),
-                                 static_cast<const uint8_t*>(data) + bytes);
+    NetStats* lease_stats =
+        src == dst ? nullptr : stats_[topo_.local_rank(src)].get();
+    std::vector<uint8_t> buf = pool_->Lease(bytes, lease_stats);
+    if (bytes != 0) std::memcpy(buf.data(), data, bytes);
+    Frame payload(std::move(buf), pool_, bytes);
     if (src != dst) {
       NetStats& s = *stats_[topo_.local_rank(src)];
       s.RecordSend(bytes);
@@ -213,20 +289,62 @@ SendRequest HierarchicalTransport::IsendGather(int src, int dst, int tag,
   DEMSORT_CHECK_GE(dst, 0);
   DEMSORT_CHECK_LT(dst, topo_.num_pes());
   if (local(dst)) {
-    // Single-copy frame assembly, like the flat fabric's gather path.
-    std::vector<uint8_t> payload(header_bytes + bytes);
-    std::memcpy(payload.data(), header, header_bytes);
-    if (bytes != 0) std::memcpy(payload.data() + header_bytes, data, bytes);
+    // Single-copy frame assembly into a pooled buffer, like the flat
+    // fabric's gather path.
+    const size_t total = header_bytes + bytes;
+    NetStats* lease_stats =
+        src == dst ? nullptr : stats_[topo_.local_rank(src)].get();
+    std::vector<uint8_t> buf = pool_->Lease(total, lease_stats);
+    std::memcpy(buf.data(), header, header_bytes);
+    if (bytes != 0) std::memcpy(buf.data() + header_bytes, data, bytes);
+    Frame payload(std::move(buf), pool_, total);
     if (src != dst) {
       NetStats& s = *stats_[topo_.local_rank(src)];
-      s.RecordSend(payload.size());
-      s.RecordIntraNode(payload.size());
-      stats_[topo_.local_rank(dst)]->RecordRecv(payload.size());
+      s.RecordSend(total);
+      s.RecordIntraNode(total);
+      stats_[topo_.local_rank(dst)]->RecordRecv(total);
     }
     return mailbox(topo_.local_rank(dst), src)
         .Offer(tag, std::move(payload), /*exempt_from_cap=*/true);
   }
   return UplinkSend(src, dst, tag, header, header_bytes, data, bytes);
+}
+
+SendRequest HierarchicalTransport::IsendGatherForward(
+    int src, int dst, int tag, const void* header, size_t header_bytes,
+    const void* data, size_t bytes) {
+  DEMSORT_CHECK(local(src))
+      << "hierarchical endpoint serves node " << node_ << ", not PE " << src;
+  if (!local(dst)) {
+    // Cross-node forwarding is genuine uplink traffic; count it normally.
+    return UplinkSend(src, dst, tag, header, header_bytes, data, bytes);
+  }
+  // Store-and-forward delivery: the leader is moving bytes that were
+  // already counted at their real hop (the direct intra-node frame or the
+  // leader-to-leader aggregate), so like a self-send it records neither
+  // send nor receive — only the pool lease.
+  const size_t total = header_bytes + bytes;
+  std::vector<uint8_t> buf =
+      pool_->Lease(total, stats_[topo_.local_rank(src)].get());
+  std::memcpy(buf.data(), header, header_bytes);
+  if (bytes != 0) std::memcpy(buf.data() + header_bytes, data, bytes);
+  Frame payload(std::move(buf), pool_, total);
+  return mailbox(topo_.local_rank(dst), src)
+      .Offer(tag, std::move(payload), /*exempt_from_cap=*/true);
+}
+
+SendRequest HierarchicalTransport::IsendFrameForward(int src, int dst,
+                                                     int tag, Frame frame) {
+  DEMSORT_CHECK(local(src))
+      << "hierarchical endpoint serves node " << node_ << ", not PE " << src;
+  if (!local(dst)) {
+    return UplinkSend(src, dst, tag, nullptr, 0, frame.data(), frame.size());
+  }
+  // The zero-copy fast path: an already-assembled (typically landed and
+  // Consume/Prepend-retargeted) frame moves straight into the destination
+  // mailbox — no lease, no copy, no counters (see IsendGatherForward).
+  return mailbox(topo_.local_rank(dst), src)
+      .Offer(tag, std::move(frame), /*exempt_from_cap=*/true);
 }
 
 SendRequest HierarchicalTransport::UplinkSend(int src, int dst, int tag,
@@ -241,17 +359,23 @@ SendRequest HierarchicalTransport::UplinkSend(int src, int dst, int tag,
   s.RecordInterNode(header_bytes + bytes);
   HierFrameHeader hdr{kHierData, src, dst, tag};
   const int dst_node = topo_.node_of(dst);
-  if (header_bytes == 0) {
-    return uplink_->IsendGather(node_, dst_node, kHierUplinkTag, &hdr,
-                                sizeof(hdr), data, bytes);
+  // One pooled buffer holds the complete wire frame — routing header,
+  // caller's gather header, payload — assembled in a single pass and MOVED
+  // onto the uplink. The routing header's 16 bytes become Consume headroom
+  // at the receiving reactor, which the two-level demux reuses as Prepend
+  // room when re-targeting the frame to its final PE.
+  const size_t total = sizeof(hdr) + header_bytes + bytes;
+  std::vector<uint8_t> buf = pool_->Lease(total, &s);
+  std::memcpy(buf.data(), &hdr, sizeof(hdr));
+  if (header_bytes != 0) {
+    std::memcpy(buf.data() + sizeof(hdr), header, header_bytes);
   }
-  // Three-part frame: merge the 16-byte routing header with the caller's
-  // small gather header so the payload still travels in a single copy.
-  std::vector<uint8_t> merged(sizeof(hdr) + header_bytes);
-  std::memcpy(merged.data(), &hdr, sizeof(hdr));
-  std::memcpy(merged.data() + sizeof(hdr), header, header_bytes);
-  return uplink_->IsendGather(node_, dst_node, kHierUplinkTag, merged.data(),
-                              merged.size(), data, bytes);
+  if (bytes != 0) {
+    std::memcpy(buf.data() + sizeof(hdr) + header_bytes, data, bytes);
+  }
+  Frame frame(std::move(buf), pool_, total);
+  return uplink_->IsendFrame(node_, dst_node, kHierUplinkTag,
+                             std::move(frame));
 }
 
 RecvRequest HierarchicalTransport::Irecv(int dst, int src, int tag) {
@@ -287,6 +411,9 @@ void HierarchicalTransport::KillPe(int pe, const Status& status) {
     }
     uplink_->KillPe(node_, status);
     for (auto& ch : mailbox_) ch->Poison(status);
+    // Senders blocked on the pool budget fail through their poisoned
+    // channels; release them.
+    pool_->CancelWaits();
     return;
   }
   // Non-leader: exactly this rank dies. Poison its receives and every
@@ -304,6 +431,9 @@ void HierarchicalTransport::KillPe(int pe, const Status& status) {
   for (int n = 0; n < topo_.num_nodes(); ++n) {
     if (n != node_) SendControl(n, kHierKillPe, pe, 0);
   }
+  // The dead PE may hold leased frames forever; budget-blocked senders
+  // must fail through their poisoned channels instead of stalling.
+  pool_->CancelWaits();
 }
 
 void HierarchicalTransport::KillLink(int a, int b, const Status& status) {
@@ -346,6 +476,7 @@ HierCluster::Result HierCluster::Run(const Options& options,
   Fabric uplink(fabric_options);
   HierarchicalTransport::Options t_options;
   t_options.recv_watermark_bytes = options.recv_watermark_bytes;
+  t_options.pool_budget_bytes = options.pool_budget_bytes;
   std::vector<std::unique_ptr<HierarchicalTransport>> nodes(N);
   for (int n = 0; n < N; ++n) {
     nodes[n] = std::make_unique<HierarchicalTransport>(topo, n, &uplink,
@@ -392,6 +523,9 @@ HierCluster::Result HierCluster::Run(const Options& options,
     result.uplink_total.bytes_sent += s.bytes_sent;
     result.uplink_total.messages_received += s.messages_received;
     result.uplink_total.bytes_received += s.bytes_received;
+    result.uplink_total.pool_leases += s.pool_leases;
+    result.uplink_total.pool_hits += s.pool_hits;
+    result.uplink_total.pool_recycled_bytes += s.pool_recycled_bytes;
   }
   // Collective teardown in one thread: every node's closes go out before
   // any node joins its demux threads.

@@ -10,19 +10,25 @@
 // for the emulation, TcpTransport for real deployments — N endpoints, so
 // an N-node mesh holds N*(N-1) directed channels instead of P*(P-1)), and
 // every cross-node message travels as [HierFrameHeader | payload] on one
-// well-known uplink tag. A demux thread per peer node pulls frames off the
-// uplink and delivers them into the destination PE's ordinary TagChannel
-// mailbox, so the Transport contract — per-(src, tag) FIFO, MPI-style
-// matching, 64-bit sizes, Request completion — holds unchanged and the
-// transport-generic conformance/streaming/fault suites run unmodified.
+// well-known uplink tag. ONE event-driven reactor thread per node polls
+// all peer-node uplink mailboxes, strips the routing header in place
+// (Frame::Consume — no memmove) and MOVES each frame into the destination
+// PE's ordinary TagChannel mailbox, so the Transport contract —
+// per-(src, tag) FIFO, MPI-style matching, 64-bit sizes, Request
+// completion — holds unchanged and the transport-generic
+// conformance/streaming/fault suites run unmodified. Frames are leased
+// from a recycling BufferPool on the send side and travel by move through
+// every hop; the only per-message copy left on the cross-node path is the
+// one mandated by the Isend contract (out of the caller's buffer).
 //
 // Flow control: intra-node traffic is local memory (exempt from the
 // receive-buffering gauge, like self-sends on the flat transports).
-// Cross-node traffic can be bounded end to end: the demux thread pauses at
-// Options::recv_watermark_bytes of undrained mailbox (the TCP reader's
-// watermark pattern), which backs the uplink channel up into the sender's
-// Isend credit when the uplink itself is bounded (capped Fabric / TCP
-// socket).
+// Cross-node traffic can be bounded end to end: the reactor stops serving
+// a peer whose last delivery filled the destination mailbox past
+// Options::recv_watermark_bytes (the TCP reader's watermark pattern,
+// without parking a thread) and resumes it at half, which backs the uplink
+// channel up into the sender's Isend credit when the uplink itself is
+// bounded (capped Fabric / TCP socket). Other peers keep flowing.
 //
 // Failure containment (the PR 3 contract, preserved through the proxy):
 //  * KillPe(non-leader) poisons the victim's channels on its node and
@@ -30,19 +36,22 @@
 //    from the victim — per-rank CommError everywhere, nothing else fails.
 //  * KillPe(leader) is node death: the leader fronts the node's uplink, so
 //    the whole node's mailboxes poison and the uplink endpoint is killed;
-//    peer nodes observe the dead uplink (their demux threads fail over to
-//    poisoning every mailbox from the dead node's PEs).
+//    peer nodes observe the dead uplink (their reactors fail over to
+//    poisoning every mailbox from the dead node's PEs, and keep serving
+//    the surviving peer nodes).
 //  * KillLink(a, b) between nodes fails exactly the (a, b) pair: the local
 //    side poisons its mailbox and fails future sends, a link-kill frame
 //    makes the remote side do the same; traffic of every other pair —
 //    including other pairs bridging the same two nodes — is untouched.
 //
 // Teardown is collective, like the TCP transport: each node's destructor
-// sends a CLOSE frame per peer node and joins its demux threads when the
-// peers' closes arrive, so no in-flight frame is lost.
+// sends a CLOSE frame per peer node and joins its reactor when the peers'
+// closes arrive, so no in-flight frame is lost.
 #ifndef DEMSORT_NET_HIERARCHICAL_TRANSPORT_H_
 #define DEMSORT_NET_HIERARCHICAL_TRANSPORT_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -84,11 +93,15 @@ inline constexpr int kHierUplinkTag = 1 << 30;
 class HierarchicalTransport : public Transport {
  public:
   struct Options {
-    /// Pause the per-peer-node demux thread once the mailbox it just
+    /// Stop serving a peer node once the mailbox the reactor just
     /// delivered into holds this many undrained bytes; resume at half —
     /// the uplink then backs up into the sender's credit exactly like the
     /// TCP reader watermark. 0 = drain eagerly.
     size_t recv_watermark_bytes = 0;
+    /// Outstanding-lease cap of this node's frame-buffer pool; 0 =
+    /// unbounded. A budget below the watermark plus one credit window can
+    /// stall the exchange — see the bench_util.h warning.
+    size_t pool_budget_bytes = 0;
   };
 
   /// Serves the PEs of node `node` of `topo`. `uplink` is a Transport over
@@ -114,6 +127,14 @@ class HierarchicalTransport : public Transport {
   SendRequest IsendGather(int src, int dst, int tag, const void* header,
                           size_t header_bytes, const void* data,
                           size_t bytes) override;
+  /// Store-and-forward variants (leader moving another PE's bytes): same
+  /// delivery semantics, but exempt from the per-PE traffic counters like
+  /// self-sends — each logical byte is counted once, at its real hop.
+  SendRequest IsendGatherForward(int src, int dst, int tag,
+                                 const void* header, size_t header_bytes,
+                                 const void* data, size_t bytes) override;
+  SendRequest IsendFrameForward(int src, int dst, int tag,
+                                Frame frame) override;
   RecvRequest Irecv(int dst, int src, int tag) override;
 
   void KillPe(int pe, const Status& status) override;
@@ -123,11 +144,11 @@ class HierarchicalTransport : public Transport {
   NetStats& stats(int pe) override;
 
   /// First half of the collective teardown: sends the CLOSE frames and
-  /// releases any watermark-parked demux thread, without joining. The
-  /// destructor calls it (idempotent) and then joins; a harness that
-  /// destroys several node transports from ONE thread must call Shutdown()
-  /// on all of them first, or the first destructor would wait for closes
-  /// the later nodes have not sent yet.
+  /// releases any watermark-paused mailbox wait, without joining. The
+  /// destructor calls it (idempotent) and then joins the reactor; a
+  /// harness that destroys several node transports from ONE thread must
+  /// call Shutdown() on all of them first, or the first destructor would
+  /// wait for closes the later nodes have not sent yet.
   void Shutdown();
 
  private:
@@ -136,17 +157,51 @@ class HierarchicalTransport : public Transport {
   }
   bool local(int pe) const { return topo_.node_of(pe) == node_; }
 
-  /// Queues one cross-node payload on the uplink (kData framing).
+  /// Queues one cross-node payload on the uplink (kData framing) as a
+  /// single pooled frame, moved — no gather reassembly downstream.
   SendRequest UplinkSend(int src, int dst, int tag, const void* header,
                          size_t header_bytes, const void* data, size_t bytes);
   /// Best-effort control frame to one peer node (kill/close notifications).
   void SendControl(int dst_node, HierFrameKind kind, int a, int b);
-  /// Pulls frames from `src_node` and demuxes them into PE mailboxes.
-  void DemuxLoop(int src_node);
+  /// The single demux reactor: polls every peer node's uplink mailbox,
+  /// routes data frames into PE mailboxes, honors per-peer watermark
+  /// pauses, and contains per-peer uplink failures without stopping.
+  void ReactorLoop();
   /// Poisons every mailbox that receives from `pe` (all local PEs' views).
   void PoisonFrom(int pe, const Status& status);
+  /// Reactor failover for a dead peer node: marks its PEs dead and poisons
+  /// every local mailbox from them.
+  void FailPeerNode(int src_node, const Status& status);
   /// True (and fills `status`) if sends between `src` and `dst` must fail.
   bool RouteDead(int src, int dst, Status* status);
+
+  /// Eventcount the reactor sleeps on between work: signaled by every
+  /// uplink receive completion (RecvRequest::OnDone), every mailbox drain
+  /// (TagChannel drain listener — what resumes a watermark pause), and
+  /// Shutdown. Signal is one atomic bump unless the reactor is actually
+  /// asleep; Wait(seen) returns immediately if anything signaled since the
+  /// Snapshot() taken before the reactor's scan, so no wakeup is lost.
+  struct ReactorEvent {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<bool> waiting{false};
+    std::mutex mu;
+    std::condition_variable cv;
+
+    void Signal() {
+      seq.fetch_add(1);  // seq_cst: orders against the waiter's flag store
+      if (waiting.load()) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+    uint64_t Snapshot() const { return seq.load(); }
+    void Wait(uint64_t seen) {
+      std::unique_lock<std::mutex> lock(mu);
+      waiting.store(true);
+      cv.wait(lock, [&] { return seq.load() != seen; });
+      waiting.store(false);
+    }
+  };
 
   Topology topo_;
   int node_;
@@ -155,12 +210,17 @@ class HierarchicalTransport : public Transport {
   int first_;  // first global rank of this node
   int k_;      // PEs on this node
 
+  /// Recycling pool for every frame this node leases; shared_ptr because
+  /// frames sent over the uplink land in peer nodes' mailboxes and may
+  /// outlive this transport (see buffer_pool.h).
+  std::shared_ptr<BufferPool> pool_;
   std::vector<std::unique_ptr<NetStats>> stats_;  // per local PE
   // mailbox_[local_dst * P + global_src]: the destination PE's per-source
   // mailboxes. Intra-node sources (self included) are local memory: no
   // receive-buffering gauge, exactly like self-sends on the flat fabrics.
   std::vector<std::unique_ptr<internal::TagChannel>> mailbox_;
-  std::vector<std::thread> demux_;  // one per peer node
+  ReactorEvent event_;
+  std::thread reactor_;  // one event-driven demux thread for all peers
 
   std::mutex route_mu_;
   bool shutdown_ = false;
@@ -189,6 +249,10 @@ class HierCluster {
     /// schedules while the traffic still routes through the hierarchy —
     /// the A/B baseline of micro_net --topo-compare.
     bool flat_collectives = false;
+    /// Per-node frame-pool budget (see HierarchicalTransport::Options).
+    /// Declared after flat_collectives so existing positional
+    /// initializers keep their meaning.
+    size_t pool_budget_bytes = 0;
   };
 
   struct Result {

@@ -1,8 +1,11 @@
 // Wire-level message representation for the in-process message-passing
 // fabric, plus the framing and tuning knobs of the streaming collectives
 // (Comm::AlltoallvStream / Comm::AllgatherVStream). Payloads are opaque
-// byte vectors: PEs exchange *copies*, never shared pointers, preserving
-// distributed-memory semantics.
+// byte buffers: PEs exchange *copies*, never shared application pointers,
+// preserving distributed-memory semantics. The buffer itself is a
+// net::Frame — a move-only handle that may lease its storage from a
+// recycling BufferPool, so the transport moves payloads instead of
+// re-copying them at every hop.
 #ifndef DEMSORT_NET_MESSAGE_H_
 #define DEMSORT_NET_MESSAGE_H_
 
@@ -10,6 +13,8 @@
 #include <cstdint>
 #include <type_traits>
 #include <vector>
+
+#include "net/buffer_pool.h"
 
 namespace demsort::net {
 
@@ -19,7 +24,7 @@ inline constexpr int kCollectiveTagBase = 1 << 24;
 
 struct Message {
   int tag = 0;
-  std::vector<uint8_t> payload;
+  Frame payload;
 };
 
 // ---------------------------------------------------------------------------
@@ -113,6 +118,13 @@ struct StreamOptions {
   size_t max_chunk_bytes = 0;
   StreamChunkMode chunk_mode = StreamChunkMode::kAuto;
   StreamCreditMode credit_mode = StreamCreditMode::kAuto;
+  /// Flow-control units granted per consumed wire chunk (and charged per
+  /// sent one). A leader engine that coarsens its wire chunk by the
+  /// aggregation factor sets this to the same factor, keeping credits
+  /// denominated in per-pair chunks — credit totals (and the piggyback /
+  /// standalone split the counters report) stay topology-invariant.
+  /// 0 or 1 = one credit per wire chunk (the flat engine's unit).
+  uint64_t credit_unit = 0;
 };
 
 /// Auto [min, max] bounds of the adaptive controller span this factor below

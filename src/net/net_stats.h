@@ -42,6 +42,14 @@ struct NetStatsSnapshot {
   uint64_t intra_node_bytes = 0;
   uint64_t inter_node_msgs = 0;
   uint64_t inter_node_bytes = 0;
+  /// Buffer-pool counters (net::BufferPool): every Lease() this PE's sends
+  /// and receives triggered, how many were served from the free list, and
+  /// how many payload bytes rode recycled buffers instead of fresh
+  /// allocations. pool_hits / pool_leases is the steady-state recycling
+  /// rate the zero-copy data path is judged by.
+  uint64_t pool_leases = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_recycled_bytes = 0;
 
   NetStatsSnapshot operator-(const NetStatsSnapshot& rhs) const {
     return NetStatsSnapshot{messages_sent - rhs.messages_sent,
@@ -55,7 +63,10 @@ struct NetStatsSnapshot {
                             intra_node_msgs - rhs.intra_node_msgs,
                             intra_node_bytes - rhs.intra_node_bytes,
                             inter_node_msgs - rhs.inter_node_msgs,
-                            inter_node_bytes - rhs.inter_node_bytes};
+                            inter_node_bytes - rhs.inter_node_bytes,
+                            pool_leases - rhs.pool_leases,
+                            pool_hits - rhs.pool_hits,
+                            pool_recycled_bytes - rhs.pool_recycled_bytes};
   }
 };
 
@@ -113,6 +124,17 @@ class NetStats {
     inter_node_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
+  /// One BufferPool::Lease on this PE's behalf; `hit` when it reused a
+  /// recycled buffer, `recycled_bytes` the payload bytes it covered.
+  void RecordPoolLease(bool hit, uint64_t recycled_bytes) {
+    pool_leases_.fetch_add(1, std::memory_order_relaxed);
+    if (hit) {
+      pool_hits_.fetch_add(1, std::memory_order_relaxed);
+      pool_recycled_bytes_.fetch_add(recycled_bytes,
+                                     std::memory_order_relaxed);
+    }
+  }
+
   NetStatsSnapshot Snapshot() const {
     return NetStatsSnapshot{
         messages_sent_.load(std::memory_order_relaxed),
@@ -126,7 +148,10 @@ class NetStats {
         intra_node_msgs_.load(std::memory_order_relaxed),
         intra_node_bytes_.load(std::memory_order_relaxed),
         inter_node_msgs_.load(std::memory_order_relaxed),
-        inter_node_bytes_.load(std::memory_order_relaxed)};
+        inter_node_bytes_.load(std::memory_order_relaxed),
+        pool_leases_.load(std::memory_order_relaxed),
+        pool_hits_.load(std::memory_order_relaxed),
+        pool_recycled_bytes_.load(std::memory_order_relaxed)};
   }
 
  private:
@@ -143,6 +168,9 @@ class NetStats {
   std::atomic<uint64_t> intra_node_bytes_{0};
   std::atomic<uint64_t> inter_node_msgs_{0};
   std::atomic<uint64_t> inter_node_bytes_{0};
+  std::atomic<uint64_t> pool_leases_{0};
+  std::atomic<uint64_t> pool_hits_{0};
+  std::atomic<uint64_t> pool_recycled_bytes_{0};
 };
 
 }  // namespace demsort::net

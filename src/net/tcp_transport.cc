@@ -212,6 +212,9 @@ StatusOr<int> ConnectWithDeadline(const TcpTransport::Peer& peer,
 
 TcpTransport::TcpTransport(int rank, int num_pes, const Options& options)
     : rank_(rank), num_pes_(num_pes), options_(options) {
+  BufferPool::Options pool_options;
+  pool_options.budget_bytes = options_.pool_budget_bytes;
+  pool_ = std::make_shared<BufferPool>(pool_options);
   links_.resize(num_pes);
   for (auto& link : links_) link = std::make_unique<PeerLink>();
   mailbox_.resize(num_pes);
@@ -413,9 +416,12 @@ void TcpTransport::KillPe(int pe, const Status& status) {
   if (pe == rank_) {
     // Abort this endpoint: sever every link (peers observe EOF/reset and
     // poison their own side) and poison every mailbox, self included, so
-    // the destructor cannot block on a peer that outlives us.
+    // the destructor cannot block on a peer that outlives us. Senders
+    // blocked on the pool budget are released to fail through their
+    // severed links.
     for (int peer = 0; peer < num_pes_; ++peer) SeverLink(peer, status);
     for (auto& ch : mailbox_) ch->Poison(status);
+    pool_->CancelWaits();
     return;
   }
   SeverLink(pe, status);
@@ -489,12 +495,13 @@ void TcpTransport::ReaderLoop(int peer) {
     if (s.ok()) {
       int32_t tag;
       DecodeFrameHeader(header, &tag, &bytes);
-      std::vector<uint8_t> payload(bytes);
+      std::vector<uint8_t> buf = pool_->Lease(bytes, &stats_);
       if (bytes > 0) {
-        s = ReadFull(link.fd, payload.data(), payload.size());
+        s = ReadFull(link.fd, buf.data(), buf.size());
         if (s.code() == StatusCode::kNotFound) s = Status::IoError("eof");
       }
       if (s.ok()) {
+        Frame payload(std::move(buf), pool_, bytes);
         stats_.RecordRecv(bytes);
         // Exempt from the (unused) cap: admission is decided here, by
         // pausing the read loop itself at the watermark instead of parking
@@ -522,23 +529,34 @@ void TcpTransport::ReaderLoop(int peer) {
 
 SendRequest TcpTransport::Isend(int src, int dst, int tag, const void* data,
                                 size_t bytes) {
-  std::vector<uint8_t> payload(static_cast<const uint8_t*>(data),
-                               static_cast<const uint8_t*>(data) + bytes);
-  return IsendPayload(src, dst, tag, std::move(payload));
+  // Self-sends are local memory traffic: off the pool counters, like the
+  // volume counters.
+  std::vector<uint8_t> buf =
+      pool_->Lease(bytes, dst == rank_ ? nullptr : &stats_);
+  if (bytes != 0) std::memcpy(buf.data(), data, bytes);
+  return IsendPayload(src, dst, tag, Frame(std::move(buf), pool_, bytes));
 }
 
 SendRequest TcpTransport::IsendGather(int src, int dst, int tag,
                                       const void* header, size_t header_bytes,
                                       const void* data, size_t bytes) {
   // Single-copy frame assembly (see Transport::IsendGather).
-  std::vector<uint8_t> payload(header_bytes + bytes);
-  std::memcpy(payload.data(), header, header_bytes);
-  if (bytes != 0) std::memcpy(payload.data() + header_bytes, data, bytes);
-  return IsendPayload(src, dst, tag, std::move(payload));
+  const size_t total = header_bytes + bytes;
+  std::vector<uint8_t> buf =
+      pool_->Lease(total, dst == rank_ ? nullptr : &stats_);
+  std::memcpy(buf.data(), header, header_bytes);
+  if (bytes != 0) std::memcpy(buf.data() + header_bytes, data, bytes);
+  return IsendPayload(src, dst, tag, Frame(std::move(buf), pool_, total));
+}
+
+SendRequest TcpTransport::IsendFrame(int src, int dst, int tag, Frame frame) {
+  // An already-assembled (possibly pooled) frame moves straight into the
+  // writer queue — no copy; the writer recycles it after the socket write.
+  return IsendPayload(src, dst, tag, std::move(frame));
 }
 
 SendRequest TcpTransport::IsendPayload(int src, int dst, int tag,
-                                       std::vector<uint8_t> payload) {
+                                       Frame payload) {
   DEMSORT_CHECK_EQ(src, rank_) << "TcpTransport endpoint serves one rank";
   DEMSORT_CHECK_GE(dst, 0);
   DEMSORT_CHECK_LT(dst, num_pes_);
@@ -771,6 +789,7 @@ void RunOverTransport(TransportKind kind, const Cluster::Options& options,
     TcpTransport::Options tcp_options;
     tcp_options.recv_watermark_bytes = options.tcp_recv_watermark_bytes;
     tcp_options.connect_timeout_ms = options.tcp_connect_timeout_ms;
+    tcp_options.pool_budget_bytes = options.pool_budget_bytes;
     TcpCluster::RunWithStats(options.num_pes, body, tcp_options);
   } else if (kind == TransportKind::kHier) {
     HierCluster::Options hier_options;
@@ -790,6 +809,7 @@ void RunOverTransport(TransportKind kind, const Cluster::Options& options,
     // knobs translate to their hierarchical equivalents.
     hier_options.uplink_channel_cap_bytes = options.channel_cap_bytes;
     hier_options.recv_watermark_bytes = options.tcp_recv_watermark_bytes;
+    hier_options.pool_budget_bytes = options.pool_budget_bytes;
     HierCluster::Run(hier_options, body);
   } else {
     DEMSORT_CHECK_EQ(options.tcp_recv_watermark_bytes, 0u)

@@ -96,6 +96,10 @@ class TcpTransport : public Transport {
     /// not up yet; doubles per retry up to 500 ms. Rank start order is
     /// therefore arbitrary — whoever starts first simply retries.
     int64_t connect_retry_initial_ms = 20;
+
+    /// Outstanding-lease cap of this endpoint's frame-buffer pool (send
+    /// assembly and reader payloads); 0 = unbounded. See buffer_pool.h.
+    size_t pool_budget_bytes = 0;
   };
 
   /// Establishes the full mesh for `rank` of `num_pes`. `listen_fd` must
@@ -125,6 +129,7 @@ class TcpTransport : public Transport {
   SendRequest IsendGather(int src, int dst, int tag, const void* header,
                           size_t header_bytes, const void* data,
                           size_t bytes) override;
+  SendRequest IsendFrame(int src, int dst, int tag, Frame frame) override;
   RecvRequest Irecv(int dst, int src, int tag) override;
 
   /// pe == rank(): aborts this endpoint — every link is severed (queued
@@ -142,12 +147,13 @@ class TcpTransport : public Transport {
 
  private:
   /// Shared send path of Isend/IsendGather: queue one assembled payload.
-  SendRequest IsendPayload(int src, int dst, int tag,
-                           std::vector<uint8_t> payload);
+  /// The frame moves through the queue; the writer recycles it (Frame
+  /// destructor) once the bytes hit the socket.
+  SendRequest IsendPayload(int src, int dst, int tag, Frame payload);
 
   struct Outgoing {
     int tag = 0;
-    std::vector<uint8_t> payload;
+    Frame payload;
     std::shared_ptr<internal::SendState> state;
   };
   struct PeerLink {
@@ -179,6 +185,10 @@ class TcpTransport : public Transport {
   int num_pes_;
   Options options_;
   NetStats stats_;
+  /// Recycling pool for outgoing frame assembly and reader payloads;
+  /// shared_ptr because delivered frames may sit in mailboxes past
+  /// teardown (see buffer_pool.h).
+  std::shared_ptr<BufferPool> pool_;
   std::vector<std::unique_ptr<PeerLink>> links_;          // indexed by peer
   std::vector<std::unique_ptr<internal::TagChannel>> mailbox_;  // by source
 };

@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -82,7 +83,11 @@ struct RecvState {
   std::condition_variable cv;
   bool done = false;
   Status status;  // set before done; non-OK = the message will never arrive
-  std::vector<uint8_t> payload;
+  Frame payload;
+  /// Invoked exactly once at completion (success or failure), after the cv
+  /// notify. May run on the completing thread while it holds channel-level
+  /// locks: keep it cheap and lock-light (an eventcount bump, not work).
+  std::function<void()> on_done;
   /// Receiver-side buffering accounting: while a delivered payload sits in
   /// this state un-taken, it still occupies transport memory. Set by the
   /// channel at delivery; cleared when the payload is taken (or the state
@@ -200,9 +205,17 @@ class RecvRequest {
     return state_->status;
   }
 
-  /// Blocks until the message arrives, then moves the payload out. Throws
-  /// CommError if the message will never arrive.
+  /// Blocks until the message arrives, then moves the payload out as a
+  /// plain vector (detaching it from any buffer pool). Throws CommError if
+  /// the message will never arrive.
   std::vector<uint8_t> Take() {
+    return std::move(TakeFrame()).IntoVector();
+  }
+
+  /// As Take(), but keeps the payload in its (possibly pooled) Frame: hot
+  /// paths Consume() headers in place and let the buffer recycle instead
+  /// of copying it out.
+  Frame TakeFrame() {
     if (state_ == nullptr) return {};
     std::unique_lock<std::mutex> lock(state_->mu);
     state_->cv.wait(lock, [&] { return state_->done; });
@@ -214,25 +227,49 @@ class RecvRequest {
     return std::move(state_->payload);
   }
 
+  /// Registers a callback invoked when the request completes (or
+  /// immediately, if it already has). One callback per request; used by the
+  /// hierarchical demux reactor to sleep until ANY posted uplink receive
+  /// lands instead of polling. See RecvState::on_done for the contract.
+  void OnDone(std::function<void()> fn) const {
+    if (state_ == nullptr) {
+      fn();
+      return;
+    }
+    bool already;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      already = state_->done;
+      if (!already) state_->on_done = std::move(fn);
+    }
+    if (already) fn();
+  }
+
   static void Complete(const std::shared_ptr<internal::RecvState>& state,
-                       std::vector<uint8_t> payload) {
+                       Frame payload) {
+    std::function<void()> fn;
     {
       std::lock_guard<std::mutex> lock(state->mu);
       state->payload = std::move(payload);
       state->done = true;
+      fn = std::move(state->on_done);
     }
     state->cv.notify_all();
+    if (fn) fn();
   }
 
   /// Fails the posted receive; Wait()/Take() will throw.
   static void Fail(const std::shared_ptr<internal::RecvState>& state,
                    Status status) {
+    std::function<void()> fn;
     {
       std::lock_guard<std::mutex> lock(state->mu);
       state->status = std::move(status);
       state->done = true;
+      fn = std::move(state->on_done);
     }
     state->cv.notify_all();
+    if (fn) fn();
   }
 
  private:
@@ -302,6 +339,33 @@ class Transport {
     std::memcpy(frame.data(), header, header_bytes);
     if (bytes != 0) std::memcpy(frame.data() + header_bytes, data, bytes);
     return Isend(src, dst, tag, frame.data(), frame.size());
+  }
+
+  /// Move-in variant of Isend: the transport takes ownership of the frame
+  /// (typically a pooled buffer already holding the complete wire payload)
+  /// and moves it to the destination without copying. The default copies
+  /// through Isend, so wrappers and transports without a zero-copy path
+  /// stay correct.
+  virtual SendRequest IsendFrame(int src, int dst, int tag, Frame frame) {
+    return Isend(src, dst, tag, frame.data(), frame.size());
+  }
+
+  /// Forwarding variants: identical delivery semantics to IsendGather /
+  /// IsendFrame, but the transfer is transport-internal store-and-forward
+  /// traffic (a leader moving another PE's bytes), NOT application traffic
+  /// originated by `src`. Node-aware transports override these to skip the
+  /// per-PE traffic counters — like self-sends — so `--stats` reports each
+  /// logical byte once, at the hop that really moved it. Defaults delegate
+  /// to the normal (counted) path.
+  virtual SendRequest IsendGatherForward(int src, int dst, int tag,
+                                         const void* header,
+                                         size_t header_bytes,
+                                         const void* data, size_t bytes) {
+    return IsendGather(src, dst, tag, header, header_bytes, data, bytes);
+  }
+  virtual SendRequest IsendFrameForward(int src, int dst, int tag,
+                                        Frame frame) {
+    return IsendFrame(src, dst, tag, std::move(frame));
   }
 
   /// Nonblocking posted receive at PE `dst` for the next message from
@@ -383,8 +447,7 @@ class TagChannel {
   /// which case the message parks and the returned request stays pending
   /// until a receive drains the queue. `exempt_from_cap` admits
   /// unconditionally (self-sends: local memory traffic in a real cluster).
-  SendRequest Offer(int tag, std::vector<uint8_t> payload,
-                    bool exempt_from_cap) {
+  SendRequest Offer(int tag, Frame payload, bool exempt_from_cap) {
     std::lock_guard<std::mutex> lock(mu_);
     if (poisoned_) return SendRequest::Failed(poison_);
     if (exempt_from_cap) {
@@ -409,32 +472,16 @@ class TagChannel {
   /// matching message is queued (admitting parked senders into the freed
   /// space), else when one arrives.
   RecvRequest PostRecv(int tag) {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = messages_.begin(); it != messages_.end(); ++it) {
-      if (it->tag == tag) {
-        size_t n = it->payload.size();
-        auto state = std::make_shared<RecvState>();
-        // The payload stays charged to the buffering gauge (it moved from
-        // the queue into the un-taken state, not out of the transport).
-        state->buffered_stats = recv_stats_;
-        state->buffered_bytes = n;
-        RecvRequest::Complete(state, std::move(it->payload));
-        messages_.erase(it);
-        queued_bytes_ -= n;
-        drain_cv_.notify_all();
-        AdmitParkedLocked();
-        return RecvRequest(state);
-      }
+    RecvRequest out;
+    bool drained = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      out = PostRecvLocked(tag, &drained);
     }
-    // No queued match: a poisoned channel will never produce one.
-    if (poisoned_) return RecvRequest::Failed(poison_);
-    auto state = std::make_shared<RecvState>();
-    waiters_.push_back(Waiter{tag, state});
-    // The new waiter may be exactly what a parked message (blocked on the
-    // cap) is waiting for — hand it over directly, or receivers that take
-    // tags out of send order would deadlock against a full channel.
-    AdmitParkedLocked();
-    return RecvRequest(state);
+    // Outside the lock: a paused demux reactor sleeping for this channel
+    // to drain wakes without a lock-order entanglement.
+    if (drained && drain_listener_) drain_listener_();
+    return out;
   }
 
   /// Fails the channel permanently with `status`: every posted receive and
@@ -457,6 +504,7 @@ class TagChannel {
       canceled_ = true;  // release any reader parked at its watermark
     }
     drain_cv_.notify_all();
+    if (drain_listener_) drain_listener_();
     for (Waiter& w : waiters) RecvRequest::Fail(w.state, poison_);
     for (Parked& p : parked) SendRequest::Fail(p.state, poison_);
   }
@@ -489,6 +537,14 @@ class TagChannel {
     });
   }
 
+  /// Non-blocking WaitQueuedBelow: whether a reader paused at its
+  /// watermark may resume. The event-driven demux reactor polls this
+  /// instead of parking a dedicated thread per peer.
+  bool DrainedBelow(size_t low_bytes) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return canceled_ || queued_bytes_ < low_bytes;
+  }
+
   /// Releases any WaitQueuedBelow() waiter permanently (teardown).
   void CancelWaits() {
     {
@@ -496,6 +552,15 @@ class TagChannel {
       canceled_ = true;
     }
     drain_cv_.notify_all();
+    if (drain_listener_) drain_listener_();
+  }
+
+  /// Registers a callback invoked (outside the channel lock) whenever the
+  /// queue drains or the channel is poisoned/canceled — the conditions a
+  /// watermark-paused demux reactor sleeps on. NOT thread-safe against
+  /// concurrent channel use: set once, before the channel carries traffic.
+  void SetDrainListener(std::function<void()> fn) {
+    drain_listener_ = std::move(fn);
   }
 
  private:
@@ -505,18 +570,47 @@ class TagChannel {
   };
   struct Parked {
     int tag;
-    std::vector<uint8_t> payload;
+    Frame payload;
     std::shared_ptr<SendState> state;
   };
 
-  void DeliverUnconditionallyLocked(int tag, std::vector<uint8_t> payload) {
+  RecvRequest PostRecvLocked(int tag, bool* drained) {
+    for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+      if (it->tag == tag) {
+        size_t n = it->payload.size();
+        auto state = std::make_shared<RecvState>();
+        // The payload stays charged to the buffering gauge (it moved from
+        // the queue into the un-taken state, not out of the transport).
+        state->buffered_stats = recv_stats_;
+        state->buffered_bytes = n;
+        RecvRequest::Complete(state, std::move(it->payload));
+        messages_.erase(it);
+        queued_bytes_ -= n;
+        drain_cv_.notify_all();
+        *drained = true;
+        AdmitParkedLocked();
+        return RecvRequest(state);
+      }
+    }
+    // No queued match: a poisoned channel will never produce one.
+    if (poisoned_) return RecvRequest::Failed(poison_);
+    auto state = std::make_shared<RecvState>();
+    waiters_.push_back(Waiter{tag, state});
+    // The new waiter may be exactly what a parked message (blocked on the
+    // cap) is waiting for — hand it over directly, or receivers that take
+    // tags out of send order would deadlock against a full channel.
+    AdmitParkedLocked();
+    return RecvRequest(state);
+  }
+
+  void DeliverUnconditionallyLocked(int tag, Frame payload) {
     // Exempt delivery never parks: the cap check is skipped entirely.
     (void)TryDeliverLocked(tag, payload, /*exempt=*/true);
   }
 
   /// Matches a waiter or queues the message if the cap allows. Returns
   /// false when the message must park (payload left intact).
-  bool TryDeliverLocked(int tag, std::vector<uint8_t>& payload, bool exempt) {
+  bool TryDeliverLocked(int tag, Frame& payload, bool exempt) {
     size_t n = payload.size();
     for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
       if (it->tag == tag) {
@@ -569,6 +663,7 @@ class TagChannel {
   mutable std::mutex mu_;
   size_t cap_bytes_;
   NetStats* recv_stats_;
+  std::function<void()> drain_listener_;
   std::condition_variable drain_cv_;
   bool canceled_ = false;
   bool poisoned_ = false;

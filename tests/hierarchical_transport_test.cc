@@ -6,7 +6,10 @@
 // adaptive), failure containment through the proxy (kill a non-leader,
 // kill a leader = node death, sever cross-node and intra-node links), the
 // N*(N-1) inter-node connection arithmetic, the intra/inter traffic
-// classification, and the demux watermark's buffering bound.
+// classification, the demux watermark's buffering bound, the frame
+// pool's recycling bound (allocations stay O(pool), not O(messages)),
+// and the single uplink reactor's failover (one dead peer node must not
+// stop service to the survivors).
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -264,6 +267,50 @@ TEST(HierarchicalTransportTest, TwoLevelSendsFewerInterNodeMessages) {
   EXPECT_LT(hier.uplink_total.messages_sent, flat.uplink_total.messages_sent);
 }
 
+TEST(HierarchicalTransportTest, PooledFramesRecycleAcrossRepeats) {
+  // Repeated streamed exchanges over the two-level machine: after the
+  // first repetition primes the pool, frames must come from recycling,
+  // not fresh allocation. `leases - hits` counts fresh allocations; with
+  // 8 repetitions the fresh share must stay well below the total — the
+  // transport allocates O(pool), not O(messages).
+  constexpr int kReps = 8;
+  HierCluster::Options options;
+  options.topology = Topology::Uniform(8, 2);
+  HierCluster::Result result = HierCluster::Run(options, [](Comm& comm) {
+    const int P = comm.size();
+    std::vector<uint8_t> payload(32 * 1024,
+                                 static_cast<uint8_t>(comm.rank()));
+    std::vector<std::span<const uint8_t>> spans(
+        P, std::span<const uint8_t>(payload));
+    StreamOptions so;
+    so.chunk_bytes = 4096;
+    so.chunk_mode = StreamChunkMode::kFixed;
+    for (int rep = 0; rep < kReps; ++rep) {
+      std::vector<uint64_t> got(P, 0);
+      comm.AlltoallvStream(
+          spans,
+          [&](int src, std::span<const uint8_t> data, bool) {
+            got[src] += data.size();
+          },
+          nullptr, so);
+      for (int s = 0; s < P; ++s) {
+        ASSERT_EQ(got[s], payload.size()) << "source " << s;
+      }
+      comm.Barrier();
+    }
+  });
+  uint64_t leases = 0, hits = 0;
+  for (const NetStatsSnapshot& s : result.stats) {
+    leases += s.pool_leases;
+    hits += s.pool_hits;
+  }
+  ASSERT_GT(leases, 0u);
+  EXPECT_GT(hits, 0u);
+  EXPECT_LT(leases - hits, leases / 4)
+      << "fresh allocations must be a small fraction of " << leases
+      << " leases once the pool is primed (hits: " << hits << ")";
+}
+
 TEST(HierarchicalTransportTest, DemuxWatermarkBoundsReceiveBuffering) {
   // A cross-node burst at a sleeping receiver: the demux thread pauses at
   // the watermark, so the receiver's transport-held bytes stay bounded.
@@ -408,6 +455,46 @@ TEST(HierarchicalFaultTest, SeverIntraNodeLinkFailsBothEndpoints) {
   }
   EXPECT_TRUE(outcomes[3].comm_error) << outcomes[3].what;
   EXPECT_TRUE(outcomes[4].comm_error) << outcomes[4].what;
+}
+
+TEST(HierarchicalFaultTest, ReactorServesOtherPeersAfterNodeDeath) {
+  // Three single-PE nodes, so each node's ONE reactor serves two peer
+  // nodes. Node 1 dies mid-run; the reactors on nodes 0 and 2 must fail
+  // that peer and keep demultiplexing each other's frames — the
+  // survivors' pairwise exchange completes.
+  Topology topo = ShapeTopo({1, 1, 1});
+  FaultInjector::Spec spec;
+  spec.victim_pe = 1;
+  spec.fail_at_op = 3;
+  auto outcomes = RunHierWithFault(topo, spec, [](Comm& comm) {
+    const int me = comm.rank();
+    std::vector<uint8_t> data(8192, static_cast<uint8_t>(me));
+    if (me == 1) {
+      // Prove liveness to both survivors, then keep issuing ops until
+      // the injector fires.
+      comm.Send(0, 1, data.data(), 64);
+      comm.Send(2, 1, data.data(), 64);
+      for (int i = 0; i < 64; ++i) comm.Send(0, 2, data.data(), 64);
+    } else {
+      // See the victim alive once, then exchange only with the other
+      // survivor — the victim's death must not stall this traffic.
+      EXPECT_EQ(comm.Recv(1, 1).size(), 64u);
+      const int peer = me == 0 ? 2 : 0;
+      for (int i = 0; i < 32; ++i) {
+        SendRequest s = comm.Isend(peer, 7, data.data(), data.size());
+        EXPECT_EQ(comm.Recv(peer, 7).size(), data.size());
+        s.Wait();
+      }
+    }
+  });
+  EXPECT_TRUE(outcomes[1].comm_error) << outcomes[1].what;
+  for (int pe : {0, 2}) {
+    EXPECT_FALSE(outcomes[pe].other_error)
+        << "PE " << pe << ": " << outcomes[pe].what;
+    EXPECT_TRUE(outcomes[pe].completed)
+        << "survivor PE " << pe << " must finish after node 1 dies: "
+        << outcomes[pe].what;
+  }
 }
 
 TEST(HierarchicalFaultTest, KillsContainedAcrossShapesAndSeeds) {
