@@ -34,7 +34,11 @@ namespace demsort::net {
 
 /// Thread-safe free list of byte buffers. Lease() prefers a recycled buffer
 /// with enough capacity (a pool hit); Recycle() returns a buffer, retaining
-/// it up to `max_retained_bytes`. An optional `budget_bytes` bounds the
+/// it up to `max_retained_bytes`. The free list is split into two size
+/// classes (small control messages vs payload chunks), each with its own
+/// retained-entry cap, so thousands of recycled 8-byte credit buffers can
+/// neither crowd out chunk buffers nor stretch the under-lock scan a
+/// chunk-sized lease pays. An optional `budget_bytes` bounds the
 /// outstanding leased bytes: Lease blocks until enough frames are recycled,
 /// except when nothing is outstanding (a single oversized lease must never
 /// deadlock against its own budget — mirrors the TagChannel cap rule).
@@ -43,6 +47,11 @@ class BufferPool {
   struct Options {
     /// Free-list retention cap; recycled buffers beyond it are freed.
     size_t max_retained_bytes = 32u << 20;
+    /// Buffers with at most this capacity recycle into the small class.
+    size_t small_class_bytes = 4u << 10;
+    /// Per-class retained-entry cap: bounds the Lease() scan (and the
+    /// number of stranded tiny buffers) independently of the byte cap.
+    size_t max_retained_per_class = 64;
     /// Outstanding-lease cap; 0 = unbounded (compatible default).
     size_t budget_bytes = 0;
   };
@@ -54,35 +63,17 @@ class BufferPool {
   /// pool_leases (always) and pool_hits / pool_recycled_bytes (when served
   /// from the free list) on `stats` when non-null.
   std::vector<uint8_t> Lease(size_t bytes, NetStats* stats) {
-    std::vector<uint8_t> buf;
-    bool hit = false;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (options_.budget_bytes != 0) {
-        budget_cv_.wait(lock, [&] {
-          return canceled_ || outstanding_bytes_ == 0 ||
-                 outstanding_bytes_ + bytes <= options_.budget_bytes;
-        });
-      }
-      // Fit rule: enough capacity, but not grossly more — a tiny lease
-      // (credit message) must not strip a chunk-sized buffer from the
-      // free list and then strand its capacity on an 8-byte message.
-      const size_t max_fit = std::max(bytes * 4, size_t{4} << 10);
-      for (size_t i = free_.size(); i-- > 0;) {
-        const size_t cap = free_[i].capacity();
-        if (cap >= bytes && cap <= max_fit) {
-          buf = std::move(free_[i]);
-          free_.erase(free_.begin() + i);
-          retained_bytes_ -= cap;
-          hit = true;
-          break;
-        }
-      }
-      outstanding_bytes_ += bytes;
-    }
-    buf.resize(bytes);
-    if (stats != nullptr) stats->RecordPoolLease(hit, hit ? bytes : 0);
-    return buf;
+    return LeaseImpl(bytes, stats, /*budgeted=*/true);
+  }
+
+  /// Budget-exempt lease for receiver-side payloads (the TCP reader
+  /// thread): their volume is already bounded by socket backpressure and
+  /// the mailbox watermark, and letting them contend for the send budget
+  /// could interlock the reader against an application sender blocked in
+  /// Lease — a stall neither side can break. Pair with a Frame charge of
+  /// 0 so Recycle releases no budget either.
+  std::vector<uint8_t> LeaseExempt(size_t bytes, NetStats* stats) {
+    return LeaseImpl(bytes, stats, /*budgeted=*/false);
   }
 
   /// Returns a leased buffer. `charge` is the size the matching Lease was
@@ -91,10 +82,12 @@ class BufferPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       outstanding_bytes_ -= std::min(charge, outstanding_bytes_);
-      if (buf.capacity() != 0 &&
-          retained_bytes_ + buf.capacity() <= options_.max_retained_bytes) {
-        retained_bytes_ += buf.capacity();
-        free_.push_back(std::move(buf));
+      const size_t cap = buf.capacity();
+      std::vector<std::vector<uint8_t>>& cls = free_class(cap);
+      if (cap != 0 && cls.size() < options_.max_retained_per_class &&
+          retained_bytes_ + cap <= options_.max_retained_bytes) {
+        retained_bytes_ += cap;
+        cls.push_back(std::move(buf));
       }
     }
     budget_cv_.notify_all();
@@ -110,12 +103,17 @@ class BufferPool {
     budget_cv_.notify_all();
   }
 
-  /// Permanently releases Lease() calls blocked on the budget (shutdown /
-  /// failure paths — a dead transport must not strand a sender).
+  /// Releases Lease() calls blocked on the budget RIGHT NOW (failure
+  /// paths — a dead PE may hold leased frames forever, and a sender parked
+  /// on the budget must fail through its poisoned channel instead of
+  /// stalling). Scoped to the waiters parked at call time via a
+  /// generation bump: later leases see the budget re-armed, so one fault
+  /// does not silently unbound the pool for every surviving PE for the
+  /// rest of the run.
   void CancelWaits() {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      canceled_ = true;
+      ++cancel_gen_;
     }
     budget_cv_.notify_all();
   }
@@ -126,13 +124,65 @@ class BufferPool {
   }
 
  private:
+  std::vector<uint8_t> LeaseImpl(size_t bytes, NetStats* stats,
+                                 bool budgeted) {
+    std::vector<uint8_t> buf;
+    bool hit = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (budgeted && options_.budget_bytes != 0) {
+        const uint64_t gen = cancel_gen_;
+        budget_cv_.wait(lock, [&] {
+          return cancel_gen_ != gen || outstanding_bytes_ == 0 ||
+                 outstanding_bytes_ + bytes <= options_.budget_bytes;
+        });
+      }
+      // Fit rule: enough capacity, but not grossly more — a tiny lease
+      // (credit message) must not strip a chunk-sized buffer from the
+      // free list and then strand its capacity on an 8-byte message.
+      const size_t max_fit = std::max(bytes * 4, size_t{4} << 10);
+      if (!TakeFitLocked(free_class(bytes), bytes, max_fit, &buf)) {
+        // A small request whose fit range crosses the class boundary may
+        // still be served by a modest large-class buffer.
+        if (bytes <= options_.small_class_bytes &&
+            max_fit > options_.small_class_bytes) {
+          TakeFitLocked(free_large_, bytes, max_fit, &buf);
+        }
+      }
+      hit = buf.capacity() != 0;
+      if (budgeted) outstanding_bytes_ += bytes;
+    }
+    buf.resize(bytes);
+    if (stats != nullptr) stats->RecordPoolLease(hit, hit ? bytes : 0);
+    return buf;
+  }
+
+  bool TakeFitLocked(std::vector<std::vector<uint8_t>>& cls, size_t bytes,
+                     size_t max_fit, std::vector<uint8_t>* out) {
+    for (size_t i = cls.size(); i-- > 0;) {
+      const size_t cap = cls[i].capacity();
+      if (cap >= bytes && cap <= max_fit) {
+        *out = std::move(cls[i]);
+        cls.erase(cls.begin() + static_cast<ptrdiff_t>(i));
+        retained_bytes_ -= cap;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::vector<uint8_t>>& free_class(size_t cap) {
+    return cap <= options_.small_class_bytes ? free_small_ : free_large_;
+  }
+
   const Options options_;
   mutable std::mutex mu_;
   std::condition_variable budget_cv_;
-  bool canceled_ = false;
+  uint64_t cancel_gen_ = 0;
   size_t outstanding_bytes_ = 0;
   size_t retained_bytes_ = 0;
-  std::vector<std::vector<uint8_t>> free_;
+  std::vector<std::vector<uint8_t>> free_small_;
+  std::vector<std::vector<uint8_t>> free_large_;
 };
 
 /// Move-only handle on a message payload: a byte buffer, a logical window

@@ -1349,12 +1349,25 @@ void Comm::AlltoallvStreamTwoLevel(const StreamSendProvider& send_for,
     // are unaffected because forwarded pieces are re-cut to the per-PE
     // chunk before reaching any consumer.
     constexpr uint64_t kLeaderChunkCapBytes = uint64_t{1} << 20;
-    uint64_t peer_k = 1;
+    // The scaled options are a two-sided protocol: chunk_bytes bounds what
+    // the receiving engine accepts and credit_unit denominates the credits
+    // both ends exchange, so EVERY leader must resolve identical values —
+    // the factor is derived from the topology-global shape (the product of
+    // the two largest node sizes, an upper bound on k_src x k_dst over all
+    // leader pairs), never from this leader's own k: on uneven shapes like
+    // {1,2,2} a local factor would differ per leader and the mismatched
+    // credit units deadlock the stream.
+    uint64_t top1 = 1, top2 = 1;
     for (int nd = 0; nd < N; ++nd) {
-      if (nd == my_node) continue;
-      peer_k = std::max<uint64_t>(peer_k, topo.node_size(nd));
+      const uint64_t s = static_cast<uint64_t>(topo.node_size(nd));
+      if (s > top1) {
+        top2 = top1;
+        top1 = s;
+      } else if (s > top2) {
+        top2 = s;
+      }
     }
-    const uint64_t agg_factor = static_cast<uint64_t>(k) * peer_k;
+    const uint64_t agg_factor = top1 * (N > 1 ? top2 : uint64_t{1});
     auto scale_chunk = [&](uint64_t per_pair_chunk) {
       return std::min(kLeaderChunkCapBytes,
                       std::max(per_pair_chunk, per_pair_chunk * agg_factor));

@@ -495,13 +495,18 @@ void TcpTransport::ReaderLoop(int peer) {
     if (s.ok()) {
       int32_t tag;
       DecodeFrameHeader(header, &tag, &bytes);
-      std::vector<uint8_t> buf = pool_->Lease(bytes, &stats_);
+      // Budget-exempt (charge 0): receive payloads are bounded by socket
+      // backpressure + the mailbox watermark below, and must never contend
+      // with an application sender for the pool budget — the reader parked
+      // in Lease while the sender waits for the reader to drain would be a
+      // stall with no runtime escape.
+      std::vector<uint8_t> buf = pool_->LeaseExempt(bytes, &stats_);
       if (bytes > 0) {
         s = ReadFull(link.fd, buf.data(), buf.size());
         if (s.code() == StatusCode::kNotFound) s = Status::IoError("eof");
       }
       if (s.ok()) {
-        Frame payload(std::move(buf), pool_, bytes);
+        Frame payload(std::move(buf), pool_, /*charge=*/0);
         stats_.RecordRecv(bytes);
         // Exempt from the (unused) cap: admission is decided here, by
         // pausing the read loop itself at the watermark instead of parking
