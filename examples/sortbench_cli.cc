@@ -36,19 +36,31 @@
 // and that machine runs the node's K PE threads behind one endpoint.
 // A peer dying mid-sort surfaces as net::CommError and exit code 3 on the
 // survivors — never a hang.
+//
+// With --recover --checkpoint-dir=DIR the canonical sort checkpoints at
+// every phase boundary (core/recovery.h) and the launcher supervises: when
+// a launch dies with the peer-failure code, everything is torn down and
+// relaunched with exponential backoff, and each rank resumes from its
+// manifest — completed phases are skipped by re-opening their run files.
+// Budget spent (--max-restarts) re-raises the original failure.
 #include <csignal>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "core/canonical_mergesort.h"
+#include "core/recovery.h"
 #include "core/striped_mergesort.h"
 #include "net/cluster.h"
 #include "net/hierarchical_transport.h"
@@ -80,6 +92,11 @@ struct CliOptions {
   std::string hosts_file;
   int rank = -1;
   int64_t connect_timeout_ms = 30'000;
+  /// --recover: checkpoint at phase boundaries (config.checkpoint_dir) and
+  /// supervise the launch — relaunch with backoff on a peer failure, resume
+  /// every rank from its manifest, escalate after the restart budget.
+  bool recover = false;
+  int max_restarts = 3;
   core::SortConfig config;
 };
 
@@ -89,8 +106,44 @@ struct PeOutcome {
 };
 static_assert(std::is_trivially_copyable_v<core::SortReport>);
 
+/// Checkpointed variant of the SPMD body: Prepare agrees on the cluster
+/// resume phase before any per-epoch resources exist, Bind restores the
+/// interrupted phase's state from the manifest, and the sort itself skips
+/// every completed phase. Scratch epochs (resume 0) generate input as
+/// usual; resumed epochs run on the re-opened files alone.
+PeOutcome RunOnePeRecoverable(net::Comm& comm, const CliOptions& options) {
+  core::RecoveryRuntime<core::Gray100> recovery(options.config, comm.rank(),
+                                                comm.size());
+  const int resume = recovery.Prepare(comm, options.records);
+  core::PeResources resources(&comm, options.config,
+                              /*reuse_files=*/resume > 0);
+  core::PeContext& ctx = resources.ctx();
+  recovery.Bind(ctx);
+  core::LocalInput input;
+  MultisetChecksum checksum;
+  if (resume == 0) {
+    auto gen = workload::GenerateGray100(ctx.bm, options.records, comm.rank(),
+                                         comm.size(), options.config.seed,
+                                         options.skewed);
+    input = gen.input;
+    checksum = gen.checksum;
+    recovery.SetInputChecksum(checksum);
+  } else {
+    checksum = recovery.input_checksum();
+  }
+  auto out = core::CanonicalMergeSort<core::Gray100>(ctx, options.config,
+                                                     input, &recovery);
+  auto v = workload::ValidateCollective<core::Gray100>(
+      ctx, out.blocks, out.num_elements, checksum);
+  PeOutcome outcome;
+  outcome.report = out.report;
+  outcome.ok = v.ok();
+  return outcome;
+}
+
 /// The SPMD body each PE runs, over whichever transport backs `comm`.
 PeOutcome RunOnePe(net::Comm& comm, const CliOptions& options) {
+  if (options.recover) return RunOnePeRecoverable(comm, options);
   core::PeResources resources(&comm, options.config);
   core::PeContext& ctx = resources.ctx();
   auto gen = workload::GenerateGray100(ctx.bm, options.records, comm.rank(),
@@ -171,6 +224,29 @@ void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
   }
 }
 
+/// --recover: the supervised-restart telemetry, aggregated over PEs the way
+/// the gauges are defined (restarts/phases_replayed/recovery_wall_ms are
+/// per-job maxima; checkpoint_bytes is a cluster-wide counter).
+void PrintRecoveryStats(const std::vector<core::SortReport>& reports) {
+  uint64_t restarts = 0, replayed = 0, ckpt_bytes = 0, wall_ms = 0;
+  for (const core::SortReport& r : reports) {
+    for (int p = 0; p < static_cast<int>(core::Phase::kNumPhases); ++p) {
+      const core::PhaseStats& s = r.Get(static_cast<core::Phase>(p));
+      restarts = std::max(restarts, s.net.restarts);
+      replayed = std::max(replayed, s.net.phases_replayed);
+      ckpt_bytes += s.net.checkpoint_bytes;
+      wall_ms = std::max(wall_ms, s.net.recovery_wall_ms);
+    }
+  }
+  std::printf(
+      "recovery: restarts=%llu phases_replayed=%llu checkpoint_KiB=%.1f "
+      "recovery_wall_ms=%llu\n",
+      static_cast<unsigned long long>(restarts),
+      static_cast<unsigned long long>(replayed),
+      static_cast<double>(ckpt_bytes) / 1024.0,
+      static_cast<unsigned long long>(wall_ms));
+}
+
 void PrintSummary(const CliOptions& options,
                   const std::vector<core::SortReport>& reports, bool ok,
                   double wall_s) {
@@ -191,6 +267,7 @@ void PrintSummary(const CliOptions& options,
   std::printf(
       "paper   : DEMSort GraySort 2009 = 564 GB/min on 195 nodes "
       "(2.89 GB/min/node)\n");
+  if (options.recover) PrintRecoveryStats(reports);
   if (options.stats) PrintPhaseStats(reports);
 }
 
@@ -470,6 +547,35 @@ int RunHier(const CliOptions& options) {
   });
 }
 
+/// --recover: the launch-level supervisor. `launch` runs one full epoch of
+/// whichever deployment mode is selected (threads, forked PEs, forked
+/// nodes); a peer-failure exit (code 3) tears everything down, waits out an
+/// exponential backoff, and relaunches — each rank's RecoveryRuntime then
+/// resumes from its manifest. Any other failure, or a budget already spent,
+/// propagates unchanged (the PR 3 containment contract).
+int SuperviseLaunches(const CliOptions& options,
+                      const std::function<int()>& launch) {
+  int restarts = 0;
+  for (;;) {
+    int rc = launch();
+    if (rc != 3 || restarts >= options.max_restarts) {
+      if (rc == 3) {
+        std::fprintf(stderr,
+                     "supervisor: restart budget spent (%d), escalating\n",
+                     options.max_restarts);
+      }
+      return rc;
+    }
+    ++restarts;
+    int64_t delay_ms = 50LL << (restarts - 1);
+    std::fprintf(stderr,
+                 "supervisor: peer failure; relaunch %d/%d in %lld ms\n",
+                 restarts, options.max_restarts,
+                 static_cast<long long>(delay_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -537,11 +643,50 @@ int main(int argc, char** argv) {
   options.config.disks_per_pe = 4;
   options.config.seed = static_cast<uint64_t>(flags.GetInt("seed", 2009));
 
+  options.recover = flags.GetBool("recover", false);
+  options.config.checkpoint_dir = flags.GetString("checkpoint-dir", "");
+  options.max_restarts =
+      static_cast<int>(flags.GetInt("max-restarts", options.max_restarts));
+  if (options.recover) {
+    if (options.config.checkpoint_dir.empty()) {
+      std::fprintf(stderr, "--recover requires --checkpoint-dir=DIR\n");
+      return 2;
+    }
+    if (options.algo != "canonical") {
+      std::fprintf(stderr, "--recover supports --algo=canonical only\n");
+      return 2;
+    }
+    if (options.max_restarts < 0) {
+      std::fprintf(stderr, "--max-restarts must be >= 0 (got %d)\n",
+                   options.max_restarts);
+      return 2;
+    }
+    // Checkpoints need durable run data: switch the block store to the file
+    // backend, rooted in the checkpoint directory alongside the manifests.
+    options.config.backend = io::BlockManager::BackendKind::kFile;
+    options.config.file_dir = options.config.checkpoint_dir;
+    if (::mkdir(options.config.checkpoint_dir.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      std::fprintf(stderr, "--checkpoint-dir %s: %s\n",
+                   options.config.checkpoint_dir.c_str(),
+                   std::strerror(errno));
+      return 2;
+    }
+  } else if (!options.config.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--checkpoint-dir applies with --recover only\n");
+    return 2;
+  }
+
   if (!options.hosts_file.empty()) {
     if (options.rank == 0) {
       std::printf("gensort : %llu records/rank x 100 B, hosts file %s\n",
                   static_cast<unsigned long long>(options.records),
                   options.hosts_file.c_str());
+    }
+    if (options.recover) {
+      // Every machine runs its own supervisor; a relaunched rank re-joins
+      // through the same connect-retry rendezvous as a fresh start.
+      return SuperviseLaunches(options, [&] { return RunHosts(options); });
     }
     return RunHosts(options);
   }
@@ -555,12 +700,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(options.records) * options.pes,
               options.pes, options.skewed ? "skewed" : "uniform", mode);
 
-  switch (options.transport) {
-    case net::TransportKind::kTcp:
-      return RunTcp(options);
-    case net::TransportKind::kHier:
-      return RunHier(options);
-    default:
-      return RunInProc(options);
-  }
+  auto launch = [&]() -> int {
+    switch (options.transport) {
+      case net::TransportKind::kTcp:
+        return RunTcp(options);
+      case net::TransportKind::kHier:
+        return RunHier(options);
+      default:
+        return RunInProc(options);
+    }
+  };
+  if (options.recover) return SuperviseLaunches(options, launch);
+  return launch();
 }

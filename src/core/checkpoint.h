@@ -1,0 +1,175 @@
+// CheckpointManifest: the per-rank durable record of sort progress that a
+// supervised restart resumes from.
+//
+// One manifest per rank lives in the checkpoint directory. It records the
+// last phase whose results are durably on disk, the serialized phase state
+// needed to re-enter the pipeline right after that phase (run tables,
+// splitter matrix, extents, final output layout), and the byte length of
+// each disk file up to which blocks may be trusted. The write protocol is
+// write-to-temp + fsync + rename + directory fsync with a CRC over the
+// payload, so a manifest torn by a mid-write kill is DETECTED and treated
+// as absent — never trusted.
+#ifndef DEMSORT_CORE_CHECKPOINT_H_
+#define DEMSORT_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "io/block_manager.h"
+#include "util/status.h"
+
+namespace demsort::core {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `len` bytes.
+uint32_t Crc32(const void* data, size_t len);
+
+/// Append-only byte stream for serializing trivially copyable phase state
+/// into manifest sections. Sections are self-describing only by convention:
+/// reader and writer are versioned together through the manifest version.
+class ByteWriter {
+ public:
+  template <typename T>
+  void Pod(const T& value) {
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "only PODs go through ByteWriter");
+    const char* p = reinterpret_cast<const char*>(&value);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+
+  void Bytes(const void* data, size_t len) {
+    const char* p = static_cast<const char*>(data);
+    bytes_.insert(bytes_.end(), p, p + len);
+  }
+
+  /// u64 element count followed by the raw elements.
+  template <typename T>
+  void PodVec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "only PODs go through ByteWriter");
+    Pod<uint64_t>(v.size());
+    if (!v.empty()) Bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::string& str() const { return bytes_; }
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked reader over a manifest section. Every accessor returns a
+/// Status instead of asserting: a manifest is external input (it survived a
+/// kill) and a short section must fall back to scratch, not crash.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  Status Pod(T* out) {
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "only PODs go through ByteReader");
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      return Status::InvalidArgument("manifest section truncated");
+    }
+    std::memcpy(out, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status PodVec(std::vector<T>* out) {
+    uint64_t n = 0;
+    Status s = Pod(&n);
+    if (!s.ok()) return s;
+    if (pos_ + n * sizeof(T) > bytes_.size()) {
+      return Status::InvalidArgument("manifest section truncated");
+    }
+    out->resize(static_cast<size_t>(n));
+    if (n > 0) {
+      std::memcpy(out->data(), bytes_.data() + pos_,
+                  static_cast<size_t>(n) * sizeof(T));
+      pos_ += static_cast<size_t>(n) * sizeof(T);
+    }
+    return Status::OK();
+  }
+
+  Status Bytes(void* out, size_t len) {
+    if (pos_ + len > bytes_.size()) {
+      return Status::InvalidArgument("manifest section truncated");
+    }
+    std::memcpy(out, bytes_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+/// BlockIds are serialized field-by-field (explicit u32 disk + u64 block)
+/// so the on-disk layout is padding-free and stable across compilers.
+inline void SaveBlockIds(ByteWriter& w, const std::vector<io::BlockId>& ids) {
+  w.Pod<uint64_t>(ids.size());
+  for (const io::BlockId& id : ids) {
+    w.Pod<uint32_t>(id.disk);
+    w.Pod<uint64_t>(id.block);
+  }
+}
+
+inline Status LoadBlockIds(ByteReader& r, std::vector<io::BlockId>* out) {
+  uint64_t n = 0;
+  DEMSORT_RETURN_IF_ERROR(r.Pod(&n));
+  out->resize(static_cast<size_t>(n));
+  for (io::BlockId& id : *out) {
+    DEMSORT_RETURN_IF_ERROR(r.Pod(&id.disk));
+    DEMSORT_RETURN_IF_ERROR(r.Pod(&id.block));
+  }
+  return Status::OK();
+}
+
+struct CheckpointManifest {
+  /// Phases are numbered 1 (run formation) .. 4 (final merge);
+  /// completed_phase == 0 means "epoch started, nothing durable yet" and
+  /// completed_phase == 4 means the sorted output itself is on disk.
+  static constexpr int kNumPhases = 4;
+
+  /// Hash of everything a resumed epoch must agree on with the epoch that
+  /// wrote the manifest: topology, record size, memory/block geometry,
+  /// seeds, input size. A mismatch means the manifest describes a different
+  /// job — fall back to scratch.
+  uint64_t config_fingerprint = 0;
+  int32_t completed_phase = 0;
+  /// Restarts consumed so far (epoch 0 writes 0; each supervised relaunch
+  /// that loads this manifest runs as restarts+1). Lets the backoff /
+  /// escalation budget survive the process the failure killed.
+  uint32_t restarts = 0;
+  /// Per local disk: bytes of the backing file covered by checkpointed
+  /// blocks. Recovery validates the reopened file is at least this long and
+  /// ignores any tail past it (a mid-write kill can leave a torn final
+  /// block beyond the durable prefix).
+  std::vector<uint64_t> durable_disk_bytes;
+  /// sections[p] is the serialized state of phase p (1-based; [0] unused).
+  /// Sections above completed_phase are empty.
+  std::string sections[kNumPhases + 1];
+
+  static std::string PathFor(const std::string& dir, int rank);
+
+  /// Serializes and durably replaces the rank's manifest (temp + fsync +
+  /// rename + dir fsync). Returns the bytes written on success.
+  StatusOr<uint64_t> WriteAtomic(const std::string& dir, int rank) const;
+
+  /// Loads and validates (magic, version, CRC) the rank's manifest. Any
+  /// corruption — torn payload, bad CRC, short header — is NotFound-like:
+  /// the caller treats it exactly as "no checkpoint".
+  static StatusOr<CheckpointManifest> Load(const std::string& dir, int rank);
+};
+
+}  // namespace demsort::core
+
+#endif  // DEMSORT_CORE_CHECKPOINT_H_

@@ -75,6 +75,12 @@ struct SortConfig {
   std::string file_dir;  // for the file backend
   io::DiskModel disk_model;
 
+  // ----------------------------------------------------------- recovery --
+  /// Directory for per-rank checkpoint manifests. Empty disables recovery.
+  /// Requires the file backend: a resumed epoch re-opens the durable disk
+  /// files the manifests describe.
+  std::string checkpoint_dir;
+
   /// Elements per block for record type R (floor; partial use for types that
   /// do not divide the block size, e.g. 100-byte records in binary blocks).
   template <typename R>

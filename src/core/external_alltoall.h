@@ -412,6 +412,51 @@ AllToAllResult<R> ExternalAllToAll(PeContext& ctx, const SortConfig& config,
   return result;
 }
 
+/// Checkpoint image of a completed phase 3: the per-run extent chains the
+/// final merge consumes, plus this PE's output rank window.
+template <typename R>
+void SaveAllToAll(ByteWriter& w, const AllToAllResult<R>& a2a) {
+  w.Pod<uint64_t>(a2a.my_begin_rank);
+  w.Pod<uint64_t>(a2a.my_end_rank);
+  w.Pod<uint64_t>(a2a.substeps);
+  w.Pod<uint64_t>(a2a.extents_per_run.size());
+  for (const auto& extents : a2a.extents_per_run) {
+    w.Pod<uint64_t>(extents.size());
+    for (const Extent<R>& e : extents) {
+      w.Pod<uint32_t>(e.run);
+      w.Pod<uint64_t>(e.start_pos);
+      w.Pod<uint64_t>(e.count);
+      w.Pod<uint64_t>(e.first_block_offset);
+      SaveBlockIds(w, e.blocks);
+      w.PodVec(e.block_first_records);
+    }
+  }
+}
+
+template <typename R>
+Status LoadAllToAll(ByteReader& r, AllToAllResult<R>* a2a) {
+  DEMSORT_RETURN_IF_ERROR(r.Pod(&a2a->my_begin_rank));
+  DEMSORT_RETURN_IF_ERROR(r.Pod(&a2a->my_end_rank));
+  DEMSORT_RETURN_IF_ERROR(r.Pod(&a2a->substeps));
+  uint64_t num_runs = 0;
+  DEMSORT_RETURN_IF_ERROR(r.Pod(&num_runs));
+  a2a->extents_per_run.resize(static_cast<size_t>(num_runs));
+  for (auto& extents : a2a->extents_per_run) {
+    uint64_t n = 0;
+    DEMSORT_RETURN_IF_ERROR(r.Pod(&n));
+    extents.resize(static_cast<size_t>(n));
+    for (Extent<R>& e : extents) {
+      DEMSORT_RETURN_IF_ERROR(r.Pod(&e.run));
+      DEMSORT_RETURN_IF_ERROR(r.Pod(&e.start_pos));
+      DEMSORT_RETURN_IF_ERROR(r.Pod(&e.count));
+      DEMSORT_RETURN_IF_ERROR(r.Pod(&e.first_block_offset));
+      DEMSORT_RETURN_IF_ERROR(LoadBlockIds(r, &e.blocks));
+      DEMSORT_RETURN_IF_ERROR(r.PodVec(&e.block_first_records));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace demsort::core
 
 #endif  // DEMSORT_CORE_EXTERNAL_ALLTOALL_H_

@@ -495,6 +495,27 @@ class ExternalSelector {
   std::deque<BlockKey> cache_fifo_;
 };
 
+/// Checkpoint image of a completed phase 2: the replicated splitter matrix
+/// is the ONLY selection output the rest of the pipeline consumes.
+inline void SaveSplitterMatrix(ByteWriter& w, const SplitterMatrix& split) {
+  w.Pod<uint64_t>(split.boundary.size());
+  for (const auto& row : split.boundary) w.PodVec(row);
+}
+
+inline Status LoadSplitterMatrix(ByteReader& r, int num_pes,
+                                 SplitterMatrix* split) {
+  uint64_t rows = 0;
+  DEMSORT_RETURN_IF_ERROR(r.Pod(&rows));
+  if (rows != static_cast<uint64_t>(num_pes) + 1) {
+    return Status::InvalidArgument("splitter matrix has wrong height");
+  }
+  split->boundary.resize(static_cast<size_t>(rows));
+  for (auto& row : split->boundary) {
+    DEMSORT_RETURN_IF_ERROR(r.PodVec(&row));
+  }
+  return Status::OK();
+}
+
 }  // namespace demsort::core
 
 #endif  // DEMSORT_CORE_EXTERNAL_SELECTION_H_

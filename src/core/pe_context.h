@@ -25,7 +25,10 @@ struct PeContext {
 /// from a SortConfig. (The Comm comes from the Cluster.)
 class PeResources {
  public:
-  PeResources(net::Comm* comm, const SortConfig& config) {
+  /// `reuse_files` is the recovery re-entry path: reopen the durable disk
+  /// files of a prior epoch instead of truncating fresh scratch.
+  PeResources(net::Comm* comm, const SortConfig& config,
+              bool reuse_files = false) {
     io::BlockManager::Options options;
     options.num_disks = config.disks_per_pe;
     options.block_size = config.block_size;
@@ -34,6 +37,8 @@ class PeResources {
     options.pe_id = comm->rank();
     options.async = config.async_io;
     options.model = config.disk_model;
+    options.durable_files = !config.checkpoint_dir.empty();
+    options.reuse_files = reuse_files;
     bm_ = std::make_unique<io::BlockManager>(options);
     pool_ = std::make_unique<par::ThreadPool>(config.threads_per_pe);
     ctx_.comm = comm;

@@ -42,6 +42,12 @@ void PhaseStats::Accumulate(const PhaseStats& other) {
   net.pool_leases += other.net.pool_leases;
   net.pool_hits += other.net.pool_hits;
   net.pool_recycled_bytes += other.net.pool_recycled_bytes;
+  net.restarts = std::max(net.restarts, other.net.restarts);
+  net.phases_replayed =
+      std::max(net.phases_replayed, other.net.phases_replayed);
+  net.checkpoint_bytes += other.net.checkpoint_bytes;
+  net.recovery_wall_ms =
+      std::max(net.recovery_wall_ms, other.net.recovery_wall_ms);
   elements_sorted += other.elements_sorted;
   elements_merged += other.elements_merged;
   merge_ways = std::max(merge_ways, other.merge_ways);
@@ -103,6 +109,16 @@ void PhaseCollector::End(Phase phase) {
   s.net.pool_hits += now.pool_hits - net_at_begin_.pool_hits;
   s.net.pool_recycled_bytes +=
       now.pool_recycled_bytes - net_at_begin_.pool_recycled_bytes;
+  // Recovery telemetry: the gauges are set once per epoch (max keeps them
+  // stable across repeated phases); manifest bytes attribute to the phase
+  // whose checkpoint wrote them.
+  s.net.restarts = std::max(s.net.restarts, now.restarts);
+  s.net.phases_replayed =
+      std::max(s.net.phases_replayed, now.phases_replayed);
+  s.net.checkpoint_bytes +=
+      now.checkpoint_bytes - net_at_begin_.checkpoint_bytes;
+  s.net.recovery_wall_ms =
+      std::max(s.net.recovery_wall_ms, now.recovery_wall_ms);
   // Gauge: the phase's latest effective streaming chunk. Assigned only
   // when this interval actually streamed (any credit traffic, or the
   // gauge moved); a phase that never streams keeps 0 rather than

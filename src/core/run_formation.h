@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/block_io.h"
+#include "core/checkpoint.h"
 #include "core/config.h"
 #include "core/internal_sort.h"
 #include "core/local_input.h"
@@ -213,6 +214,52 @@ RunFormationResult<R> FormRuns(PeContext& ctx, const SortConfig& config,
         comm, result.samples.per_run[r], config.StreamOptionsFor(1));
   }
   return result;
+}
+
+/// Checkpoint image of a completed phase 1: everything CANONICALMERGESORT
+/// needs to re-enter phase 2 without touching the input — the local piece
+/// addressing plus the replicated run table and sample table.
+template <typename R>
+void SaveRunFormation(ByteWriter& w, const RunFormationResult<R>& rf) {
+  w.Pod<uint64_t>(rf.total_elements);
+  w.Pod<uint64_t>(rf.samples.sample_every_k);
+  w.Pod<uint64_t>(rf.runs.num_runs());
+  for (const RunPiece<R>& piece : rf.runs.pieces) {
+    w.Pod<uint64_t>(piece.global_start);
+    w.Pod<uint64_t>(piece.size);
+    SaveBlockIds(w, piece.blocks);
+    w.PodVec(piece.block_first_records);
+  }
+  for (const auto& ps : rf.table.piece_start) w.PodVec(ps);
+  for (const auto& samples : rf.samples.per_run) w.PodVec(samples);
+}
+
+template <typename R>
+Status LoadRunFormation(ByteReader& r, int num_pes,
+                        RunFormationResult<R>* rf) {
+  DEMSORT_RETURN_IF_ERROR(r.Pod(&rf->total_elements));
+  DEMSORT_RETURN_IF_ERROR(r.Pod(&rf->samples.sample_every_k));
+  uint64_t num_runs = 0;
+  DEMSORT_RETURN_IF_ERROR(r.Pod(&num_runs));
+  rf->runs.pieces.resize(static_cast<size_t>(num_runs));
+  for (RunPiece<R>& piece : rf->runs.pieces) {
+    DEMSORT_RETURN_IF_ERROR(r.Pod(&piece.global_start));
+    DEMSORT_RETURN_IF_ERROR(r.Pod(&piece.size));
+    DEMSORT_RETURN_IF_ERROR(LoadBlockIds(r, &piece.blocks));
+    DEMSORT_RETURN_IF_ERROR(r.PodVec(&piece.block_first_records));
+  }
+  rf->table.piece_start.resize(static_cast<size_t>(num_runs));
+  for (auto& ps : rf->table.piece_start) {
+    DEMSORT_RETURN_IF_ERROR(r.PodVec(&ps));
+    if (ps.size() != static_cast<size_t>(num_pes) + 1) {
+      return Status::InvalidArgument("run table row has wrong width");
+    }
+  }
+  rf->samples.per_run.resize(static_cast<size_t>(num_runs));
+  for (auto& samples : rf->samples.per_run) {
+    DEMSORT_RETURN_IF_ERROR(r.PodVec(&samples));
+  }
+  return Status::OK();
 }
 
 }  // namespace demsort::core

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -91,6 +92,14 @@ Status FileBackend::ReadBlock(uint64_t index, void* buf) {
                            (n < 0 ? std::strerror(errno) : "short read"));
   }
   return Status::OK();
+}
+
+void FileBackend::TrustOnly(const std::vector<uint64_t>& blocks) {
+  std::lock_guard<std::mutex> lock(written_mu_);
+  uint64_t max_index = 0;
+  for (uint64_t b : blocks) max_index = std::max(max_index, b + 1);
+  written_.assign(static_cast<size_t>(max_index), false);
+  for (uint64_t b : blocks) written_[static_cast<size_t>(b)] = true;
 }
 
 Status FileBackend::WriteBlock(uint64_t index, const void* buf) {

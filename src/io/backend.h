@@ -26,6 +26,15 @@ class StorageBackend {
   virtual Status ReadBlock(uint64_t index, void* buf) = 0;
   virtual Status WriteBlock(uint64_t index, const void* buf) = 0;
 
+  /// Recovery re-entry: trust exactly `blocks` as written and distrust
+  /// everything else. A file reopened after a mid-write kill may end in a
+  /// torn block the kill left half-written — any block a checkpoint
+  /// manifest does not vouch for must read as never-written, not as data.
+  /// Backends without reopen semantics (memory) ignore this.
+  virtual void TrustOnly(const std::vector<uint64_t>& blocks) {
+    (void)blocks;
+  }
+
   size_t block_size() const { return block_size_; }
 
  protected:
@@ -61,6 +70,7 @@ class FileBackend : public StorageBackend {
 
   Status ReadBlock(uint64_t index, void* buf) override;
   Status WriteBlock(uint64_t index, const void* buf) override;
+  void TrustOnly(const std::vector<uint64_t>& blocks) override;
 
  private:
   FileBackend(int fd, std::string path, size_t block_size, bool unlink_on_close)

@@ -6,6 +6,12 @@
 
 namespace demsort::io {
 
+std::string BlockManager::DiskFilePath(const std::string& file_dir, int pe_id,
+                                       uint32_t disk) {
+  return file_dir + "/demsort_pe" + std::to_string(pe_id) + "_disk" +
+         std::to_string(disk) + ".bin";
+}
+
 BlockManager::BlockManager(const Options& options) : options_(options) {
   DEMSORT_CHECK_GT(options.num_disks, 0u);
   DEMSORT_CHECK_GT(options.block_size, 0u);
@@ -13,16 +19,25 @@ BlockManager::BlockManager(const Options& options) : options_(options) {
   for (uint32_t d = 0; d < options.num_disks; ++d) {
     std::unique_ptr<StorageBackend> backend;
     if (options.backend == BackendKind::kMemory) {
+      DEMSORT_CHECK(!options.reuse_files)
+          << "recovery reuse requires the file backend (memory-backed "
+             "blocks die with the epoch)";
       backend = std::make_unique<MemoryBackend>(options.block_size);
     } else {
       DEMSORT_CHECK(!options.file_dir.empty())
           << "file backend requires file_dir";
-      std::string path = options.file_dir + "/demsort_pe" +
-                         std::to_string(options.pe_id) + "_disk" +
-                         std::to_string(d) + ".bin";
-      auto created = FileBackend::Create(path, options.block_size);
-      DEMSORT_CHECK(created.ok()) << created.status().ToString();
-      backend = std::move(created).value();
+      std::string path = DiskFilePath(options.file_dir, options.pe_id, d);
+      if (options.reuse_files) {
+        auto opened = FileBackend::Open(path, options.block_size);
+        DEMSORT_CHECK(opened.ok()) << opened.status().ToString();
+        backend = std::move(opened).value();
+      } else {
+        auto created =
+            FileBackend::Create(path, options.block_size,
+                                /*unlink_on_close=*/!options.durable_files);
+        DEMSORT_CHECK(created.ok()) << created.status().ToString();
+        backend = std::move(created).value();
+      }
     }
     VirtualDisk::Options disk_options;
     disk_options.async = options.async;
@@ -79,8 +94,59 @@ void BlockManager::Free(BlockId id) {
   DEMSORT_CHECK_LT(id.disk, num_disks());
   std::lock_guard<std::mutex> lock(mu_);
   DEMSORT_CHECK_GT(in_use_, 0u);
+  if (defer_frees_) {
+    // Still counted in in_use_ and absent from the free lists: the block
+    // stays unreadable-for-reuse until the phase checkpoint commits.
+    deferred_frees_.push_back(id);
+    return;
+  }
   --in_use_;
   free_lists_[id.disk].push_back(id.block);
+}
+
+void BlockManager::SetDeferFrees(bool defer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  defer_frees_ = defer;
+}
+
+void BlockManager::CommitDeferredFrees() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const BlockId& id : deferred_frees_) {
+    DEMSORT_CHECK_GT(in_use_, 0u);
+    --in_use_;
+    free_lists_[id.disk].push_back(id.block);
+  }
+  deferred_frees_.clear();
+}
+
+void BlockManager::RestoreAllocator(const std::vector<BlockId>& live) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DEMSORT_CHECK(deferred_frees_.empty());
+  std::vector<std::vector<uint64_t>> per_disk(num_disks());
+  for (const BlockId& id : live) {
+    DEMSORT_CHECK(id.valid());
+    DEMSORT_CHECK_LT(id.disk, num_disks());
+    per_disk[id.disk].push_back(id.block);
+  }
+  for (uint32_t d = 0; d < num_disks(); ++d) {
+    std::sort(per_disk[d].begin(), per_disk[d].end());
+    next_fresh_[d] =
+        per_disk[d].empty() ? 0 : per_disk[d].back() + 1;
+    // Every index below the high-water mark that the manifest does not claim
+    // is a leftover of the killed epoch — recycle it.
+    free_lists_[d].clear();
+    size_t li = 0;
+    for (uint64_t b = 0; b < next_fresh_[d]; ++b) {
+      if (li < per_disk[d].size() && per_disk[d][li] == b) {
+        ++li;
+      } else {
+        free_lists_[d].push_back(b);
+      }
+    }
+    disks_[d]->TrustOnly(per_disk[d]);
+  }
+  in_use_ = live.size();
+  peak_in_use_ = std::max(peak_in_use_, in_use_);
 }
 
 Request BlockManager::ReadAsync(BlockId id, void* buf) {

@@ -45,9 +45,23 @@ class BlockManager {
     int pe_id = 0;
     bool async = true;
     DiskModel model;
+    /// Keep the file-backend disk files on destruction (checkpointed runs
+    /// need them to survive the epoch that wrote them). Default is the
+    /// scratch-disk behaviour: unlink on close.
+    bool durable_files = false;
+    /// Reopen the existing disk files instead of truncating them — the
+    /// recovery re-entry path. Requires durable files written by a prior
+    /// epoch; pair with RestoreAllocator + TrustOnly so only checkpointed
+    /// blocks are trusted.
+    bool reuse_files = false;
   };
 
   explicit BlockManager(const Options& options);
+
+  /// The backing file of `disk` for a PE (the one naming convention shared
+  /// by the constructor and the recovery validator).
+  static std::string DiskFilePath(const std::string& file_dir, int pe_id,
+                                  uint32_t disk);
 
   uint32_t num_disks() const { return static_cast<uint32_t>(disks_.size()); }
   size_t block_size() const { return options_.block_size; }
@@ -61,6 +75,21 @@ class BlockManager {
   BlockId AllocateOnDisk(uint32_t disk);
 
   void Free(BlockId id);
+
+  /// Recovery seam: while deferring, Free() only queues — freed blocks are
+  /// neither reusable nor counted out of in_use_ until
+  /// CommitDeferredFrees(). The sort defers across a phase that recycles
+  /// the previous phase's blocks, committing only after the phase's
+  /// checkpoint is durable on every rank, so a mid-phase kill always finds
+  /// the prior phase's blocks intact on disk.
+  void SetDeferFrees(bool defer);
+  void CommitDeferredFrees();
+
+  /// Recovery re-entry: resets the allocator so exactly `live` is in use —
+  /// every other index below the per-disk high-water mark returns to the
+  /// free list — and re-trusts only `live` in the reopened files (see
+  /// StorageBackend::TrustOnly). Call before the epoch's first allocation.
+  void RestoreAllocator(const std::vector<BlockId>& live);
 
   Request ReadAsync(BlockId id, void* buf);
   Request WriteAsync(BlockId id, const void* buf);
@@ -94,6 +123,8 @@ class BlockManager {
   uint32_t rr_cursor_ = 0;
   uint64_t in_use_ = 0;
   uint64_t peak_in_use_ = 0;
+  bool defer_frees_ = false;
+  std::vector<BlockId> deferred_frees_;
 };
 
 }  // namespace demsort::io

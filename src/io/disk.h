@@ -41,6 +41,13 @@ class VirtualDisk {
   /// Blocks until every queued request has been served.
   void Drain();
 
+  /// Recovery re-entry (see StorageBackend::TrustOnly). Only valid while no
+  /// request is queued or in flight — the restore path runs before the
+  /// epoch's first I/O.
+  void TrustOnly(const std::vector<uint64_t>& blocks) {
+    backend_->TrustOnly(blocks);
+  }
+
   size_t block_size() const { return backend_->block_size(); }
   IoStatsSnapshot Stats() const { return stats_.Snapshot(); }
   size_t queue_depth() const;

@@ -1,6 +1,7 @@
 #include "net/cluster.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <exception>
 #include <string>
@@ -10,6 +11,57 @@
 #include "util/logging.h"
 
 namespace demsort::net {
+
+namespace internal {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int SuperviseEpochs(const RecoveryOptions& options,
+                    const std::function<void(int epoch)>& run_epoch) {
+  int restarts = 0;
+  for (;;) {
+    try {
+      run_epoch(restarts);
+      return restarts;
+    } catch (const CommError& e) {
+      if (restarts >= options.max_restarts) {
+        DEMSORT_LOG(kError) << "supervised run: restart budget ("
+                            << options.max_restarts
+                            << ") spent; escalating: "
+                            << e.status().ToString();
+        throw;
+      }
+      ++restarts;
+      int64_t delay_ms = options.backoff_base_ms << (restarts - 1);
+      if (options.jitter > 0 && delay_ms > 0) {
+        uint64_t r = SplitMix64(options.jitter_seed ^
+                                static_cast<uint64_t>(restarts));
+        double u = static_cast<double>(r >> 11) / 9007199254740992.0;
+        delay_ms = static_cast<int64_t>(
+            static_cast<double>(delay_ms) *
+            (1.0 - options.jitter + 2.0 * options.jitter * u));
+      }
+      DEMSORT_LOG(kWarning) << "supervised run: epoch " << (restarts - 1)
+                            << " died (" << e.status().ToString()
+                            << "); restarting in " << delay_ms << " ms ("
+                            << restarts << "/" << options.max_restarts << ")";
+      if (options.on_restart) options.on_restart(restarts, e.status());
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+    }
+  }
+}
+
+}  // namespace internal
 
 Fabric::Fabric(const Options& options)
     : num_pes_(options.num_pes),
@@ -153,6 +205,11 @@ Cluster::Result Cluster::Run(const Options& options, const PeBody& body) {
   fabric_options.channel_cap_bytes = options.channel_cap_bytes;
   fabric_options.pool_budget_bytes = options.pool_budget_bytes;
   Fabric fabric(fabric_options);
+  Transport* transport = &fabric;
+  if (options.wrap_transport) {
+    Transport* wrapped = options.wrap_transport(&fabric, options.epoch);
+    if (wrapped != nullptr) transport = wrapped;
+  }
   const int num_pes = options.num_pes;
   std::vector<std::thread> threads;
   threads.reserve(num_pes);
@@ -163,7 +220,7 @@ Cluster::Result Cluster::Run(const Options& options, const PeBody& body) {
   for (int pe = 0; pe < num_pes; ++pe) {
     threads.emplace_back([&, pe] {
       try {
-        Comm comm(pe, num_pes, &fabric);
+        Comm comm(pe, num_pes, transport);
         body(comm);
       } catch (const std::exception& e) {
         errors[pe] = std::current_exception();
@@ -172,14 +229,14 @@ Cluster::Result Cluster::Run(const Options& options, const PeBody& body) {
         // Cancel the peers' waits BEFORE this thread exits: otherwise they
         // block forever on messages this PE will never send and join()
         // below deadlocks without ever rethrowing the real error.
-        fabric.KillPe(pe, Status::Internal("PE " + std::to_string(pe) +
-                                           " failed: " + e.what()));
+        transport->KillPe(pe, Status::Internal("PE " + std::to_string(pe) +
+                                               " failed: " + e.what()));
       } catch (...) {
         errors[pe] = std::current_exception();
         int expect = -1;
         first_failed.compare_exchange_strong(expect, pe);
-        fabric.KillPe(pe, Status::Internal("PE " + std::to_string(pe) +
-                                           " failed"));
+        transport->KillPe(pe, Status::Internal("PE " + std::to_string(pe) +
+                                               " failed"));
       }
     });
   }
@@ -192,10 +249,24 @@ Cluster::Result Cluster::Run(const Options& options, const PeBody& body) {
   Result result;
   result.stats.reserve(num_pes);
   for (int pe = 0; pe < num_pes; ++pe) {
-    result.stats.push_back(fabric.stats(pe).Snapshot());
+    result.stats.push_back(transport->stats(pe).Snapshot());
   }
   result.max_channel_queued_bytes = fabric.max_channel_queued_bytes();
   return result;
+}
+
+Cluster::SupervisedResult Cluster::RunSupervised(
+    const Options& options, const RecoveryOptions& recovery,
+    const PeBody& body) {
+  SupervisedResult sr;
+  sr.restarts = internal::SuperviseEpochs(recovery, [&](int epoch) {
+    // A fresh Fabric per epoch: the previous epoch's poisoned channels die
+    // with it, so the re-join never sees stale poison.
+    Options epoch_options = options;
+    epoch_options.epoch = epoch;
+    sr.result = Run(epoch_options, body);
+  });
+  return sr;
 }
 
 }  // namespace demsort::net

@@ -89,6 +89,34 @@ class Fabric : public Transport {
   std::vector<std::unique_ptr<NetStats>> stats_;
 };
 
+/// Restart policy of the supervised harnesses (Cluster::RunSupervised,
+/// TcpCluster::RunSupervised, HierCluster::RunSupervised): how many times a
+/// CommError — a contained rank failure — may be answered by tearing the
+/// epoch down and relaunching, and how long to back off in between.
+struct RecoveryOptions {
+  /// Relaunch budget. Once spent, the CommError escalates to the caller —
+  /// the same clean containment error an unsupervised run raises.
+  int max_restarts = 3;
+  /// Backoff before restart r is base * 2^(r-1) milliseconds, scaled by a
+  /// deterministic multiplicative jitter in [1 - jitter, 1 + jitter].
+  int64_t backoff_base_ms = 50;
+  double jitter = 0.5;
+  uint64_t jitter_seed = 0x5eedULL;
+  /// Observation seam: fired before each backoff sleep with the epoch about
+  /// to launch (1-based restart number) and the failure that caused it.
+  std::function<void(int next_epoch, const Status& cause)> on_restart;
+};
+
+namespace internal {
+/// The generic retry loop behind every supervised harness: run_epoch(0),
+/// then on CommError back off (exponential + jitter per `options`) and
+/// relaunch as run_epoch(restarts) until the budget is spent. The budget-
+/// exhausting CommError and every non-CommError propagate unchanged.
+/// Returns the number of restarts consumed.
+int SuperviseEpochs(const RecoveryOptions& options,
+                    const std::function<void(int epoch)>& run_epoch);
+}  // namespace internal
+
 /// Runs `body(comm)` on P PE threads and joins them. A PE that throws
 /// poisons its fabric channels first (Fabric::KillPe), so peers blocked on
 /// it fail with net::CommError instead of deadlocking the join; Run then
@@ -124,12 +152,26 @@ class Cluster {
     /// bench_util.h stall warning before capping this below the watermark
     /// plus one credit window.
     size_t pool_budget_bytes = 0;
+    /// Test seam: wraps the epoch's transport (e.g. in net::FaultTransport)
+    /// before any Comm is built over it. Called once per fabric with the
+    /// supervised epoch number; the returned transport must outlive the
+    /// epoch (return nullptr or leave unset to use the base unchanged).
+    std::function<Transport*(Transport* base, int epoch)> wrap_transport;
+    /// Supervised-restart attempt number (0 = first launch); set by
+    /// RunSupervised and forwarded to wrap_transport.
+    int epoch = 0;
   };
 
   struct Result {
     std::vector<NetStatsSnapshot> stats;
     /// Fabric::max_channel_queued_bytes() at the end of the run.
     uint64_t max_channel_queued_bytes = 0;
+  };
+
+  struct SupervisedResult {
+    /// The successful epoch's result.
+    Result result;
+    int restarts = 0;
   };
 
   /// Blocks until all PEs finish. Rethrows the first PE exception.
@@ -141,6 +183,17 @@ class Cluster {
 
   /// Full-control variant: fabric options in, traffic + buffering peaks out.
   static Result Run(const Options& options, const PeBody& body);
+
+  /// Supervised restart: when an epoch dies of a contained rank failure
+  /// (CommError), tears the whole fabric down — poisoned channels die with
+  /// it, so a re-joining epoch never sees stale poison — and relaunches
+  /// `body` on a FRESH fabric per RecoveryOptions. The body is responsible
+  /// for resuming from its own checkpoints (see core/recovery.h); the
+  /// harness guarantees only clean teardown, fresh rendezvous, backoff, and
+  /// escalation of the original error once the budget is spent.
+  static SupervisedResult RunSupervised(const Options& options,
+                                        const RecoveryOptions& recovery,
+                                        const PeBody& body);
 };
 
 }  // namespace demsort::net

@@ -572,6 +572,12 @@ class Comm {
     transport_->stats(rank_).ResetRecvBufferPeak();
   }
 
+  /// This PE's raw transport counters. The recovery runtime writes its
+  /// telemetry (restarts, replayed phases, checkpoint bytes) through this
+  /// handle so the per-phase snapshot deltas attribute them to the phase
+  /// that recovered.
+  NetStats& stats() { return transport_->stats(rank_); }
+
   /// Per-PE communication counters (volume excludes self-sends, which are
   /// local memory traffic in a real cluster too... they are counted
   /// separately so analyses can include or exclude them).

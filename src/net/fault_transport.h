@@ -11,6 +11,13 @@
 // application thread), a given (victim, fail_at_op) pair reproduces the
 // same failure point on every run, on every backend.
 //
+// For supervised-restart testing the injector holds a SCHEDULE of events,
+// each armed in a specific epoch (0 = first launch, 1 = first relaunch,
+// ...): kill rank A at op N of epoch 0, then rank B at op M of epoch 1,
+// exercising a second failure during recovery. The harness calls
+// AdvanceEpoch() between epochs — no traffic in flight — to reset the
+// per-PE operation clocks and arm the next epoch's events.
+//
 // Usage:
 //  * In-process fabric: one FaultTransport wraps the shared Fabric and
 //    serves all PEs.
@@ -21,21 +28,28 @@
 #ifndef DEMSORT_NET_FAULT_TRANSPORT_H_
 #define DEMSORT_NET_FAULT_TRANSPORT_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "net/transport.h"
 #include "util/logging.h"
 
 namespace demsort::net {
 
-/// The shared trigger: counts the victim's transport operations (Isend and
-/// Irecv alike) and fires exactly once at the configured count.
+/// The shared trigger: counts every PE's transport operations (Isend and
+/// Irecv alike) on per-PE clocks and fires each scheduled event exactly
+/// once, at the configured count in the configured epoch.
 class FaultInjector {
  public:
+  /// Per-PE operation clocks are fixed-size so counting is a single
+  /// wait-free atomic increment.
+  static constexpr int kMaxPes = 256;
+
   struct Spec {
     /// PE-failure mode: this PE "dies" at its fail_at_op-th operation.
     /// Negative = no PE failure.
@@ -47,6 +61,9 @@ class FaultInjector {
     int link_dst = -1;
     /// 1-based operation count that triggers the fault.
     uint64_t fail_at_op = 1;
+    /// Supervised epoch in which the event is armed: 0 = the first launch,
+    /// r = the r-th relaunch (see AdvanceEpoch).
+    int epoch = 0;
     /// Human-readable tag carried into every resulting CommError.
     std::string reason = "injected fault";
   };
@@ -70,45 +87,112 @@ class FaultInjector {
     return spec;
   }
 
-  explicit FaultInjector(Spec spec) : spec_(std::move(spec)) {
-    DEMSORT_CHECK(spec_.victim_pe < 0 || spec_.link_src < 0)
-        << "configure a PE failure or a link failure, not both";
-    DEMSORT_CHECK_GT(spec_.fail_at_op, 0u);
+  explicit FaultInjector(Spec spec)
+      : FaultInjector(std::vector<Spec>{std::move(spec)}) {}
+
+  explicit FaultInjector(std::vector<Spec> events)
+      : events_(std::move(events)),
+        fired_(std::make_unique<std::atomic<bool>[]>(events_.size())),
+        link_ops_(std::make_unique<std::atomic<uint64_t>[]>(events_.size())) {
+    DEMSORT_CHECK(!events_.empty());
+    for (size_t i = 0; i < events_.size(); ++i) {
+      const Spec& s = events_[i];
+      DEMSORT_CHECK(s.victim_pe < 0 || s.link_src < 0)
+          << "configure a PE failure or a link failure, not both";
+      DEMSORT_CHECK_GT(s.fail_at_op, 0u);
+      DEMSORT_CHECK_GE(s.epoch, 0);
+      DEMSORT_CHECK_LT(s.victim_pe, kMaxPes);
+      fired_[i].store(false, std::memory_order_relaxed);
+      link_ops_[i].store(0, std::memory_order_relaxed);
+    }
+    for (auto& c : pe_ops_) c.store(0, std::memory_order_relaxed);
   }
 
-  const Spec& spec() const { return spec_; }
+  /// The first scheduled event (compatibility accessor for single-event
+  /// harnesses).
+  const Spec& spec() const { return events_.front(); }
+  const std::vector<Spec>& events() const { return events_; }
 
-  /// Counts one operation of `pe`; returns true exactly once, on the
-  /// operation that should observe the fault.
+  /// Called by supervised harnesses between epochs, when no traffic is in
+  /// flight: restarts every PE's operation clock from zero — a relaunched
+  /// epoch replays the same deterministic op sequence — and arms the next
+  /// epoch's events.
+  void AdvanceEpoch() {
+    for (auto& c : pe_ops_) c.store(0, std::memory_order_relaxed);
+    for (size_t i = 0; i < events_.size(); ++i) {
+      link_ops_[i].store(0, std::memory_order_relaxed);
+    }
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  /// `pe`'s operation clock in the current epoch — the calibration probe
+  /// for phase-targeted kills (record the clock at each phase boundary,
+  /// then schedule fail_at_op just past a boundary of interest).
+  uint64_t OpCount(int pe) const {
+    DEMSORT_CHECK_GE(pe, 0);
+    DEMSORT_CHECK_LT(pe, kMaxPes);
+    return pe_ops_[pe].load(std::memory_order_relaxed);
+  }
+
+  /// Counts one operation of `pe`; returns true exactly once per armed
+  /// event, on the operation that should observe the fault.
   bool CountPeOp(int pe) {
-    if (pe != spec_.victim_pe) return false;
-    return ops_.fetch_add(1, std::memory_order_relaxed) + 1 ==
-           spec_.fail_at_op;
+    DEMSORT_CHECK_GE(pe, 0);
+    DEMSORT_CHECK_LT(pe, kMaxPes);
+    uint64_t op = pe_ops_[pe].fetch_add(1, std::memory_order_relaxed) + 1;
+    int now = epoch();
+    for (size_t i = 0; i < events_.size(); ++i) {
+      const Spec& s = events_[i];
+      if (s.victim_pe != pe || s.epoch != now || op != s.fail_at_op) continue;
+      if (fired_[i].exchange(true, std::memory_order_relaxed)) continue;
+      last_fired_.store(static_cast<int>(i), std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   }
 
-  /// Counts one (src → dst) message; true exactly once at the trigger.
+  /// Counts one (src → dst) message; true exactly once per armed event at
+  /// its trigger.
   bool CountLinkMessage(int src, int dst) {
-    if (src != spec_.link_src || dst != spec_.link_dst) return false;
-    return ops_.fetch_add(1, std::memory_order_relaxed) + 1 ==
-           spec_.fail_at_op;
+    int now = epoch();
+    for (size_t i = 0; i < events_.size(); ++i) {
+      const Spec& s = events_[i];
+      if (s.link_src != src || s.link_dst != dst) continue;
+      uint64_t op = link_ops_[i].fetch_add(1, std::memory_order_relaxed) + 1;
+      if (s.epoch != now || op != s.fail_at_op) continue;
+      if (fired_[i].exchange(true, std::memory_order_relaxed)) continue;
+      last_fired_.store(static_cast<int>(i), std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   }
 
   Status FaultStatus() const {
-    if (spec_.victim_pe >= 0) {
-      return Status::IoError(spec_.reason + ": PE " +
-                             std::to_string(spec_.victim_pe) + " killed at op " +
-                             std::to_string(spec_.fail_at_op));
+    int idx = last_fired_.load(std::memory_order_relaxed);
+    const Spec& s = events_[idx < 0 ? 0 : static_cast<size_t>(idx)];
+    if (s.victim_pe >= 0) {
+      return Status::IoError(s.reason + ": PE " +
+                             std::to_string(s.victim_pe) + " killed at op " +
+                             std::to_string(s.fail_at_op) + " (epoch " +
+                             std::to_string(s.epoch) + ")");
     }
-    return Status::IoError(spec_.reason + ": link " +
-                           std::to_string(spec_.link_src) + "->" +
-                           std::to_string(spec_.link_dst) +
+    return Status::IoError(s.reason + ": link " +
+                           std::to_string(s.link_src) + "->" +
+                           std::to_string(s.link_dst) +
                            " severed at message " +
-                           std::to_string(spec_.fail_at_op));
+                           std::to_string(s.fail_at_op) + " (epoch " +
+                           std::to_string(s.epoch) + ")");
   }
 
  private:
-  Spec spec_;
-  std::atomic<uint64_t> ops_{0};
+  std::vector<Spec> events_;
+  std::array<std::atomic<uint64_t>, kMaxPes> pe_ops_;
+  std::unique_ptr<std::atomic<bool>[]> fired_;
+  std::unique_ptr<std::atomic<uint64_t>[]> link_ops_;
+  std::atomic<int> epoch_{0};
+  std::atomic<int> last_fired_{-1};
 };
 
 /// The wrapping Transport. Pass-through except at the trigger:
@@ -148,6 +232,15 @@ class FaultTransport : public Transport {
     }
     return base_->IsendGather(src, dst, tag, header, header_bytes, data,
                               bytes);
+  }
+
+  SendRequest IsendFrame(int src, int dst, int tag, Frame frame) override {
+    // One frame send = one operation, preserving the base's zero-copy path.
+    MaybeKillPe(src);
+    if (injector_->CountLinkMessage(src, dst)) {
+      base_->KillLink(src, dst, injector_->FaultStatus());
+    }
+    return base_->IsendFrame(src, dst, tag, std::move(frame));
   }
 
   RecvRequest Irecv(int dst, int src, int tag) override {

@@ -478,16 +478,23 @@ HierCluster::Result HierCluster::Run(const Options& options,
   t_options.recv_watermark_bytes = options.recv_watermark_bytes;
   t_options.pool_budget_bytes = options.pool_budget_bytes;
   std::vector<std::unique_ptr<HierarchicalTransport>> nodes(N);
+  std::vector<Transport*> node_endpoints(N);
   for (int n = 0; n < N; ++n) {
     nodes[n] = std::make_unique<HierarchicalTransport>(topo, n, &uplink,
                                                        t_options);
+    node_endpoints[n] = nodes[n].get();
+    if (options.wrap_transport) {
+      Transport* wrapped =
+          options.wrap_transport(nodes[n].get(), options.epoch);
+      if (wrapped != nullptr) node_endpoints[n] = wrapped;
+    }
   }
   std::vector<std::thread> threads;
   threads.reserve(P);
   std::vector<std::exception_ptr> errors(P);
   std::atomic<int> first_failed{-1};
   for (int pe = 0; pe < P; ++pe) {
-    HierarchicalTransport* transport = nodes[topo.node_of(pe)].get();
+    Transport* transport = node_endpoints[topo.node_of(pe)];
     threads.emplace_back([&, pe, transport] {
       try {
         Comm comm(pe, P, transport,
@@ -515,7 +522,8 @@ HierCluster::Result HierCluster::Run(const Options& options,
   Result result;
   result.stats.reserve(P);
   for (int pe = 0; pe < P; ++pe) {
-    result.stats.push_back(nodes[topo.node_of(pe)]->stats(pe).Snapshot());
+    result.stats.push_back(
+        node_endpoints[topo.node_of(pe)]->stats(pe).Snapshot());
   }
   for (int n = 0; n < N; ++n) {
     NetStatsSnapshot s = uplink.stats(n).Snapshot();
@@ -538,6 +546,20 @@ HierCluster::Result HierCluster::Run(const Options& options,
     std::rethrow_exception(errors[failed]);
   }
   return result;
+}
+
+HierCluster::SupervisedResult HierCluster::RunSupervised(
+    const Options& options, const RecoveryOptions& recovery,
+    const PeBody& body) {
+  SupervisedResult sr;
+  sr.restarts = internal::SuperviseEpochs(recovery, [&](int epoch) {
+    // Fresh uplink fabric + node transports per epoch: the previous
+    // epoch's poison dies with them.
+    Options epoch_options = options;
+    epoch_options.epoch = epoch;
+    sr.result = Run(epoch_options, body);
+  });
+  return sr;
 }
 
 }  // namespace demsort::net

@@ -253,11 +253,22 @@ class HierCluster {
     /// Declared after flat_collectives so existing positional
     /// initializers keep their meaning.
     size_t pool_budget_bytes = 0;
+    /// Test seam: wraps each NODE transport (e.g. in net::FaultTransport)
+    /// before any Comm is built over it. Called once per node per epoch;
+    /// the returned transport must outlive the epoch (nullptr = unwrapped).
+    std::function<Transport*(Transport* base, int epoch)> wrap_transport;
+    /// Supervised-restart attempt number; set by RunSupervised.
+    int epoch = 0;
   };
 
   struct Result {
     std::vector<NetStatsSnapshot> stats;  // per PE
     NetStatsSnapshot uplink_total;        // summed over node endpoints
+  };
+
+  struct SupervisedResult {
+    Result result;
+    int restarts = 0;
   };
 
   static void Run(const Topology& topology, const PeBody& body) {
@@ -266,6 +277,13 @@ class HierCluster {
     Run(options, body);
   }
   static Result Run(const Options& options, const PeBody& body);
+
+  /// Supervised restart over the two-level machine: on CommError the whole
+  /// epoch — node transports, uplink fabric, demux threads — is torn down
+  /// and rebuilt fresh per RecoveryOptions (see Cluster::RunSupervised).
+  static SupervisedResult RunSupervised(const Options& options,
+                                        const RecoveryOptions& recovery,
+                                        const PeBody& body);
 };
 
 }  // namespace demsort::net

@@ -50,6 +50,16 @@ struct NetStatsSnapshot {
   uint64_t pool_leases = 0;
   uint64_t pool_hits = 0;
   uint64_t pool_recycled_bytes = 0;
+  /// Supervised-restart telemetry (core/recovery.h). `restarts` and
+  /// `phases_replayed` are gauges: how many relaunches this job has
+  /// absorbed and how many of the four phases the recovered epoch had to
+  /// re-execute (0 on a failure-free run). `checkpoint_bytes` is a counter
+  /// of manifest bytes made durable; `recovery_wall_ms` a gauge of the
+  /// wall time the resume path spent loading and validating state.
+  uint64_t restarts = 0;
+  uint64_t phases_replayed = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t recovery_wall_ms = 0;
 
   NetStatsSnapshot operator-(const NetStatsSnapshot& rhs) const {
     return NetStatsSnapshot{messages_sent - rhs.messages_sent,
@@ -66,7 +76,11 @@ struct NetStatsSnapshot {
                             inter_node_bytes - rhs.inter_node_bytes,
                             pool_leases - rhs.pool_leases,
                             pool_hits - rhs.pool_hits,
-                            pool_recycled_bytes - rhs.pool_recycled_bytes};
+                            pool_recycled_bytes - rhs.pool_recycled_bytes,
+                            restarts,
+                            phases_replayed,
+                            checkpoint_bytes - rhs.checkpoint_bytes,
+                            recovery_wall_ms};
   }
 };
 
@@ -135,6 +149,22 @@ class NetStats {
     }
   }
 
+  /// Supervised-restart telemetry (see the snapshot fields): gauges are
+  /// set once per epoch by the recovery runtime, the byte counter grows at
+  /// every manifest write.
+  void SetRestarts(uint64_t n) {
+    restarts_.store(n, std::memory_order_relaxed);
+  }
+  void SetPhasesReplayed(uint64_t n) {
+    phases_replayed_.store(n, std::memory_order_relaxed);
+  }
+  void AddCheckpointBytes(uint64_t bytes) {
+    checkpoint_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void SetRecoveryWallMs(uint64_t ms) {
+    recovery_wall_ms_.store(ms, std::memory_order_relaxed);
+  }
+
   NetStatsSnapshot Snapshot() const {
     return NetStatsSnapshot{
         messages_sent_.load(std::memory_order_relaxed),
@@ -151,7 +181,11 @@ class NetStats {
         inter_node_bytes_.load(std::memory_order_relaxed),
         pool_leases_.load(std::memory_order_relaxed),
         pool_hits_.load(std::memory_order_relaxed),
-        pool_recycled_bytes_.load(std::memory_order_relaxed)};
+        pool_recycled_bytes_.load(std::memory_order_relaxed),
+        restarts_.load(std::memory_order_relaxed),
+        phases_replayed_.load(std::memory_order_relaxed),
+        checkpoint_bytes_.load(std::memory_order_relaxed),
+        recovery_wall_ms_.load(std::memory_order_relaxed)};
   }
 
  private:
@@ -171,6 +205,10 @@ class NetStats {
   std::atomic<uint64_t> pool_leases_{0};
   std::atomic<uint64_t> pool_hits_{0};
   std::atomic<uint64_t> pool_recycled_bytes_{0};
+  std::atomic<uint64_t> restarts_{0};
+  std::atomic<uint64_t> phases_replayed_{0};
+  std::atomic<uint64_t> checkpoint_bytes_{0};
+  std::atomic<uint64_t> recovery_wall_ms_{0};
 };
 
 }  // namespace demsort::net

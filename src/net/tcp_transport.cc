@@ -736,7 +736,8 @@ void TcpCluster::Run(int num_pes, const PeBody& body) {
 }
 
 std::vector<NetStatsSnapshot> TcpCluster::RunWithStats(
-    int num_pes, const PeBody& body, const TcpTransport::Options& options) {
+    int num_pes, const PeBody& body, const TcpTransport::Options& options,
+    const WrapFn& wrap, int epoch) {
   auto listeners = CreateLoopbackListeners(num_pes);
   DEMSORT_CHECK_OK(listeners.status());
   std::vector<TcpTransport::Peer> peers = LoopbackPeers(listeners.value());
@@ -750,6 +751,7 @@ std::vector<NetStatsSnapshot> TcpCluster::RunWithStats(
     int listen_fd = listeners.value()[pe].fd;
     threads.emplace_back([&, pe, listen_fd] {
       std::unique_ptr<TcpTransport> transport;
+      Transport* endpoint = nullptr;
       auto record_failure = [&](const Status& status) {
         errors[pe] = std::current_exception();
         int expect = -1;
@@ -758,16 +760,21 @@ std::vector<NetStatsSnapshot> TcpCluster::RunWithStats(
         // severed, so peers observe the failure (EOF → poison → CommError)
         // and this endpoint's teardown cannot block on them — the ordering
         // fix that lets join() complete and the real exception surface.
-        if (transport != nullptr) transport->KillPe(pe, status);
+        if (endpoint != nullptr) endpoint->KillPe(pe, status);
       };
       try {
         auto connected =
             TcpTransport::Connect(pe, num_pes, listen_fd, peers, options);
         if (!connected.ok()) throw CommError(connected.status());
         transport = std::move(connected).value();
-        Comm comm(pe, num_pes, transport.get());
+        endpoint = transport.get();
+        if (wrap) {
+          Transport* wrapped = wrap(transport.get(), epoch);
+          if (wrapped != nullptr) endpoint = wrapped;
+        }
+        Comm comm(pe, num_pes, endpoint);
         body(comm);
-        stats[pe] = transport->stats(pe).Snapshot();
+        stats[pe] = endpoint->stats(pe).Snapshot();
       } catch (const std::exception& e) {
         record_failure(Status::Internal("PE " + std::to_string(pe) +
                                         " failed: " + e.what()));
@@ -784,6 +791,18 @@ std::vector<NetStatsSnapshot> TcpCluster::RunWithStats(
     std::rethrow_exception(errors[failed]);
   }
   return stats;
+}
+
+TcpCluster::SupervisedResult TcpCluster::RunSupervised(
+    int num_pes, const PeBody& body, const RecoveryOptions& recovery,
+    const TcpTransport::Options& options, const WrapFn& wrap) {
+  SupervisedResult sr;
+  sr.restarts = internal::SuperviseEpochs(recovery, [&](int epoch) {
+    // Fresh listeners + full connect rendezvous per epoch: the dead
+    // epoch's sockets are gone, so the re-join starts from a clean mesh.
+    sr.stats = RunWithStats(num_pes, body, options, wrap, epoch);
+  });
+  return sr;
 }
 
 void RunOverTransport(TransportKind kind, const Cluster::Options& options,
@@ -821,6 +840,44 @@ void RunOverTransport(TransportKind kind, const Cluster::Options& options,
         << "the reader watermark applies to the tcp and hier transports only";
     Cluster::Run(options, body);
   }
+}
+
+int RunSupervisedOverTransport(TransportKind kind,
+                               const Cluster::Options& options,
+                               const RecoveryOptions& recovery,
+                               const TcpCluster::PeBody& body) {
+  if (kind == TransportKind::kTcp) {
+    DEMSORT_CHECK_EQ(options.channel_cap_bytes, 0u)
+        << "channel caps apply to the in-process fabric only";
+    TcpTransport::Options tcp_options;
+    tcp_options.recv_watermark_bytes = options.tcp_recv_watermark_bytes;
+    tcp_options.connect_timeout_ms = options.tcp_connect_timeout_ms;
+    tcp_options.pool_budget_bytes = options.pool_budget_bytes;
+    return TcpCluster::RunSupervised(options.num_pes, body, recovery,
+                                     tcp_options)
+        .restarts;
+  }
+  if (kind == TransportKind::kHier) {
+    HierCluster::Options hier_options;
+    if (!options.node_sizes.empty()) {
+      auto topo = Topology::FromNodeSizes(options.node_sizes);
+      DEMSORT_CHECK_OK(topo.status());
+      DEMSORT_CHECK_EQ(topo.value().num_pes(), options.num_pes)
+          << "node sizes must sum to num_pes";
+      hier_options.topology = std::move(topo).value();
+    } else {
+      hier_options.topology = Topology::Uniform(
+          options.num_pes,
+          options.pes_per_node > 0 ? options.pes_per_node : 2);
+    }
+    hier_options.uplink_channel_cap_bytes = options.channel_cap_bytes;
+    hier_options.recv_watermark_bytes = options.tcp_recv_watermark_bytes;
+    hier_options.pool_budget_bytes = options.pool_budget_bytes;
+    return HierCluster::RunSupervised(hier_options, recovery, body).restarts;
+  }
+  DEMSORT_CHECK_EQ(options.tcp_recv_watermark_bytes, 0u)
+      << "the reader watermark applies to the tcp and hier transports only";
+  return Cluster::RunSupervised(options, recovery, body).restarts;
 }
 
 }  // namespace demsort::net

@@ -232,6 +232,18 @@ std::vector<TcpTransport::Peer> LoopbackPeers(
 class TcpCluster {
  public:
   using PeBody = std::function<void(Comm&)>;
+  /// Test seam: wraps a rank's endpoint (e.g. in net::FaultTransport)
+  /// before its Comm is built. Called once per RANK per epoch — ranks own
+  /// separate endpoints here, unlike the shared in-process fabric — with
+  /// the supervised epoch number; the returned transport must outlive the
+  /// epoch (nullptr = unwrapped).
+  using WrapFn = std::function<Transport*(Transport* base, int epoch)>;
+
+  struct SupervisedResult {
+    /// The successful epoch's per-PE traffic counters.
+    std::vector<NetStatsSnapshot> stats;
+    int restarts = 0;
+  };
 
   /// Blocks until all PEs finish. A PE that throws aborts its endpoint
   /// first (KillPe on itself), which cancels the peers' waits — they fail
@@ -243,7 +255,17 @@ class TcpCluster {
   /// applies to every endpoint (e.g. the reader watermark).
   static std::vector<NetStatsSnapshot> RunWithStats(
       int num_pes, const PeBody& body,
-      const TcpTransport::Options& options = TcpTransport::Options());
+      const TcpTransport::Options& options = TcpTransport::Options(),
+      const WrapFn& wrap = nullptr, int epoch = 0);
+
+  /// Supervised restart over real sockets: a CommError epoch is torn down
+  /// — sockets closed, listeners released — and relaunched on a FRESH set
+  /// of loopback listeners per RecoveryOptions, re-running the full
+  /// connect rendezvous (see Cluster::RunSupervised for the contract).
+  static SupervisedResult RunSupervised(
+      int num_pes, const PeBody& body, const RecoveryOptions& recovery,
+      const TcpTransport::Options& options = TcpTransport::Options(),
+      const WrapFn& wrap = nullptr);
 };
 
 /// The one transport-kind dispatch for harnesses (benches, tests, tools):
@@ -253,6 +275,15 @@ class TcpCluster {
 /// dropped. New backends get wired in here once and every harness follows.
 void RunOverTransport(TransportKind kind, const Cluster::Options& options,
                       const TcpCluster::PeBody& body);
+
+/// Supervised variant of RunOverTransport: same kind dispatch, but a
+/// CommError epoch is torn down and relaunched per `recovery` (each body
+/// invocation is responsible for resuming from its own checkpoints — see
+/// core/recovery.h). Returns the number of restarts consumed.
+int RunSupervisedOverTransport(TransportKind kind,
+                               const Cluster::Options& options,
+                               const RecoveryOptions& recovery,
+                               const TcpCluster::PeBody& body);
 
 }  // namespace demsort::net
 

@@ -59,6 +59,18 @@ class MultisetChecksum {
   uint64_t xor_fold() const { return xor_; }
   uint64_t count() const { return count_; }
 
+  /// Rebuilds a digest from its persisted parts (checkpoint manifests store
+  /// the input checksum so a resumed epoch can validate without re-reading
+  /// the input it never regenerates).
+  static MultisetChecksum FromParts(uint64_t sum, uint64_t xor_fold,
+                                    uint64_t count) {
+    MultisetChecksum c;
+    c.sum_ = sum;
+    c.xor_ = xor_fold;
+    c.count_ = count;
+    return c;
+  }
+
   bool operator==(const MultisetChecksum& other) const {
     return sum_ == other.sum_ && xor_ == other.xor_ && count_ == other.count_;
   }
