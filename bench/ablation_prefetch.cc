@@ -21,14 +21,16 @@ int main(int argc, char** argv) {
       flags.GetInt("elements-per-pe", (4 << 20) / 16));
 
   core::SortConfig base = bench::FigureConfig();
+  if (!bench::ApplyStorageFlags(flags, &base)) return 0;
   uint64_t runs = elements_per_pe /
                   base.ElementsPerPeMemory<core::KV16>();
 
   std::printf(
-      "# Ablation — final-merge prefetch policy, P=%d, %llu elements/PE, "
-      "R=%llu runs\n"
+      "# Ablation — final-merge prefetch policy, storage=%s, qd=%zu, P=%d, "
+      "%llu elements/PE, R=%llu runs\n"
       "# demand fetch = merge needed a block before the policy issued it\n",
-      num_pes, static_cast<unsigned long long>(elements_per_pe),
+      io::BackendKindName(base.backend), base.io_queue_depth, num_pes,
+      static_cast<unsigned long long>(elements_per_pe),
       static_cast<unsigned long long>(runs));
   std::printf("%-11s  %12s  %16s  %14s\n", "policy", "pool_blocks",
               "demand_fetches", "merge_blocks");

@@ -15,9 +15,13 @@
 #ifndef DEMSORT_BENCH_BENCH_UTIL_H_
 #define DEMSORT_BENCH_BENCH_UTIL_H_
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -27,6 +31,8 @@
 #include "core/pe_context.h"
 #include "core/phase_stats.h"
 #include "core/record.h"
+#include "io/backend.h"
+#include "io/block_manager.h"
 #include "net/cluster.h"
 #include "net/tcp_transport.h"
 #include "sim/cost_model.h"
@@ -142,6 +148,47 @@ inline RunOptions RunOptionsFromFlags(const FlagParser& flags) {
   }
   options.pool_budget_bytes = static_cast<size_t>(pool_budget);
   return options;
+}
+
+/// Parses --storage={memory,file,direct,uring,mmap}, --file-dir=DIR,
+/// --files-per-disk=K and --queue-depth=N into `config`. A malformed value
+/// aborts the bench; a backend the HOST cannot serve (O_DIRECT on tmpfs,
+/// io_uring filtered or compiled out) prints a '# storage ... unavailable'
+/// marker and returns false — callers exit 0 so sweep scripts record a
+/// skip, not a failure.
+inline bool ApplyStorageFlags(const FlagParser& flags,
+                              core::SortConfig* config) {
+  std::string storage = flags.GetString("storage", "");
+  if (!storage.empty()) {
+    auto kind = io::ParseBackendKind(storage);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "--storage: %s\n",
+                   kind.status().ToString().c_str());
+      std::exit(2);
+    }
+    config->backend = kind.value();
+  }
+  config->files_per_disk = static_cast<uint32_t>(
+      flags.GetInt("files-per-disk", config->files_per_disk));
+  config->io_queue_depth =
+      static_cast<size_t>(flags.GetInt("queue-depth", 0));
+  if (io::IsFileBacked(config->backend)) {
+    config->file_dir = flags.GetString("file-dir", "/tmp/demsort_bench");
+    if (::mkdir(config->file_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "--file-dir %s: %s\n", config->file_dir.c_str(),
+                   std::strerror(errno));
+      std::exit(2);
+    }
+    Status probe = io::BlockManager::ProbeBackend(
+        config->backend, config->block_size, config->file_dir);
+    if (!probe.ok()) {
+      std::printf("# storage=%s unavailable: %s\n",
+                  io::BackendKindName(config->backend),
+                  probe.ToString().c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Runs CANONICALMERGESORT on P emulated PEs and validates the output.

@@ -3,32 +3,34 @@
 # (micro_net --credit-compare), the flat-vs-hierarchical topology sweep
 # (micro_net --topo-compare, P=8 at 2 PEs/node — since the zero-copy
 # leader path this also gates two-level wall <= 1.25x flat and intra-node
-# bytes < 2x flat), and the fig5 all-to-all I/O-volume sweep at fixed
-# seeds/sizes, and emits one machine-readable BENCH_PR6.json — the file
-# future PRs diff to see the perf trajectory.
+# bytes < 2x flat), the fig5 all-to-all I/O-volume sweep at fixed
+# seeds/sizes, and — since the async storage engine — the overlap and
+# prefetch ablations swept across storage backends and queue depths. Emits
+# one machine-readable BENCH_PR8.json — the file future PRs diff to see
+# the perf trajectory.
 #
 # Usage: bench/run_bench.sh [BUILD_DIR] [OUT_JSON]
-#   BUILD_DIR  cmake build directory holding micro_net + fig5 (default: build)
-#   OUT_JSON   output path (default: BENCH_PR6.json in the repo root)
+#   BUILD_DIR  cmake build directory holding the benches (default: build)
+#   OUT_JSON   output path (default: BENCH_PR8.json in the repo root)
 #
 # Everything here is deterministic up to wall-clock timings: the workload
 # seeds are fixed (FigureConfig's default seed), the sweep sizes are pinned
-# below, and message/volume/connection counters are exact — compare those,
-# not seconds.
+# below, and message/volume/connection/queue-depth counters are exact —
+# compare those, not seconds. Storage backends the host cannot serve
+# (O_DIRECT on tmpfs, io_uring behind seccomp or compiled out) are
+# recorded as skipped rows, not failures.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR6.json}"
+OUT="${2:-BENCH_PR8.json}"
 
-if [[ ! -x "$BUILD_DIR/micro_net" ]]; then
-  echo "error: $BUILD_DIR/micro_net not built (need Google Benchmark)" >&2
-  exit 2
-fi
-if [[ ! -x "$BUILD_DIR/fig5_alltoall_io_volume" ]]; then
-  echo "error: $BUILD_DIR/fig5_alltoall_io_volume not built" >&2
-  exit 2
-fi
+for bin in micro_net fig5_alltoall_io_volume ablation_overlap ablation_prefetch; do
+  if [[ ! -x "$BUILD_DIR/$bin" ]]; then
+    echo "error: $BUILD_DIR/$bin not built" >&2
+    exit 2
+  fi
+done
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
@@ -57,10 +59,69 @@ awk '
   }
 ' "$tmpdir/fig5.txt" | sed '$ s/,$//' > "$tmpdir/fig5_rows.json"
 
+# 3. Storage-engine ablations. Each (backend, queue-depth) cell runs the
+#    run-formation overlap ablation (sync vs async crossed with overlap
+#    on/off; ioq_peak proves the async rows actually ran at depth) and the
+#    final-merge prefetch ablation. Unavailable backends print a
+#    '# storage=... unavailable' marker and exit 0; we record them skipped.
+STORAGE_DIR="$tmpdir/storage"
+mkdir -p "$STORAGE_DIR"
+: > "$tmpdir/overlap_rows.json"
+: > "$tmpdir/prefetch_rows.json"
+: > "$tmpdir/storage_skips.json"
+
+overlap_to_rows() {  # $1=txt $2=storage $3=qd
+  awk -v storage="$2" -v qd="$3" '
+    /^#/ { next }
+    $1 == "io" { next }
+    NF >= 5 {
+      printf "      {\"storage\": \"%s\", \"queue_depth\": %s, \"io\": \"%s\", \"overlap\": \"%s\", \"run_form_wall_ms\": %s, \"total_wall_ms\": %s, \"ioq_peak\": %s},\n",
+             storage, qd, $1, $2, $3, $4, $5
+    }
+  ' "$1"
+}
+
+prefetch_to_rows() {  # $1=txt $2=storage $3=qd
+  awk -v storage="$2" -v qd="$3" '
+    /^#/ { next }
+    $1 == "policy" { next }
+    NF >= 4 {
+      printf "      {\"storage\": \"%s\", \"queue_depth\": %s, \"policy\": \"%s\", \"pool_blocks\": %s, \"demand_fetches\": %s, \"merge_blocks\": %s},\n",
+             storage, qd, $1, $2, $3, $4
+    }
+  ' "$1"
+}
+
+for cell in memory:1 memory:8 file:8 direct:8 uring:1 uring:8 uring:32 mmap:8; do
+  storage="${cell%%:*}"
+  qd="${cell##*:}"
+  dir="$STORAGE_DIR/${storage}_qd${qd}"
+  mkdir -p "$dir"
+  txt="$tmpdir/overlap_${storage}_${qd}.txt"
+  "$BUILD_DIR/ablation_overlap" --pes=4 --repeats=3 \
+    --storage="$storage" --queue-depth="$qd" --file-dir="$dir" > "$txt"
+  if grep -q '^# storage=.* unavailable' "$txt"; then
+    reason="$(sed -n 's/^# storage=[a-z]* unavailable: //p' "$txt" | head -1)"
+    printf '      {"storage": "%s", "queue_depth": %s, "reason": "%s"},\n' \
+      "$storage" "$qd" "$reason" >> "$tmpdir/storage_skips.json"
+    continue
+  fi
+  overlap_to_rows "$txt" "$storage" "$qd" >> "$tmpdir/overlap_rows.json"
+
+  ptxt="$tmpdir/prefetch_${storage}_${qd}.txt"
+  "$BUILD_DIR/ablation_prefetch" --pes=2 \
+    --storage="$storage" --queue-depth="$qd" --file-dir="$dir" > "$ptxt"
+  prefetch_to_rows "$ptxt" "$storage" "$qd" >> "$tmpdir/prefetch_rows.json"
+done
+
+finish_rows() {  # strips the trailing comma of the last row (if any)
+  sed '$ s/,$//' "$1"
+}
+
 {
   echo '{'
-  echo '  "snapshot": "BENCH_PR6",'
-  echo '  "fixed_params": {"fig5_elements_per_pe": 131072, "fig5_max_pes": 8},'
+  echo '  "snapshot": "BENCH_PR8",'
+  echo '  "fixed_params": {"fig5_elements_per_pe": 131072, "fig5_max_pes": 8, "ablation_pes": 4, "ablation_repeats": 3},'
   echo '  "stream":'
   sed 's/^/  /' "$tmpdir/stream.json" | sed '$ s/}$/},/'
   echo '  "topo":'
@@ -69,7 +130,20 @@ awk '
   echo '    "rows": ['
   cat "$tmpdir/fig5_rows.json"
   echo '    ]'
-  echo '  }'
+  echo '  },'
+  echo '  "storage_overlap_ablation": {'
+  echo '    "rows": ['
+  finish_rows "$tmpdir/overlap_rows.json"
+  echo '    ]'
+  echo '  },'
+  echo '  "storage_prefetch_ablation": {'
+  echo '    "rows": ['
+  finish_rows "$tmpdir/prefetch_rows.json"
+  echo '    ]'
+  echo '  },'
+  echo '  "storage_skipped": ['
+  finish_rows "$tmpdir/storage_skips.json"
+  echo '  ]'
   echo '}'
 } > "$OUT"
 

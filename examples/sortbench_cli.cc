@@ -11,7 +11,14 @@
 //                                               # endpoint per node
 //   ./sortbench_cli --stats                     # per-phase I/O, net volume,
 //                                               # peak net buffering and the
-//                                               # intra/inter-node split
+//                                               # intra/inter-node split,
+//                                               # I/O queue depth + latency
+//   ./sortbench_cli --storage=uring --file-dir=/mnt/scratch
+//                   --files-per-disk=4 --queue-depth=32
+//                                               # real files, io_uring at
+//                                               # QD 32, 4 stripe files per
+//                                               # emulated disk (also:
+//                                               # file, direct, mmap)
 //   ./sortbench_cli --hosts=hosts.txt --rank=0  # one rank of a real
 //                                               # cross-machine mesh
 //
@@ -176,10 +183,11 @@ PeOutcome RunOnePe(net::Comm& comm, const CliOptions& options) {
 /// data frames for free, and the adaptive controller's converged chunk.
 void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
   std::printf(
-      "%-18s  %10s  %12s  %12s  %10s  %10s  %14s  %11s  %11s  %9s  %9s\n",
+      "%-18s  %10s  %12s  %12s  %10s  %10s  %14s  %11s  %11s  %9s  %9s"
+      "  %8s  %8s  %10s\n",
       "phase", "wall_max_s", "io_MiB", "net_out_MiB", "intra_MiB",
       "inter_MiB", "peak_netbuf_KiB", "credit_msgs", "piggy_creds",
-      "chunk_KiB", "pool_hit%");
+      "chunk_KiB", "pool_hit%", "ioq_peak", "ioq_mean", "io_lat_us");
   for (int p = 0; p < static_cast<int>(core::Phase::kNumPhases); ++p) {
     core::Phase phase = static_cast<core::Phase>(p);
     double wall_max_s = 0;
@@ -193,6 +201,10 @@ void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
     uint64_t chunk = 0;
     uint64_t pool_leases = 0;
     uint64_t pool_hits = 0;
+    uint64_t ioq_peak = 0;
+    uint64_t ioq_sum = 0;
+    uint64_t io_ops = 0;
+    uint64_t io_lat_ns = 0;
     for (const core::SortReport& r : reports) {
       const core::PhaseStats& s = r.Get(phase);
       wall_max_s = std::max(wall_max_s, s.wall_s);
@@ -206,10 +218,14 @@ void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
       chunk = std::max(chunk, s.net.stream_chunk_bytes);
       pool_leases += s.net.pool_leases;
       pool_hits += s.net.pool_hits;
+      ioq_peak = std::max(ioq_peak, s.io.queue_depth_peak);
+      ioq_sum += s.io.queue_depth_sum;
+      io_ops += s.io.reads + s.io.writes;
+      io_lat_ns += s.io.submit_complete_ns;
     }
     std::printf(
         "%-18s  %10.3f  %12.1f  %12.1f  %10.1f  %10.1f  %14.1f  %11llu  "
-        "%11llu  %9.1f  %9.1f\n",
+        "%11llu  %9.1f  %9.1f  %8llu  %8.2f  %10.1f\n",
         core::PhaseName(phase), wall_max_s,
         static_cast<double>(io_bytes) / (1 << 20),
         static_cast<double>(net_bytes) / (1 << 20),
@@ -220,7 +236,12 @@ void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
         static_cast<unsigned long long>(piggy),
         static_cast<double>(chunk) / 1024.0,
         100.0 * static_cast<double>(pool_hits) /
-            static_cast<double>(std::max<uint64_t>(pool_leases, 1)));
+            static_cast<double>(std::max<uint64_t>(pool_leases, 1)),
+        static_cast<unsigned long long>(ioq_peak),
+        static_cast<double>(ioq_sum) /
+            static_cast<double>(std::max<uint64_t>(io_ops, 1)),
+        static_cast<double>(io_lat_ns) / 1e3 /
+            static_cast<double>(std::max<uint64_t>(io_ops, 1)));
   }
 }
 
@@ -643,6 +664,52 @@ int main(int argc, char** argv) {
   options.config.disks_per_pe = 4;
   options.config.seed = static_cast<uint64_t>(flags.GetInt("seed", 2009));
 
+  // ---- storage engine: --storage={memory,file,direct,uring,mmap},
+  // --file-dir=DIR (required for the file-backed kinds), --files-per-disk=K
+  // (stripes per disk), --queue-depth=N (0 = backend capacity),
+  // --sync-io (inline completion, no pump threads).
+  std::string storage = flags.GetString("storage", "");
+  if (!storage.empty()) {
+    auto parsed = io::ParseBackendKind(storage);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--storage: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    options.config.backend = parsed.value();
+  }
+  options.config.file_dir = flags.GetString("file-dir", "");
+  options.config.files_per_disk =
+      static_cast<uint32_t>(flags.GetInt("files-per-disk", 1));
+  options.config.io_queue_depth =
+      static_cast<size_t>(flags.GetInt("queue-depth", 0));
+  options.config.async_io = !flags.GetBool("sync-io", false);
+  if (io::IsFileBacked(options.config.backend)) {
+    if (options.config.file_dir.empty()) {
+      std::fprintf(stderr, "--storage=%s requires --file-dir=DIR\n",
+                   io::BackendKindName(options.config.backend));
+      return 2;
+    }
+    if (::mkdir(options.config.file_dir.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      std::fprintf(stderr, "--file-dir %s: %s\n",
+                   options.config.file_dir.c_str(), std::strerror(errno));
+      return 2;
+    }
+    // Fail fast (and helpfully) when the kernel or the filesystem cannot
+    // serve the chosen backend — O_DIRECT on tmpfs, io_uring behind a
+    // seccomp filter — instead of CHECK-failing inside a forked PE.
+    Status probe = io::BlockManager::ProbeBackend(options.config.backend,
+                                                  options.config.block_size,
+                                                  options.config.file_dir);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "--storage=%s unavailable here: %s\n",
+                   io::BackendKindName(options.config.backend),
+                   probe.ToString().c_str());
+      return 2;
+    }
+  }
+
   options.recover = flags.GetBool("recover", false);
   options.config.checkpoint_dir = flags.GetString("checkpoint-dir", "");
   options.max_restarts =
@@ -661,10 +728,13 @@ int main(int argc, char** argv) {
                    options.max_restarts);
       return 2;
     }
-    // Checkpoints need durable run data: switch the block store to the file
-    // backend, rooted in the checkpoint directory alongside the manifests.
-    options.config.backend = io::BlockManager::BackendKind::kFile;
-    options.config.file_dir = options.config.checkpoint_dir;
+    // Checkpoints need durable run data: unless the user already picked a
+    // file-backed store, switch to the file backend, rooted in the
+    // checkpoint directory alongside the manifests.
+    if (!io::IsFileBacked(options.config.backend)) {
+      options.config.backend = io::BackendKind::kFile;
+      options.config.file_dir = options.config.checkpoint_dir;
+    }
     if (::mkdir(options.config.checkpoint_dir.c_str(), 0755) != 0 &&
         errno != EEXIST) {
       std::fprintf(stderr, "--checkpoint-dir %s: %s\n",

@@ -29,12 +29,14 @@ std::vector<R> ReadBlocks(io::BlockManager* bm,
 
   std::vector<AlignedBuffer> buffers;
   buffers.reserve(blocks.size());
-  std::vector<io::Request> requests;
-  requests.reserve(blocks.size());
+  std::vector<std::pair<io::BlockId, void*>> ops;
+  ops.reserve(blocks.size());
   for (size_t i = 0; i < blocks.size(); ++i) {
     buffers.emplace_back(bs);
-    requests.push_back(bm->ReadAsync(blocks[i], buffers.back().data()));
+    ops.emplace_back(blocks[i], buffers.back().data());
   }
+  // One batch: the whole run is in the per-disk pumps before the first wait.
+  std::vector<io::Request> requests = bm->ReadBatch(ops);
   size_t offset = 0;
   for (size_t i = 0; i < blocks.size(); ++i) {
     requests[i].WaitOk();
@@ -60,8 +62,8 @@ std::vector<R> WriteBlocks(io::BlockManager* bm, std::span<const R> data,
   first_records.reserve(blocks.size());
   std::vector<AlignedBuffer> buffers;
   buffers.reserve(blocks.size());
-  std::vector<io::Request> requests;
-  requests.reserve(blocks.size());
+  std::vector<std::pair<io::BlockId, const void*>> ops;
+  ops.reserve(blocks.size());
   size_t offset = 0;
   for (size_t i = 0; i < blocks.size() && offset < data.size(); ++i) {
     size_t count = std::min(epb, data.size() - offset);
@@ -69,10 +71,10 @@ std::vector<R> WriteBlocks(io::BlockManager* bm, std::span<const R> data,
     std::memcpy(buffers.back().data(), data.data() + offset,
                 count * sizeof(R));
     first_records.push_back(data[offset]);
-    requests.push_back(bm->WriteAsync(blocks[i], buffers.back().data()));
+    ops.emplace_back(blocks[i], buffers.back().data());
     offset += count;
   }
-  io::WaitAllOk(requests);
+  io::WaitAllOk(bm->WriteBatch(ops));
   return first_records;
 }
 

@@ -72,7 +72,13 @@ struct SortConfig {
   bool async_io = true;
   io::BlockManager::BackendKind backend =
       io::BlockManager::BackendKind::kMemory;
-  std::string file_dir;  // for the file backend
+  std::string file_dir;  // for the file-backed backends
+  /// Stripes per disk: each disk's blocks fan out over this many files, so
+  /// one "disk" drives K independent NVMe queues (file-backed kinds only).
+  uint32_t files_per_disk = 1;
+  /// Per-disk target I/O queue depth; 0 = the backend's own capacity
+  /// (1 for the inline backends, the SQ depth for uring).
+  size_t io_queue_depth = 0;
   io::DiskModel disk_model;
 
   // ----------------------------------------------------------- recovery --
@@ -112,6 +118,20 @@ struct SortConfig {
     if (memory_per_pe < 2 * block_size) {
       return Status::InvalidArgument(
           "memory_per_pe must hold at least two blocks");
+    }
+    if (files_per_disk == 0) {
+      return Status::InvalidArgument("files_per_disk == 0");
+    }
+    if (io::IsFileBacked(backend) && file_dir.empty()) {
+      return Status::InvalidArgument(
+          std::string("storage backend '") + io::BackendKindName(backend) +
+          "' requires file_dir");
+    }
+    if (backend == io::BackendKind::kDirect &&
+        block_size % io::kBlockAlign != 0) {
+      return Status::InvalidArgument(
+          "O_DIRECT requires block_size to be a multiple of " +
+          std::to_string(io::kBlockAlign));
     }
     return Status::OK();
   }

@@ -210,32 +210,62 @@ AllToAllResult<R> ExternalAllToAll(PeContext& ctx, const SortConfig& config,
     std::deque<size_t> resident;
     auto read_elements = [&](const RunPiece<R>& piece, size_t j,
                              uint64_t from, uint64_t to, R* dst) {
-      // [from, to) are run positions inside my piece.
-      for (uint64_t pos = from; pos < to;) {
-        uint64_t rel = pos - piece.global_start;
-        size_t bi = static_cast<size_t>(rel / epb);
-        if (bi != run_cached[j]) {
-          if (run_buf[j].data() == nullptr) {
-            if (resident.size() >= cache_cap) {
-              size_t evict = resident.front();
-              resident.pop_front();
-              run_buf[j] = std::move(run_buf[evict]);
-              run_cached[evict] = SIZE_MAX;
-            } else {
-              run_buf[j] = AlignedBuffer(bs);
-            }
-            resident.push_back(j);
-          }
-          bm->ReadSync(piece.blocks[bi], run_buf[j].data());
-          run_cached[j] = bi;
-        }
-        uint64_t in_block = rel % epb;
-        uint64_t take = std::min<uint64_t>(epb - in_block, to - pos);
-        std::memcpy(dst, run_buf[j].data() + in_block * sizeof(R),
-                    take * sizeof(R));
-        dst += take;
-        pos += take;
+      // [from, to) are run positions inside my piece. All blocks of the
+      // fragment are submitted as ONE batch so the per-disk pumps run at
+      // their queue depth; the last block lands in the per-run cache slot
+      // (it may straddle the next destination's boundary), interior blocks
+      // go through transient scratch buffers.
+      const uint64_t rel_from = from - piece.global_start;
+      const uint64_t rel_to = to - piece.global_start;  // exclusive
+      const size_t first_bi = static_cast<size_t>(rel_from / epb);
+      const size_t last_bi = static_cast<size_t>((rel_to - 1) / epb);
+      auto copy_out = [&](const uint8_t* block_data, size_t bi) {
+        uint64_t lo = std::max<uint64_t>(rel_from, uint64_t{bi} * epb);
+        uint64_t hi = std::min<uint64_t>(rel_to, uint64_t{bi + 1} * epb);
+        std::memcpy(dst + (lo - rel_from),
+                    block_data + (lo - uint64_t{bi} * epb) * sizeof(R),
+                    (hi - lo) * sizeof(R));
+      };
+      // Drain the cache hit first: its buffer may be the read target of the
+      // new boundary block below.
+      if (run_cached[j] >= first_bi && run_cached[j] <= last_bi) {
+        copy_out(run_buf[j].data(), run_cached[j]);
       }
+      const size_t cached_bi = run_cached[j];
+      const bool read_last = last_bi != cached_bi;
+      if (read_last && run_buf[j].data() == nullptr) {
+        if (resident.size() >= cache_cap) {
+          size_t evict = resident.front();
+          resident.pop_front();
+          run_buf[j] = std::move(run_buf[evict]);
+          run_cached[evict] = SIZE_MAX;
+        } else {
+          run_buf[j] = AlignedBuffer(bs);
+        }
+        resident.push_back(j);
+      }
+      std::vector<AlignedBuffer> scratch;
+      std::vector<std::pair<io::BlockId, void*>> ops;
+      std::vector<size_t> ops_bi;
+      for (size_t bi = first_bi; bi < last_bi; ++bi) {
+        if (bi == cached_bi) continue;
+        scratch.emplace_back(bs);
+        ops.emplace_back(piece.blocks[bi], scratch.back().data());
+        ops_bi.push_back(bi);
+      }
+      if (read_last) {
+        ops.emplace_back(piece.blocks[last_bi], run_buf[j].data());
+        ops_bi.push_back(last_bi);
+      }
+      std::vector<io::Request> reqs = bm->ReadBatch(ops);
+      size_t si = 0;
+      for (size_t i = 0; i < reqs.size(); ++i) {
+        reqs[i].WaitOk();
+        const bool is_last = read_last && i + 1 == reqs.size();
+        copy_out(is_last ? run_buf[j].data() : scratch[si++].data(),
+                 ops_bi[i]);
+      }
+      if (read_last) run_cached[j] = last_bi;
     };
 
     // Packs one destination, run-major, on demand: AlltoallvStream calls

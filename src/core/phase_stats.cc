@@ -72,6 +72,9 @@ void PhaseCollector::Begin(Phase phase) {
   (void)phase;
   bm_->DrainAll();
   phase_start_ns_ = NowNanos();
+  // Queue-depth peak is a gauge: restart it so the phase reports its own
+  // high-water mark, not an earlier phase's.
+  bm_->ResetQueueDepthPeaks();
   io_at_begin_ = bm_->TotalStats();
   busy_at_begin_s_ = MaxDiskBusyS();
   // The receive-buffer peak is a gauge: restart it so the phase reports

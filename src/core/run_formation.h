@@ -94,12 +94,16 @@ RunFormationResult<R> FormRuns(PeContext& ctx, const SortConfig& config,
     PendingRead pending;
     size_t begin = static_cast<size_t>(run) * blocks_per_run;
     size_t end = std::min(block_list.size(), begin + blocks_per_run);
+    // Batch submission: every read of the run is enqueued before anything
+    // waits, so the per-disk pumps run at their full queue depth.
+    std::vector<std::pair<io::BlockId, void*>> ops;
+    ops.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
       pending.buffers.emplace_back(bm->block_size());
-      pending.requests.push_back(
-          bm->ReadAsync(block_list[i].first, pending.buffers.back().data()));
+      ops.emplace_back(block_list[i].first, pending.buffers.back().data());
       pending.counts.push_back(block_list[i].second);
     }
+    pending.requests = bm->ReadBatch(ops);
     return pending;
   };
   auto collect_read = [&](PendingRead& pending, uint64_t run) {
@@ -113,9 +117,10 @@ RunFormationResult<R> FormRuns(PeContext& ctx, const SortConfig& config,
                   pending.counts[i] * sizeof(R));
       offset += pending.counts[i];
     }
-    // In-place: return the consumed input blocks to the free list. Per-disk
-    // FIFO queues guarantee any write into a reused block is served after
-    // this (completed) read.
+    // In-place: return the consumed input blocks to the free list. Safe at
+    // any queue depth: a block is freed only after its read COMPLETED, and
+    // a write into a reused block is submitted only after the free — so the
+    // two ops are never in flight together.
     size_t begin = static_cast<size_t>(run) * blocks_per_run;
     size_t end = std::min(block_list.size(), begin + blocks_per_run);
     for (size_t i = begin; i < end; ++i) bm->Free(block_list[i].first);
@@ -146,6 +151,8 @@ RunFormationResult<R> FormRuns(PeContext& ctx, const SortConfig& config,
     piece.size = sorted.piece.size();
     size_t blocks_needed = (sorted.piece.size() + epb - 1) / epb;
     piece.blocks = bm->AllocateMany(blocks_needed);
+    std::vector<std::pair<io::BlockId, const void*>> write_ops;
+    write_ops.reserve(blocks_needed);
     for (size_t b = 0; b < blocks_needed; ++b) {
       size_t offset = b * epb;
       size_t count = std::min(epb, sorted.piece.size() - offset);
@@ -159,8 +166,10 @@ RunFormationResult<R> FormRuns(PeContext& ctx, const SortConfig& config,
       std::memset(write_buffers.back().data() + count * sizeof(R), 0,
                   bm->block_size() - count * sizeof(R));
       piece.block_first_records.push_back(sorted.piece[offset]);
-      pending_writes.push_back(
-          bm->WriteAsync(piece.blocks[b], write_buffers.back().data()));
+      write_ops.emplace_back(piece.blocks[b], write_buffers.back().data());
+    }
+    for (io::Request& r : bm->WriteBatch(write_ops)) {
+      pending_writes.push_back(std::move(r));
     }
     if (!config.overlap_run_formation) {
       io::WaitAllOk(pending_writes);

@@ -1,5 +1,7 @@
 #include "io/block_manager.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 
 #include "util/logging.h"
@@ -12,35 +14,81 @@ std::string BlockManager::DiskFilePath(const std::string& file_dir, int pe_id,
          std::to_string(disk) + ".bin";
 }
 
+std::string BlockManager::StripeFilePath(const std::string& file_dir,
+                                         int pe_id, uint32_t disk,
+                                         uint32_t stripe) {
+  std::string base = DiskFilePath(file_dir, pe_id, disk);
+  if (stripe == 0) return base;
+  return base + ".s" + std::to_string(stripe);
+}
+
+Status BlockManager::ProbeBackend(BackendKind kind, size_t block_size,
+                                  const std::string& dir) {
+  if (!IsFileBacked(kind)) return Status::OK();
+  if (dir.empty()) {
+    return Status::InvalidArgument("file-backed backend requires file_dir");
+  }
+  BackendFileOptions options;
+  options.path = dir + "/demsort_probe_" + std::to_string(::getpid()) +
+                 ".bin";
+  options.unlink_on_close = true;
+  options.queue_depth = 2;
+  auto made = MakeBackend(kind, block_size, options);
+  if (!made.ok()) return made.status();
+  // One write+read round trip so O_DIRECT EINVALs (unsupported filesystem)
+  // surface here instead of mid-sort.
+  AlignedBuffer buf(block_size);
+  buf.Zero();
+  StorageBackend& backend = *made.value();
+  DEMSORT_RETURN_IF_ERROR(backend.WriteBlock(0, buf.data()));
+  DEMSORT_RETURN_IF_ERROR(backend.ReadBlock(0, buf.data()));
+  return Status::OK();
+}
+
 BlockManager::BlockManager(const Options& options) : options_(options) {
   DEMSORT_CHECK_GT(options.num_disks, 0u);
   DEMSORT_CHECK_GT(options.block_size, 0u);
   disks_.reserve(options.num_disks);
+  const uint32_t stripes =
+      IsFileBacked(options.backend) ? std::max(options.files_per_disk, 1u)
+                                    : 1u;
   for (uint32_t d = 0; d < options.num_disks; ++d) {
     std::unique_ptr<StorageBackend> backend;
-    if (options.backend == BackendKind::kMemory) {
+    if (!IsFileBacked(options.backend)) {
       DEMSORT_CHECK(!options.reuse_files)
-          << "recovery reuse requires the file backend (memory-backed "
+          << "recovery reuse requires a file-backed backend (memory-backed "
              "blocks die with the epoch)";
       backend = std::make_unique<MemoryBackend>(options.block_size);
     } else {
       DEMSORT_CHECK(!options.file_dir.empty())
-          << "file backend requires file_dir";
-      std::string path = DiskFilePath(options.file_dir, options.pe_id, d);
-      if (options.reuse_files) {
-        auto opened = FileBackend::Open(path, options.block_size);
-        DEMSORT_CHECK(opened.ok()) << opened.status().ToString();
-        backend = std::move(opened).value();
+          << "file-backed backend requires file_dir";
+      std::vector<std::unique_ptr<StorageBackend>> children;
+      children.reserve(stripes);
+      for (uint32_t s = 0; s < stripes; ++s) {
+        BackendFileOptions file_options;
+        file_options.path =
+            StripeFilePath(options.file_dir, options.pe_id, d, s);
+        file_options.unlink_on_close = !options.durable_files;
+        file_options.reuse_existing = options.reuse_files;
+        file_options.queue_depth =
+            options.queue_depth == 0
+                ? 32u
+                : static_cast<unsigned>(options.queue_depth);
+        auto made =
+            MakeBackend(options.backend, options.block_size, file_options);
+        DEMSORT_CHECK(made.ok()) << made.status().ToString();
+        children.push_back(std::move(made).value());
+      }
+      if (children.size() == 1) {
+        backend = std::move(children.front());
       } else {
-        auto created =
-            FileBackend::Create(path, options.block_size,
-                                /*unlink_on_close=*/!options.durable_files);
-        DEMSORT_CHECK(created.ok()) << created.status().ToString();
-        backend = std::move(created).value();
+        backend = std::make_unique<StripedBackend>(std::move(children),
+                                                   options.block_size);
       }
     }
     VirtualDisk::Options disk_options;
     disk_options.async = options.async;
+    disk_options.queue_depth = options.queue_depth;
     disk_options.model = options.model;
     disks_.push_back(
         std::make_unique<VirtualDisk>(std::move(backend), disk_options));
@@ -159,8 +207,33 @@ Request BlockManager::WriteAsync(BlockId id, const void* buf) {
   return disks_[id.disk]->WriteAsync(id.block, buf);
 }
 
+std::vector<Request> BlockManager::ReadBatch(
+    const std::vector<std::pair<BlockId, void*>>& ops) {
+  std::vector<Request> requests;
+  requests.reserve(ops.size());
+  for (const auto& [id, buf] : ops) requests.push_back(ReadAsync(id, buf));
+  return requests;
+}
+
+std::vector<Request> BlockManager::WriteBatch(
+    const std::vector<std::pair<BlockId, const void*>>& ops) {
+  std::vector<Request> requests;
+  requests.reserve(ops.size());
+  for (const auto& [id, buf] : ops) requests.push_back(WriteAsync(id, buf));
+  return requests;
+}
+
 void BlockManager::DrainAll() {
   for (auto& disk : disks_) disk->Drain();
+}
+
+Status BlockManager::FlushAll() {
+  Status first = Status::OK();
+  for (auto& disk : disks_) {
+    Status s = disk->Flush();
+    if (first.ok() && !s.ok()) first = std::move(s);
+  }
+  return first;
 }
 
 uint64_t BlockManager::blocks_in_use() const {
@@ -177,6 +250,10 @@ IoStatsSnapshot BlockManager::TotalStats() const {
   IoStatsSnapshot total;
   for (const auto& disk : disks_) total += disk->Stats();
   return total;
+}
+
+void BlockManager::ResetQueueDepthPeaks() {
+  for (auto& disk : disks_) disk->ResetQueueDepthPeak();
 }
 
 double BlockManager::MaxDiskModelBusySeconds() const {

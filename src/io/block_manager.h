@@ -8,8 +8,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "io/backend.h"
 #include "io/disk.h"
 #include "io/io_stats.h"
 #include "io/request.h"
@@ -32,18 +34,26 @@ struct BlockId {
 
 class BlockManager {
  public:
-  enum class BackendKind { kMemory, kFile };
+  /// Which physical backend each disk gets (see io::BackendKind).
+  using BackendKind = io::BackendKind;
 
   struct Options {
     uint32_t num_disks = 2;
     size_t block_size = 64 * 1024;
     BackendKind backend = BackendKind::kMemory;
-    /// Directory for file-backed disks (one file per disk). Required when
-    /// backend == kFile.
+    /// Directory for file-backed disks (one file per disk, times
+    /// files_per_disk stripes). Required for every file-backed kind.
     std::string file_dir;
     /// Distinguishes this PE's files from other PEs' in file_dir.
     int pe_id = 0;
     bool async = true;
+    /// Files (stripes) per disk: K > 1 fans one disk's blocks over K
+    /// independent files — K NVMe queues instead of one. Ignored by the
+    /// memory backend.
+    uint32_t files_per_disk = 1;
+    /// Per-disk target queue depth; 0 = the backend's own capacity (see
+    /// VirtualDisk::Options::queue_depth).
+    size_t queue_depth = 0;
     DiskModel model;
     /// Keep the file-backend disk files on destruction (checkpointed runs
     /// need them to survive the epoch that wrote them). Default is the
@@ -62,9 +72,20 @@ class BlockManager {
   /// by the constructor and the recovery validator).
   static std::string DiskFilePath(const std::string& file_dir, int pe_id,
                                   uint32_t disk);
+  /// Stripe `stripe` of `disk` (stripe 0 is DiskFilePath itself; stripe k>0
+  /// appends ".s<k>").
+  static std::string StripeFilePath(const std::string& file_dir, int pe_id,
+                                    uint32_t disk, uint32_t stripe);
+
+  /// Smoke-tests that `kind` actually works here (kernel + filesystem) by
+  /// creating and destroying one scratch backend in `dir`. The authoritative
+  /// probe for uring (syscall may be filtered) and O_DIRECT (tmpfs).
+  static Status ProbeBackend(BackendKind kind, size_t block_size,
+                             const std::string& dir);
 
   uint32_t num_disks() const { return static_cast<uint32_t>(disks_.size()); }
   size_t block_size() const { return options_.block_size; }
+  const Options& options() const { return options_; }
 
   /// Allocates one block, round-robin across disks (striping); reuses freed
   /// blocks of the chosen disk first.
@@ -98,8 +119,20 @@ class BlockManager {
     WriteAsync(id, buf).WaitOk();
   }
 
+  /// Batch submission from the phase hot paths: every op is enqueued before
+  /// the caller looks at a single completion, so the per-disk pumps run at
+  /// full queue depth instead of one-at-a-time request/wait cycles.
+  std::vector<Request> ReadBatch(
+      const std::vector<std::pair<BlockId, void*>>& ops);
+  std::vector<Request> WriteBatch(
+      const std::vector<std::pair<BlockId, const void*>>& ops);
+
   /// Waits until all disks' queues are empty.
   void DrainAll();
+  /// DrainAll() + per-backend durability barrier (fsync/msync): everything
+  /// written so far survives a kill when this returns OK. The checkpoint
+  /// commit protocol calls this before declaring a phase durable.
+  Status FlushAll();
 
   uint64_t blocks_in_use() const;
   uint64_t peak_blocks_in_use() const;
@@ -109,6 +142,8 @@ class BlockManager {
   }
   /// Sum over all local disks.
   IoStatsSnapshot TotalStats() const;
+  /// Phase boundary for the queue-depth gauges on every disk.
+  void ResetQueueDepthPeaks();
   /// Max of per-disk modeled busy time — the PE-level I/O completion time if
   /// all local disks run in parallel (they do: local striping).
   double MaxDiskModelBusySeconds() const;

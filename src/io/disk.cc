@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "util/timer.h"
 
@@ -9,9 +10,15 @@ namespace demsort::io {
 
 VirtualDisk::VirtualDisk(std::unique_ptr<StorageBackend> backend,
                          Options options)
-    : backend_(std::move(backend)), options_(options) {
+    : backend_(std::move(backend)),
+      options_(options),
+      signal_(std::make_shared<internal::CompletionSignal>()) {
+  const size_t capacity = backend_->queue_capacity();
+  depth_ = options_.queue_depth == 0 ? capacity
+                                     : std::min(options_.queue_depth, capacity);
+  if (depth_ == 0) depth_ = 1;
   if (options_.async) {
-    worker_ = std::thread([this] { WorkerLoop(); });
+    pump_ = std::thread([this] { PumpLoop(); });
   }
 }
 
@@ -22,7 +29,7 @@ VirtualDisk::~VirtualDisk() {
       shutdown_ = true;
     }
     cv_.notify_all();
-    worker_.join();
+    pump_.join();
   }
 }
 
@@ -31,7 +38,7 @@ Request VirtualDisk::ReadAsync(uint64_t block, void* buf) {
   op.is_write = false;
   op.block = block;
   op.read_buf = buf;
-  return Submit(std::move(op));
+  return Enqueue(std::move(op));
 }
 
 Request VirtualDisk::WriteAsync(uint64_t block, const void* buf) {
@@ -39,85 +46,142 @@ Request VirtualDisk::WriteAsync(uint64_t block, const void* buf) {
   op.is_write = true;
   op.block = block;
   op.write_buf = buf;
-  return Submit(std::move(op));
+  return Enqueue(std::move(op));
 }
 
-Request VirtualDisk::Submit(Op op) {
-  op.state = std::make_shared<internal::RequestState>();
+Request VirtualDisk::Enqueue(Op op) {
+  op.state = std::make_shared<internal::RequestState>(signal_);
   Request request(op.state);
   if (!options_.async) {
-    Execute(op);
+    // Inline mode: serve the operation on the caller's thread, serialized
+    // against other submitters (the backend seam is single-driver).
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+    Issue(std::move(op));
+    while (!request.done()) {
+      if (ReapSome(/*wait=*/true) == 0 && !request.done()) {
+        DEMSORT_CHECK(false) << "inline I/O completion never arrived";
+      }
+    }
     return request;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
     queue_.push_back(std::move(op));
   }
   cv_.notify_all();
   return request;
 }
 
-void VirtualDisk::Execute(const Op& op) {
+void VirtualDisk::Issue(Op op) {
   const size_t bs = backend_->block_size();
-  bool seek = !has_last_block_ || op.block != last_block_ + 1;
+  const bool seek = !has_last_block_ || op.block != last_block_ + 1;
   has_last_block_ = true;
   last_block_ = op.block;
 
-  int64_t start = NowNanos();
-  Status status = op.is_write ? backend_->WriteBlock(op.block, op.write_buf)
-                              : backend_->ReadBlock(op.block, op.read_buf);
-  uint64_t real_ns = static_cast<uint64_t>(NowNanos() - start);
-
+  InFlight inf;
+  inf.seek = seek;
   double model_s = options_.model.TransferSeconds(bs) +
                    (seek ? options_.model.SeekSeconds() : 0.0);
-  uint64_t model_ns = static_cast<uint64_t>(model_s * 1e9);
-  if (options_.model.throttle) {
-    // Batch sub-millisecond service times into one sleep: the OS rounds
-    // short sleeps up to scheduler granularity, which would inflate the
-    // emulated device far beyond its model.
-    throttle_debt_ns_ += model_ns;
-    if (throttle_debt_ns_ >= 2'000'000) {
-      std::this_thread::sleep_for(
-          std::chrono::nanoseconds(throttle_debt_ns_));
-      throttle_debt_ns_ = 0;
-    }
+  inf.model_ns = static_cast<uint64_t>(model_s * 1e9);
+  inf.issue_ns = NowNanos();
+
+  IoOp io;
+  io.is_write = op.is_write;
+  io.block = op.block;
+  io.read_buf = op.read_buf;
+  io.write_buf = op.write_buf;
+  io.user_data = next_token_++;
+  inf.op = std::move(op);
+  while (!backend_->Submit(io)) {
+    // Device queue full: free a slot before retrying.
+    DEMSORT_CHECK_GT(ReapSome(/*wait=*/true), 0u)
+        << "device queue full but nothing completes";
   }
-  if (op.is_write) {
-    stats_.RecordWrite(bs, seek, model_ns, real_ns);
-  } else {
-    stats_.RecordRead(bs, seek, model_ns, real_ns);
-  }
-  Request::Complete(op.state, std::move(status));
+  inf.depth_at_issue = in_flight_.size() + 1;
+  in_flight_.emplace(io.user_data, std::move(inf));
 }
 
-void VirtualDisk::WorkerLoop() {
+size_t VirtualDisk::ReapSome(bool wait) {
+  completions_.clear();
+  backend_->Reap(&completions_, wait);
+  const size_t bs = backend_->block_size();
+  for (IoCompletion& c : completions_) {
+    auto it = in_flight_.find(c.user_data);
+    DEMSORT_CHECK(it != in_flight_.end()) << "completion for unknown op";
+    InFlight inf = std::move(it->second);
+    in_flight_.erase(it);
+    if (options_.model.throttle) {
+      // Batch sub-millisecond service times into one sleep: the OS rounds
+      // short sleeps up to scheduler granularity, which would inflate the
+      // emulated device far beyond its model.
+      throttle_debt_ns_ += inf.model_ns;
+      if (throttle_debt_ns_ >= 2'000'000) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(throttle_debt_ns_));
+        throttle_debt_ns_ = 0;
+      }
+    }
+    uint64_t latency_ns = static_cast<uint64_t>(NowNanos() - inf.issue_ns);
+    if (inf.op.is_write) {
+      stats_.RecordWrite(bs, inf.seek, inf.model_ns, latency_ns,
+                         inf.depth_at_issue);
+    } else {
+      stats_.RecordRead(bs, inf.seek, inf.model_ns, latency_ns,
+                        inf.depth_at_issue);
+    }
+    Request::Complete(inf.op.state, std::move(c.status));
+  }
+  size_t n = completions_.size();
+  outstanding_.fetch_sub(n, std::memory_order_release);
+  return n;
+}
+
+void VirtualDisk::PumpLoop() {
+  std::vector<Op> to_issue;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (shutdown_) return;
-      continue;
+    cv_.wait(lock, [this] {
+      return shutdown_ || !queue_.empty() || !in_flight_.empty();
+    });
+    if (shutdown_ && queue_.empty() && in_flight_.empty()) return;
+    to_issue.clear();
+    while (!queue_.empty() && in_flight_.size() + to_issue.size() < depth_) {
+      to_issue.push_back(std::move(queue_.front()));
+      queue_.pop_front();
     }
-    Op op = std::move(queue_.front());
-    queue_.pop_front();
-    executing_ = true;
     lock.unlock();
-    Execute(op);
+    for (Op& op : to_issue) Issue(std::move(op));
+    if (!in_flight_.empty()) {
+      ReapSome(/*wait=*/true);
+    }
     lock.lock();
-    executing_ = false;
-    if (queue_.empty()) cv_.notify_all();  // wake Drain()
+    // Issue() can also reap internally (full device queue), so notify
+    // unconditionally: Drain() rechecks its predicate anyway.
+    cv_.notify_all();
   }
 }
 
 void VirtualDisk::Drain() {
   if (!options_.async) return;
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return queue_.empty() && !executing_; });
+  cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+Status VirtualDisk::Flush() {
+  Drain();
+  // Nothing outstanding: the pump is parked in its cv wait (or absent in
+  // inline mode), so the backend is safe to touch from this thread. Holding
+  // mu_ keeps the pump parked while the barrier runs.
+  std::lock_guard<std::mutex> lock(mu_);
+  return backend_->Flush();
 }
 
 size_t VirtualDisk::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return outstanding_.load(std::memory_order_acquire);
 }
 
 }  // namespace demsort::io

@@ -1,16 +1,24 @@
-// VirtualDisk: one emulated disk with an asynchronous FIFO request queue
-// served by a dedicated worker thread — the shape of STXXL's per-disk I/O
-// threads. Tracks exact operation counts and a modeled busy clock
-// (seek-aware: an access to block i+1 right after block i is sequential).
+// VirtualDisk: one emulated disk driven as a submission/completion pump over
+// the async StorageBackend seam. The pump thread keeps up to the effective
+// queue depth (min of the configured depth and the backend's own capacity)
+// in flight, reaps completions, and settles Request handles — for inline
+// backends (capacity 1) this degenerates to the classic STXXL-style per-disk
+// I/O thread, so FIFO semantics and the seek model are unchanged; for a real
+// ring (io_uring) it keeps the device queue full. Tracks exact operation
+// counts, a modeled busy clock (seek-aware: an access to block i+1 right
+// after block i is sequential), and queue-depth / submit→complete gauges.
 #ifndef DEMSORT_IO_DISK_H_
 #define DEMSORT_IO_DISK_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "io/backend.h"
 #include "io/io_stats.h"
@@ -21,10 +29,15 @@ namespace demsort::io {
 class VirtualDisk {
  public:
   struct Options {
-    /// Serve requests on a worker thread (true) or inline in the submitting
+    /// Serve requests on a pump thread (true) or inline in the submitting
     /// call (false). Semantics are identical; async enables the overlap the
     /// paper relies on, inline keeps thread counts low at extreme PE counts.
     bool async = true;
+    /// Max operations kept in flight at the backend. 0 = the backend's own
+    /// queue_capacity(); any other value is clamped to that capacity, so an
+    /// inline backend always runs at depth 1 and a uring backend at up to
+    /// its SQ depth.
+    size_t queue_depth = 0;
     DiskModel model;
   };
 
@@ -38,8 +51,12 @@ class VirtualDisk {
   Request ReadAsync(uint64_t block, void* buf);
   Request WriteAsync(uint64_t block, const void* buf);
 
-  /// Blocks until every queued request has been served.
+  /// Blocks until every submitted request has completed.
   void Drain();
+
+  /// Durability barrier: Drain() + StorageBackend::Flush(). Everything
+  /// completed before this call is on stable storage when it returns OK.
+  Status Flush();
 
   /// Recovery re-entry (see StorageBackend::TrustOnly). Only valid while no
   /// request is queued or in flight — the restore path runs before the
@@ -50,7 +67,12 @@ class VirtualDisk {
 
   size_t block_size() const { return backend_->block_size(); }
   IoStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  /// Phase boundary for the depth gauge (see IoStats::ResetQueueDepthPeak).
+  void ResetQueueDepthPeak() { stats_.ResetQueueDepthPeak(); }
+  /// Requests submitted but not yet completed (queued + in flight).
   size_t queue_depth() const;
+  /// The depth the pump actually drives the backend at.
+  size_t effective_queue_depth() const { return depth_; }
 
  private:
   struct Op {
@@ -60,27 +82,46 @@ class VirtualDisk {
     const void* write_buf = nullptr;
     std::shared_ptr<internal::RequestState> state;
   };
+  /// Bookkeeping for one op between backend Submit and completion reap.
+  struct InFlight {
+    Op op;
+    bool seek = false;
+    int64_t issue_ns = 0;
+    uint64_t model_ns = 0;
+    uint64_t depth_at_issue = 0;
+  };
 
-  Request Submit(Op op);
-  void Execute(const Op& op);
-  void WorkerLoop();
+  Request Enqueue(Op op);
+  /// Seek accounting + backend submit; reaps when the device queue is full.
+  /// Pump thread (or sync caller) only.
+  void Issue(Op op);
+  /// Reaps completions (blocking when `wait`), settles their Requests,
+  /// applies throttle sleeps, and records stats. Returns #completed.
+  size_t ReapSome(bool wait);
+  void PumpLoop();
 
   std::unique_ptr<StorageBackend> backend_;
   Options options_;
+  size_t depth_ = 1;
   IoStats stats_;
+  std::shared_ptr<internal::CompletionSignal> signal_;
 
-  // Head-position tracking for the seek model (worker/inline thread only,
-  // guarded by serialization of Execute calls).
+  // Pump-thread-only state (sync mode: caller thread under mu_).
+  uint64_t next_token_ = 0;
+  std::unordered_map<uint64_t, InFlight> in_flight_;
   uint64_t last_block_ = UINT64_MAX;
   bool has_last_block_ = false;
   uint64_t throttle_debt_ns_ = 0;
+  std::vector<IoCompletion> completions_;  // reap scratch
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Op> queue_;
+  /// Submitted to this disk and not yet completed (queued + in flight) —
+  /// what Drain() waits on. Atomic: decremented by the pump off-lock.
+  std::atomic<size_t> outstanding_{0};
   bool shutdown_ = false;
-  bool executing_ = false;
-  std::thread worker_;
+  std::thread pump_;
 };
 
 }  // namespace demsort::io

@@ -9,26 +9,37 @@ IoStatsSnapshot& IoStatsSnapshot::operator+=(const IoStatsSnapshot& rhs) {
   bytes_written += rhs.bytes_written;
   seeks += rhs.seeks;
   model_busy_ns += rhs.model_busy_ns;
-  real_busy_ns += rhs.real_busy_ns;
+  submit_complete_ns += rhs.submit_complete_ns;
+  // Gauge: the deepest queue across the combined disks, not their sum.
+  queue_depth_peak = std::max(queue_depth_peak, rhs.queue_depth_peak);
+  queue_depth_sum += rhs.queue_depth_sum;
   return *this;
 }
 
 void IoStats::RecordRead(uint64_t bytes, bool seek, uint64_t model_ns,
-                         uint64_t real_ns) {
+                         uint64_t submit_complete_ns, uint64_t depth) {
   reads_.fetch_add(1, std::memory_order_relaxed);
   bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
   if (seek) seeks_.fetch_add(1, std::memory_order_relaxed);
   model_busy_ns_.fetch_add(model_ns, std::memory_order_relaxed);
-  real_busy_ns_.fetch_add(real_ns, std::memory_order_relaxed);
+  submit_complete_ns_.fetch_add(submit_complete_ns,
+                                std::memory_order_relaxed);
+  RecordDepth(depth);
 }
 
 void IoStats::RecordWrite(uint64_t bytes, bool seek, uint64_t model_ns,
-                          uint64_t real_ns) {
+                          uint64_t submit_complete_ns, uint64_t depth) {
   writes_.fetch_add(1, std::memory_order_relaxed);
   bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
   if (seek) seeks_.fetch_add(1, std::memory_order_relaxed);
   model_busy_ns_.fetch_add(model_ns, std::memory_order_relaxed);
-  real_busy_ns_.fetch_add(real_ns, std::memory_order_relaxed);
+  submit_complete_ns_.fetch_add(submit_complete_ns,
+                                std::memory_order_relaxed);
+  RecordDepth(depth);
+}
+
+void IoStats::ResetQueueDepthPeak() {
+  queue_depth_peak_.store(0, std::memory_order_relaxed);
 }
 
 IoStatsSnapshot IoStats::Snapshot() const {
@@ -38,7 +49,9 @@ IoStatsSnapshot IoStats::Snapshot() const {
                          bytes_written_.load(std::memory_order_relaxed),
                          seeks_.load(std::memory_order_relaxed),
                          model_busy_ns_.load(std::memory_order_relaxed),
-                         real_busy_ns_.load(std::memory_order_relaxed)};
+                         submit_complete_ns_.load(std::memory_order_relaxed),
+                         queue_depth_peak_.load(std::memory_order_relaxed),
+                         queue_depth_sum_.load(std::memory_order_relaxed)};
 }
 
 }  // namespace demsort::io

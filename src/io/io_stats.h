@@ -3,10 +3,13 @@
 // Real wall time on the emulation host says little about a 780-disk cluster;
 // these counters record exactly what the algorithms did to each virtual disk
 // (operations, bytes, sequential vs seeking access), and the device model
-// turns that into modeled busy seconds using paper-grade constants.
+// turns that into modeled busy seconds using paper-grade constants. The
+// queue-depth gauges record how deep the submission pump actually ran —
+// the storage-side analogue of the net layer's recv_buffer_peak_bytes.
 #ifndef DEMSORT_IO_IO_STATS_H_
 #define DEMSORT_IO_IO_STATS_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 
@@ -18,7 +21,7 @@ namespace demsort::io {
 struct DiskModel {
   double seek_ms = 12.0;
   double mib_per_s = 67.0;
-  /// When true, the disk worker actually sleeps for the modeled service
+  /// When true, the disk pump actually sleeps for the modeled service
   /// time, making overlap effects observable in real wall time (used by the
   /// overlap ablation; only meaningful with async disks).
   bool throttle = false;
@@ -37,13 +40,32 @@ struct IoStatsSnapshot {
   uint64_t seeks = 0;
   /// Modeled device busy time, in nanoseconds (virtual clock).
   uint64_t model_busy_ns = 0;
-  /// Real time spent executing backend operations, in nanoseconds.
-  uint64_t real_busy_ns = 0;
+  /// Real submit→complete latency summed over ops, in nanoseconds: from the
+  /// moment an op is issued to the backend to the moment its completion is
+  /// reaped (queueing at the device included).
+  uint64_t submit_complete_ns = 0;
+  /// Deepest the device queue ever ran (ops in flight at issue, the issued
+  /// op included). A GAUGE: combine with max, reset per phase.
+  uint64_t queue_depth_peak = 0;
+  /// Sum over ops of in-flight depth at issue; mean depth is sum / ops().
+  uint64_t queue_depth_sum = 0;
 
   uint64_t ops() const { return reads + writes; }
   uint64_t bytes() const { return bytes_read + bytes_written; }
   double model_busy_s() const { return model_busy_ns * 1e-9; }
+  double mean_queue_depth() const {
+    return ops() == 0 ? 0.0
+                      : static_cast<double>(queue_depth_sum) /
+                            static_cast<double>(ops());
+  }
+  double mean_submit_complete_us() const {
+    return ops() == 0 ? 0.0
+                      : static_cast<double>(submit_complete_ns) * 1e-3 /
+                            static_cast<double>(ops());
+  }
 
+  /// Phase delta (end - begin). Counters subtract; the depth-peak gauge is
+  /// taken from `this` — callers reset it at the start of the interval.
   IoStatsSnapshot operator-(const IoStatsSnapshot& rhs) const {
     return IoStatsSnapshot{reads - rhs.reads,
                            writes - rhs.writes,
@@ -51,27 +73,45 @@ struct IoStatsSnapshot {
                            bytes_written - rhs.bytes_written,
                            seeks - rhs.seeks,
                            model_busy_ns - rhs.model_busy_ns,
-                           real_busy_ns - rhs.real_busy_ns};
+                           submit_complete_ns - rhs.submit_complete_ns,
+                           queue_depth_peak,
+                           queue_depth_sum - rhs.queue_depth_sum};
   }
   IoStatsSnapshot& operator+=(const IoStatsSnapshot& rhs);
 };
 
 class IoStats {
  public:
+  /// `depth` is the number of ops in flight when this op was issued
+  /// (including itself); `submit_complete_ns` its issue→completion latency.
   void RecordRead(uint64_t bytes, bool seek, uint64_t model_ns,
-                  uint64_t real_ns);
+                  uint64_t submit_complete_ns, uint64_t depth);
   void RecordWrite(uint64_t bytes, bool seek, uint64_t model_ns,
-                   uint64_t real_ns);
+                   uint64_t submit_complete_ns, uint64_t depth);
+  /// Phase boundary: forget the previous phase's depth peak (counters keep
+  /// accumulating; only the gauge resets — mirrors ResetRecvBufferPeak on
+  /// the net side).
+  void ResetQueueDepthPeak();
   IoStatsSnapshot Snapshot() const;
 
  private:
+  void RecordDepth(uint64_t depth) {
+    queue_depth_sum_.fetch_add(depth, std::memory_order_relaxed);
+    uint64_t peak = queue_depth_peak_.load(std::memory_order_relaxed);
+    while (depth > peak && !queue_depth_peak_.compare_exchange_weak(
+                               peak, depth, std::memory_order_relaxed)) {
+    }
+  }
+
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> seeks_{0};
   std::atomic<uint64_t> model_busy_ns_{0};
-  std::atomic<uint64_t> real_busy_ns_{0};
+  std::atomic<uint64_t> submit_complete_ns_{0};
+  std::atomic<uint64_t> queue_depth_peak_{0};
+  std::atomic<uint64_t> queue_depth_sum_{0};
 };
 
 }  // namespace demsort::io

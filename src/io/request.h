@@ -1,10 +1,18 @@
 // Async I/O completion handles.
+//
+// A Request is a cheap view of one in-flight disk operation. The completion
+// state is one atomic flag plus a Status; the blocking machinery (mutex +
+// condition variable) lives in a CompletionSignal SHARED by every operation
+// of a disk, so issuing an op costs one small allocation and no lock — the
+// queue-depth hot path never constructs a mutex/cv pair per op.
 #ifndef DEMSORT_IO_REQUEST_H_
 #define DEMSORT_IO_REQUEST_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "util/logging.h"
@@ -13,12 +21,25 @@
 namespace demsort::io {
 
 namespace internal {
-struct RequestState {
+
+/// One mutex+cv serving blocking waits for ALL of a disk's in-flight ops.
+/// Completions store-release the per-op flag first, then tap the signal;
+/// waiters re-check their flag under the lock, so wakeups are never lost.
+struct CompletionSignal {
   std::mutex mu;
   std::condition_variable cv;
-  bool done = false;
-  Status status;
 };
+
+struct RequestState {
+  explicit RequestState(std::shared_ptr<CompletionSignal> sig)
+      : signal(std::move(sig)) {}
+  std::atomic<bool> done{false};
+  /// Written by the completer strictly before the release-store of `done`;
+  /// readers must observe `done` with acquire before touching it.
+  Status status;
+  std::shared_ptr<CompletionSignal> signal;
+};
+
 }  // namespace internal
 
 /// Shared handle to an in-flight (or completed) disk operation. Copyable;
@@ -32,8 +53,13 @@ class Request {
   /// Blocks until the operation completes; returns its status.
   Status Wait() const {
     if (state_ == nullptr) return Status::OK();
-    std::unique_lock<std::mutex> lock(state_->mu);
-    state_->cv.wait(lock, [&] { return state_->done; });
+    if (!state_->done.load(std::memory_order_acquire)) {
+      internal::CompletionSignal& sig = *state_->signal;
+      std::unique_lock<std::mutex> lock(sig.mu);
+      sig.cv.wait(lock, [&] {
+        return state_->done.load(std::memory_order_acquire);
+      });
+    }
     return state_->status;
   }
 
@@ -42,28 +68,42 @@ class Request {
   void WaitOk() const { DEMSORT_CHECK_OK(Wait()); }
 
   bool done() const {
-    if (state_ == nullptr) return true;
-    std::lock_guard<std::mutex> lock(state_->mu);
-    return state_->done;
+    return state_ == nullptr || state_->done.load(std::memory_order_acquire);
   }
 
   static void Complete(const std::shared_ptr<internal::RequestState>& state,
                        Status status) {
-    {
-      std::lock_guard<std::mutex> lock(state->mu);
-      state->done = true;
-      state->status = std::move(status);
-    }
-    state->cv.notify_all();
+    state->status = std::move(status);
+    state->done.store(true, std::memory_order_release);
+    internal::CompletionSignal& sig = *state->signal;
+    // Empty critical section: a waiter is either past its pre-check (and
+    // will be woken) or has not yet locked (and will see done == true).
+    { std::lock_guard<std::mutex> lock(sig.mu); }
+    sig.cv.notify_all();
   }
 
  private:
   std::shared_ptr<internal::RequestState> state_;
 };
 
-/// Waits for all requests; aborts on the first failure.
+/// Waits for ALL requests to complete, then returns the first error (OK when
+/// everything succeeded). Never abandons an in-flight request: callers own
+/// the buffers these operations target, so returning (or aborting) while a
+/// later request is still in flight would hand the device a dangling buffer.
+inline Status WaitAll(const std::vector<Request>& requests) {
+  Status first = Status::OK();
+  for (const Request& r : requests) {
+    Status s = r.Wait();
+    if (first.ok() && !s.ok()) first = std::move(s);
+  }
+  return first;
+}
+
+/// WaitAll() that treats any failure as fatal — but only AFTER every request
+/// has completed, so no op is still writing into caller-owned memory when
+/// the process reports the error.
 inline void WaitAllOk(const std::vector<Request>& requests) {
-  for (const Request& r : requests) r.WaitOk();
+  DEMSORT_CHECK_OK(WaitAll(requests));
 }
 
 }  // namespace demsort::io

@@ -37,7 +37,19 @@ class StripedWriter {
   }
 
   void AppendSpan(const R* records, size_t count) {
-    for (size_t i = 0; i < count; ++i) Append(records[i]);
+    // Bulk path: whole block-sized (or tail-sized) spans are memcpy'd at
+    // once instead of record-at-a-time.
+    while (count > 0) {
+      if (fill_ == 0) first_records_.push_back(records[0]);
+      size_t take = std::min(epb_ - fill_, count);
+      std::memcpy(current_.data() + fill_ * sizeof(R), records,
+                  take * sizeof(R));
+      fill_ += take;
+      total_ += take;
+      records += take;
+      count -= take;
+      if (fill_ == epb_) Flush();
+    }
   }
 
   /// Flushes the partial tail block (if any) and waits for all writes.

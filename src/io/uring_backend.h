@@ -1,0 +1,36 @@
+// io_uring storage backend: a real kernel submission/completion ring with
+// registered buffers and a configurable SQ depth — the backend that actually
+// keeps queue_capacity() operations in flight at once.
+//
+// Implemented against the raw io_uring syscalls (io_uring_setup/enter/
+// register) and <linux/io_uring.h> directly, so no liburing dependency is
+// needed. Compiled only when CMake's check_include_file finds the kernel
+// header (DEMSORT_HAVE_URING); MakeUringBackend is always linkable and
+// returns Unimplemented when support is compiled out, or an IoError when the
+// running kernel refuses the ring (ENOSYS, seccomp EPERM) — callers fall
+// back to FileBackend or skip.
+#ifndef DEMSORT_IO_URING_BACKEND_H_
+#define DEMSORT_IO_URING_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "io/backend.h"
+#include "util/status.h"
+
+namespace demsort::io {
+
+/// Builds a UringBackend over one file, with `queue_depth` submission-queue
+/// entries (clamped to >= 1). See the header comment for failure modes.
+StatusOr<std::unique_ptr<StorageBackend>> MakeUringBackend(
+    const std::string& path, size_t block_size, unsigned queue_depth,
+    bool unlink_on_close, bool reuse_existing);
+
+/// True when io_uring support was compiled in (kernel header present at
+/// configure time). A true here does NOT guarantee the runtime kernel
+/// cooperates — MakeUringBackend is the authoritative probe.
+bool UringCompiledIn();
+
+}  // namespace demsort::io
+
+#endif  // DEMSORT_IO_URING_BACKEND_H_
