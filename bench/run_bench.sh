@@ -6,12 +6,16 @@
 # bytes < 2x flat), the fig5 all-to-all I/O-volume sweep at fixed
 # seeds/sizes, and — since the async storage engine — the overlap and
 # prefetch ablations swept across storage backends and queue depths. Emits
-# one machine-readable BENCH_PR8.json — the file future PRs diff to see
+# one machine-readable BENCH_PR9.json — the file future PRs diff to see
 # the perf trajectory.
+#
+# Since the parallel merge engine it also sweeps the final-merge ablation
+# (batched vs record-at-a-time kernels crossed with 1/2/4 merge workers,
+# per storage backend).
 #
 # Usage: bench/run_bench.sh [BUILD_DIR] [OUT_JSON]
 #   BUILD_DIR  cmake build directory holding the benches (default: build)
-#   OUT_JSON   output path (default: BENCH_PR8.json in the repo root)
+#   OUT_JSON   output path (default: BENCH_PR9.json in the repo root)
 #
 # Everything here is deterministic up to wall-clock timings: the workload
 # seeds are fixed (FigureConfig's default seed), the sweep sizes are pinned
@@ -23,9 +27,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR8.json}"
+OUT="${2:-BENCH_PR9.json}"
 
-for bin in micro_net fig5_alltoall_io_volume ablation_overlap ablation_prefetch; do
+for bin in micro_net fig5_alltoall_io_volume ablation_overlap ablation_prefetch ablation_merge; do
   if [[ ! -x "$BUILD_DIR/$bin" ]]; then
     echo "error: $BUILD_DIR/$bin not built" >&2
     exit 2
@@ -68,6 +72,7 @@ STORAGE_DIR="$tmpdir/storage"
 mkdir -p "$STORAGE_DIR"
 : > "$tmpdir/overlap_rows.json"
 : > "$tmpdir/prefetch_rows.json"
+: > "$tmpdir/merge_rows.json"
 : > "$tmpdir/storage_skips.json"
 
 overlap_to_rows() {  # $1=txt $2=storage $3=qd
@@ -92,6 +97,17 @@ prefetch_to_rows() {  # $1=txt $2=storage $3=qd
   ' "$1"
 }
 
+merge_to_rows() {  # $1=txt $2=storage $3=qd
+  awk -v storage="$2" -v qd="$3" '
+    /^#/ { next }
+    $1 == "kernel" { next }
+    NF >= 8 {
+      printf "      {\"storage\": \"%s\", \"queue_depth\": %s, \"kernel\": \"%s\", \"keys\": \"%s\", \"threads\": %s, \"merge_wall_ms\": %s, \"workers\": %s, \"merge_cpu_ms\": %s, \"merge_io_wait_ms\": %s, \"demand_fetches\": %s},\n",
+             storage, qd, $1, $2, $3, $4, $5, $6, $7, $8
+    }
+  ' "$1"
+}
+
 for cell in memory:1 memory:8 file:8 direct:8 uring:1 uring:8 uring:32 mmap:8; do
   storage="${cell%%:*}"
   qd="${cell##*:}"
@@ -112,6 +128,11 @@ for cell in memory:1 memory:8 file:8 direct:8 uring:1 uring:8 uring:32 mmap:8; d
   "$BUILD_DIR/ablation_prefetch" --pes=2 \
     --storage="$storage" --queue-depth="$qd" --file-dir="$dir" > "$ptxt"
   prefetch_to_rows "$ptxt" "$storage" "$qd" >> "$tmpdir/prefetch_rows.json"
+
+  mtxt="$tmpdir/merge_${storage}_${qd}.txt"
+  "$BUILD_DIR/ablation_merge" --elements=262144 --runs=8 --reps=2 \
+    --storage="$storage" --queue-depth="$qd" --file-dir="$dir" > "$mtxt"
+  merge_to_rows "$mtxt" "$storage" "$qd" >> "$tmpdir/merge_rows.json"
 done
 
 finish_rows() {  # strips the trailing comma of the last row (if any)
@@ -120,8 +141,8 @@ finish_rows() {  # strips the trailing comma of the last row (if any)
 
 {
   echo '{'
-  echo '  "snapshot": "BENCH_PR8",'
-  echo '  "fixed_params": {"fig5_elements_per_pe": 131072, "fig5_max_pes": 8, "ablation_pes": 4, "ablation_repeats": 3},'
+  echo '  "snapshot": "BENCH_PR9",'
+  echo '  "fixed_params": {"fig5_elements_per_pe": 131072, "fig5_max_pes": 8, "ablation_pes": 4, "ablation_repeats": 3, "merge_elements": 262144, "merge_runs": 8, "merge_reps": 2},'
   echo '  "stream":'
   sed 's/^/  /' "$tmpdir/stream.json" | sed '$ s/}$/},/'
   echo '  "topo":'
@@ -139,6 +160,11 @@ finish_rows() {  # strips the trailing comma of the last row (if any)
   echo '  "storage_prefetch_ablation": {'
   echo '    "rows": ['
   finish_rows "$tmpdir/prefetch_rows.json"
+  echo '    ]'
+  echo '  },'
+  echo '  "merge_engine_ablation": {'
+  echo '    "rows": ['
+  finish_rows "$tmpdir/merge_rows.json"
   echo '    ]'
   echo '  },'
   echo '  "storage_skipped": ['

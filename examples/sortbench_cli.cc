@@ -19,6 +19,10 @@
 //                                               # QD 32, 4 stripe files per
 //                                               # emulated disk (also:
 //                                               # file, direct, mmap)
+//   ./sortbench_cli --threads=4 --merge-kernel=batched
+//                                               # range-partitioned parallel
+//                                               # final merge (see --stats'
+//                                               # mrg_wrk/cpu/iow columns)
 //   ./sortbench_cli --hosts=hosts.txt --rank=0  # one rank of a real
 //                                               # cross-machine mesh
 //
@@ -184,10 +188,11 @@ PeOutcome RunOnePe(net::Comm& comm, const CliOptions& options) {
 void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
   std::printf(
       "%-18s  %10s  %12s  %12s  %10s  %10s  %14s  %11s  %11s  %9s  %9s"
-      "  %8s  %8s  %10s\n",
+      "  %8s  %8s  %10s  %7s  %10s  %10s\n",
       "phase", "wall_max_s", "io_MiB", "net_out_MiB", "intra_MiB",
       "inter_MiB", "peak_netbuf_KiB", "credit_msgs", "piggy_creds",
-      "chunk_KiB", "pool_hit%", "ioq_peak", "ioq_mean", "io_lat_us");
+      "chunk_KiB", "pool_hit%", "ioq_peak", "ioq_mean", "io_lat_us",
+      "mrg_wrk", "mrg_cpu_ms", "mrg_iow_ms");
   for (int p = 0; p < static_cast<int>(core::Phase::kNumPhases); ++p) {
     core::Phase phase = static_cast<core::Phase>(p);
     double wall_max_s = 0;
@@ -205,6 +210,9 @@ void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
     uint64_t ioq_sum = 0;
     uint64_t io_ops = 0;
     uint64_t io_lat_ns = 0;
+    uint64_t merge_workers = 0;
+    double merge_cpu_ms = 0;
+    double merge_io_wait_ms = 0;
     for (const core::SortReport& r : reports) {
       const core::PhaseStats& s = r.Get(phase);
       wall_max_s = std::max(wall_max_s, s.wall_s);
@@ -222,10 +230,13 @@ void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
       ioq_sum += s.io.queue_depth_sum;
       io_ops += s.io.reads + s.io.writes;
       io_lat_ns += s.io.submit_complete_ns;
+      merge_workers = std::max(merge_workers, s.merge_workers);
+      merge_cpu_ms += s.merge_cpu_ms;
+      merge_io_wait_ms += s.merge_io_wait_ms;
     }
     std::printf(
         "%-18s  %10.3f  %12.1f  %12.1f  %10.1f  %10.1f  %14.1f  %11llu  "
-        "%11llu  %9.1f  %9.1f  %8llu  %8.2f  %10.1f\n",
+        "%11llu  %9.1f  %9.1f  %8llu  %8.2f  %10.1f  %7llu  %10.1f  %10.1f\n",
         core::PhaseName(phase), wall_max_s,
         static_cast<double>(io_bytes) / (1 << 20),
         static_cast<double>(net_bytes) / (1 << 20),
@@ -241,7 +252,9 @@ void PrintPhaseStats(const std::vector<core::SortReport>& reports) {
         static_cast<double>(ioq_sum) /
             static_cast<double>(std::max<uint64_t>(io_ops, 1)),
         static_cast<double>(io_lat_ns) / 1e3 /
-            static_cast<double>(std::max<uint64_t>(io_ops, 1)));
+            static_cast<double>(std::max<uint64_t>(io_ops, 1)),
+        static_cast<unsigned long long>(merge_workers), merge_cpu_ms,
+        merge_io_wait_ms);
   }
 }
 
@@ -663,6 +676,24 @@ int main(int argc, char** argv) {
   options.config.memory_per_pe = 4 * 1024 * 1024;
   options.config.disks_per_pe = 4;
   options.config.seed = static_cast<uint64_t>(flags.GetInt("seed", 2009));
+
+  // ---- merge engine: --threads=N workers per PE (range-partitioned final
+  // merge + intra-PE parallel sorting), --merge-kernel={batched,record}.
+  options.config.threads_per_pe =
+      static_cast<uint32_t>(flags.GetInt("threads", 1));
+  if (options.config.threads_per_pe < 1) {
+    std::fprintf(stderr, "--threads must be >= 1\n");
+    return 2;
+  }
+  std::string merge_kernel = flags.GetString("merge-kernel", "batched");
+  if (merge_kernel == "batched") {
+    options.config.merge_kernel = core::MergeKernel::kBatched;
+  } else if (merge_kernel == "record") {
+    options.config.merge_kernel = core::MergeKernel::kRecordAtATime;
+  } else {
+    std::fprintf(stderr, "--merge-kernel must be 'batched' or 'record'\n");
+    return 2;
+  }
 
   // ---- storage engine: --storage={memory,file,direct,uring,mmap},
   // --file-dir=DIR (required for the file-backed kinds), --files-per-disk=K

@@ -21,6 +21,15 @@ enum class PrefetchMode {
   kPrediction,
 };
 
+enum class MergeKernel {
+  /// Sentinel loser tree + batched span emission ("merge until the
+  /// runner-up's head" with one tree replay per span). The default.
+  kBatched,
+  /// The classic record-at-a-time loser-tree loop (one replay per record).
+  /// Kept as the ablation baseline and a conservative fallback.
+  kRecordAtATime,
+};
+
 struct SortConfig {
   // ----------------------------------------------------------- EM model --
   /// B, in bytes (the paper uses 8 MiB on 16 GiB nodes; scale accordingly).
@@ -58,8 +67,13 @@ struct SortConfig {
   /// ride reverse data frames in the symmetric exchange rounds.
   net::StreamCreditMode stream_credit_mode = net::StreamCreditMode::kAuto;
   PrefetchMode prefetch = PrefetchMode::kPrediction;
-  /// Prefetch buffer pool size in blocks; 0 = auto.
+  /// Prefetch buffer pool size in blocks; 0 = auto. With W merge workers the
+  /// pool is split across partitions (floor: 2 blocks per live run per
+  /// worker).
   size_t prefetch_buffers = 0;
+  /// Inner loop of the external merge. Independent of the range
+  /// partitioning: threads_per_pe > 1 parallelizes either kernel.
+  MergeKernel merge_kernel = MergeKernel::kBatched;
   /// Overlap I/O with sorting during run formation (§IV-E Overlapping).
   bool overlap_run_formation = true;
   /// Cache capacity (blocks) of the selection block cache (§IV-A "we cache

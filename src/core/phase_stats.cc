@@ -53,6 +53,9 @@ void PhaseStats::Accumulate(const PhaseStats& other) {
   merge_ways = std::max(merge_ways, other.merge_ways);
   selection_rounds += other.selection_rounds;
   demand_fetches += other.demand_fetches;
+  merge_workers = std::max(merge_workers, other.merge_workers);
+  merge_cpu_ms += other.merge_cpu_ms;
+  merge_io_wait_ms += other.merge_io_wait_ms;
 }
 
 PhaseCollector::PhaseCollector(net::Comm* comm, io::BlockManager* bm)

@@ -116,7 +116,12 @@ PipelinedResult<R> PipelinedSort(
   AllToAllResult<R> redistributed =
       ExternalAllToAll<R>(ctx, config, rf, split);
 
-  // ---- phase 3: merge straight into the consumer.
+  // ---- phase 3: merge straight into the consumer. With threads_per_pe > 1
+  // the merge range-partitions across the PE's pool; the consumer still
+  // sees every record in global key order (workers hand partitions over
+  // through a sequence gate), but the calls may come from changing worker
+  // threads — serialized, with happens-before between partitions, so
+  // single-threaded consumer state is safe without its own locking.
   uint64_t consumed = MergeExtentsToSink<R>(
       ctx, config, std::move(redistributed.extents_per_run),
       [&consumer](const R& record) { consumer(record); });

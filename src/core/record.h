@@ -43,6 +43,11 @@ struct RecordTraits<KV16> {
       return a.key < b.key;
     }
   };
+  /// A maximal record under Less (not necessarily strictly greater than
+  /// every real record — the all-ones key is itself a valid key). The
+  /// sentinel loser tree pairs it with an exhaustion-biased tie-break, so
+  /// equality with real records is fine.
+  static KV16 MaxSentinel() { return KV16{UINT64_MAX, UINT64_MAX}; }
   static constexpr const char* kName = "kv16";
 };
 
@@ -53,6 +58,11 @@ struct RecordTraits<Gray100> {
       return std::memcmp(a.key.data(), b.key.data(), a.key.size()) < 0;
     }
   };
+  static Gray100 MaxSentinel() {
+    Gray100 r;
+    r.key.fill(0xFF);
+    return r;
+  }
   static constexpr const char* kName = "gray100";
 };
 

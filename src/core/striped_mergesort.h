@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <map>
 #include <utility>
 #include <vector>
@@ -344,17 +345,17 @@ StripedSortOutput<R> StripedMergeSort(PeContext& ctx, const SortConfig& config,
       }
     }
 
-    // Split my bag: output (<= barrier) vs keep (> barrier).
+    // Split my bag: output (<= barrier) vs keep (> barrier). Stable copy so
+    // the cooperative sort sees the bag in a deterministic order.
     std::vector<R> to_sort;
     if (have_barrier) {
       std::vector<R> keep;
-      for (const R& r : leftovers) {
-        if (less(barrier, r)) {
-          keep.push_back(r);
-        } else {
-          to_sort.push_back(r);
-        }
-      }
+      keep.reserve(leftovers.size());
+      to_sort.reserve(leftovers.size());
+      std::partition_copy(leftovers.begin(), leftovers.end(),
+                          std::back_inserter(keep),
+                          std::back_inserter(to_sort),
+                          [&](const R& r) { return less(barrier, r); });
       leftovers = std::move(keep);
     } else {
       to_sort = std::move(leftovers);

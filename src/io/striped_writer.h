@@ -52,6 +52,22 @@ class StripedWriter {
     }
   }
 
+  /// Splices `count` already-written full blocks (with their first records)
+  /// into the output stream, as if their contents had been Append'ed here.
+  /// Used by the parallel final merge: workers write the grid-aligned body
+  /// of their partition directly, and the stitching pass adopts those
+  /// blocks between the boundary spans it writes itself. Only legal on a
+  /// block boundary (no partial fill pending).
+  void AdoptFullBlocks(const BlockId* ids, const R* firsts, size_t count) {
+    DEMSORT_CHECK_EQ(fill_, 0u) << "adoption must land on a block boundary";
+    blocks_.insert(blocks_.end(), ids, ids + count);
+    first_records_.insert(first_records_.end(), firsts, firsts + count);
+    total_ += static_cast<uint64_t>(count) * epb_;
+  }
+
+  /// Records appended since the last flushed block boundary.
+  size_t pending_fill() const { return fill_; }
+
   /// Flushes the partial tail block (if any) and waits for all writes.
   void Finish() {
     final_fill_ = fill_ == 0 ? epb_ : fill_;

@@ -121,6 +121,130 @@ class LoserTree {
   std::vector<size_t> tree_;        // tree_[0] = winner, 1..k_pad-1 = losers
 };
 
+/// Loser tree whose exhausted sources hold a SENTINEL item instead of a
+/// per-source exhausted flag: the hot-path comparison is two Less calls and
+/// a rank compare, with no exhausted branches. The sentinel need not be
+/// strictly greater than every real item — a real item EQUAL to the
+/// sentinel still wins, because exhausting a source biases its tie-break
+/// rank past every live source (rank = k_pad + s), so live sources always
+/// beat exhausted ones on ties. Live-vs-live ties keep breaking by source
+/// index, preserving the (key, source, position) total order the merge
+/// relies on.
+///
+/// Extras over LoserTree, for the batched merge kernels:
+///  * live()            — number of non-exhausted sources (Empty == live 0)
+///  * IsLive(s)         — per-source liveness
+///  * Item(s)           — any source's current head
+///  * RunnerUpSource()  — the second-best source (valid while live() >= 2):
+///    it lost directly to the winner, so it sits on the winner's replay
+///    path; one O(log k) walk finds it. The winner may then advance through
+///    its buffer up to the runner-up's head without replaying the tree.
+template <typename T, typename Less>
+class SentinelLoserTree {
+ public:
+  SentinelLoserTree(size_t num_sources, T sentinel, Less less = Less())
+      : k_(num_sources), less_(less), sentinel_(sentinel) {
+    DEMSORT_CHECK_GT(k_, 0u);
+    k_pad_ = 1;
+    while (k_pad_ < k_) k_pad_ <<= 1;
+    items_.assign(k_pad_, sentinel_);
+    rank_.resize(k_pad_);
+    for (size_t s = 0; s < k_pad_; ++s) rank_[s] = k_pad_ + s;
+    tree_.assign(k_pad_, 0);
+    built_ = false;
+  }
+
+  size_t num_sources() const { return k_; }
+  size_t live() const { return live_; }
+  bool Empty() const { return live_ == 0; }
+  bool IsLive(size_t s) const { return rank_[s] < k_pad_; }
+
+  void InitSource(size_t s, const T& item) {
+    DEMSORT_CHECK_LT(s, k_);
+    DEMSORT_CHECK(!built_);
+    items_[s] = item;
+    if (rank_[s] >= k_pad_) ++live_;
+    rank_[s] = s;
+  }
+
+  void Build() {
+    DEMSORT_CHECK(!built_);
+    built_ = true;
+    if (k_pad_ > 1) tree_[0] = BuildSubtree(1);
+  }
+
+  size_t WinnerSource() const { return tree_[0]; }
+  const T& Winner() const { return items_[tree_[0]]; }
+  const T& Item(size_t s) const { return items_[s]; }
+
+  void ReplaceWinner(const T& item) {
+    size_t w = tree_[0];
+    items_[w] = item;
+    Replay(w);
+  }
+
+  void ExhaustWinner() {
+    size_t w = tree_[0];
+    DEMSORT_CHECK(IsLive(w));
+    items_[w] = sentinel_;
+    rank_[w] = k_pad_ + w;
+    --live_;
+    Replay(w);
+  }
+
+  /// Source holding the second-smallest head. Requires live() >= 2.
+  size_t RunnerUpSource() const {
+    DEMSORT_CHECK_GE(live_, 2u);
+    size_t w = tree_[0];
+    size_t best = k_pad_;
+    for (size_t node = (k_pad_ + w) >> 1; node >= 1; node >>= 1) {
+      size_t cand = tree_[node];
+      if (best == k_pad_ || Beats(cand, best)) best = cand;
+    }
+    return best;
+  }
+
+ private:
+  /// Branch-light ordering: item compare, then the exhausted-biased rank.
+  bool Beats(size_t a, size_t b) const {
+    if (less_(items_[a], items_[b])) return true;
+    if (less_(items_[b], items_[a])) return false;
+    return rank_[a] < rank_[b];
+  }
+
+  size_t BuildSubtree(size_t node) {
+    if (node >= k_pad_) return node - k_pad_;
+    size_t w1 = BuildSubtree(2 * node);
+    size_t w2 = BuildSubtree(2 * node + 1);
+    if (Beats(w1, w2)) {
+      tree_[node] = w2;
+      return w1;
+    }
+    tree_[node] = w1;
+    return w2;
+  }
+
+  void Replay(size_t source) {
+    size_t current = source;
+    for (size_t node = (k_pad_ + source) >> 1; node >= 1; node >>= 1) {
+      if (Beats(tree_[node], current)) {
+        std::swap(tree_[node], current);
+      }
+    }
+    tree_[0] = current;
+  }
+
+  size_t k_;
+  size_t k_pad_;
+  Less less_;
+  T sentinel_;
+  bool built_;
+  size_t live_ = 0;
+  std::vector<T> items_;
+  std::vector<size_t> rank_;  // s when live, k_pad_ + s when exhausted
+  std::vector<size_t> tree_;  // tree_[0] = winner, 1..k_pad-1 = losers
+};
+
 }  // namespace demsort::par
 
 #endif  // DEMSORT_PAR_LOSER_TREE_H_

@@ -61,15 +61,8 @@ size_t ParallelMultiwayMerge(ThreadPool& pool,
   }
 
   // Split positions for ranks t*total/parts, t = 0..parts.
-  std::vector<std::vector<size_t>> split(parts + 1);
-  split[0].assign(sources.size(), 0);
-  for (size_t t = 1; t < parts; ++t) {
-    split[t] = MultiwaySelect<T, Less>(sources, t * total / parts, less);
-  }
-  split[parts].resize(sources.size());
-  for (size_t s = 0; s < sources.size(); ++s) {
-    split[parts][s] = sources[s].size();
-  }
+  std::vector<std::vector<size_t>> split =
+      SelectSplitters<T, Less>(sources, parts, less);
 
   pool.ParallelFor(parts, [&](size_t t) {
     std::vector<std::span<const T>> slice(sources.size());

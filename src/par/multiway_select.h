@@ -100,6 +100,30 @@ std::vector<size_t> MultiwaySelect(const std::vector<std::span<const T>>& seqs,
   return std::vector<size_t>(lo.begin(), lo.end());
 }
 
+/// All split positions for dividing the merged output of `seqs` into
+/// `parts` equal chunks: returns parts+1 position vectors, with result[0]
+/// all zeros, result[parts] the sequence sizes, and result[t] the exact
+/// (key, seq, pos) split at rank t*total/parts. Because every boundary is
+/// computed under the same total order, result[t] <= result[t+1]
+/// elementwise — the chunks are disjoint and cover everything, even when
+/// the inputs are nothing but duplicates of one key.
+template <typename T, typename Less>
+std::vector<std::vector<size_t>> SelectSplitters(
+    const std::vector<std::span<const T>>& seqs, size_t parts,
+    Less less = Less()) {
+  DEMSORT_CHECK_GT(parts, 0u);
+  uint64_t total = 0;
+  for (const auto& s : seqs) total += s.size();
+  std::vector<std::vector<size_t>> split(parts + 1);
+  split[0].assign(seqs.size(), 0);
+  for (size_t t = 1; t < parts; ++t) {
+    split[t] = MultiwaySelect<T, Less>(seqs, t * total / parts, less);
+  }
+  split[parts].resize(seqs.size());
+  for (size_t j = 0; j < seqs.size(); ++j) split[parts][j] = seqs[j].size();
+  return split;
+}
+
 }  // namespace demsort::par
 
 #endif  // DEMSORT_PAR_MULTIWAY_SELECT_H_

@@ -28,23 +28,27 @@ void ParallelSort(ThreadPool& pool, std::span<T> data, Less less = Less()) {
     return;
   }
 
+  // Ping-pong: each task copies its chunk into the scratch buffer and sorts
+  // it there, then the merge lands directly in the caller's buffer — one
+  // full-array pass fewer than sort-in-place + merge-to-scratch + copy-back.
   const size_t chunk = (n + parts - 1) / parts;
+  std::vector<T> scratch(n);
   pool.ParallelFor(parts, [&](size_t t) {
     size_t lo = std::min(n, t * chunk);
     size_t hi = std::min(n, lo + chunk);
-    std::stable_sort(data.begin() + lo, data.begin() + hi, less);
+    if (lo >= hi) return;
+    std::copy(data.begin() + lo, data.begin() + hi, scratch.begin() + lo);
+    std::stable_sort(scratch.begin() + lo, scratch.begin() + hi, less);
   });
 
-  std::vector<T> merged(n);
   std::vector<std::span<const T>> sources;
   sources.reserve(parts);
   for (size_t t = 0; t < parts; ++t) {
     size_t lo = std::min(n, t * chunk);
     size_t hi = std::min(n, lo + chunk);
-    if (lo < hi) sources.push_back(std::span<const T>(&data[lo], hi - lo));
+    if (lo < hi) sources.push_back(std::span<const T>(&scratch[lo], hi - lo));
   }
-  ParallelMultiwayMerge(pool, sources, merged.data(), less);
-  std::copy(merged.begin(), merged.end(), data.begin());
+  ParallelMultiwayMerge(pool, sources, data.data(), less);
 }
 
 }  // namespace demsort::par

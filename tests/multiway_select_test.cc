@@ -131,6 +131,70 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(10, 100, 500),
                        ::testing::Values(2, 10, 1000000)));
 
+// ------------------------------------------------------ SelectSplitters ----
+
+/// Shared splitter-matrix properties: parts+1 rows, row 0 all zeros, row
+/// `parts` the sequence sizes, rows elementwise monotone, and each row t an
+/// exact MultiwaySelect at rank t*total/parts.
+void CheckSplitters(const std::vector<std::vector<int>>& seqs, size_t parts) {
+  uint64_t total = 0;
+  for (const auto& s : seqs) total += s.size();
+  auto split = SelectSplitters<int, IntLess>(Spans(seqs), parts);
+  ASSERT_EQ(split.size(), parts + 1);
+  for (size_t j = 0; j < seqs.size(); ++j) {
+    EXPECT_EQ(split[0][j], 0u);
+    EXPECT_EQ(split[parts][j], seqs[j].size());
+  }
+  for (size_t t = 1; t <= parts; ++t) {
+    uint64_t row_total = 0;
+    for (size_t j = 0; j < seqs.size(); ++j) {
+      EXPECT_LE(split[t - 1][j], split[t][j])
+          << "part " << t << " seq " << j << " not monotone";
+      row_total += split[t][j];
+    }
+    EXPECT_EQ(row_total, t * total / parts) << "part " << t;
+    if (t < parts) {
+      EXPECT_EQ(split[t], OracleSelect(seqs, t * total / parts))
+          << "part " << t;
+    }
+  }
+}
+
+TEST(SelectSplittersTest, SinglePartIsWholeRange) {
+  std::vector<std::vector<int>> seqs = {{1, 3, 5}, {2, 4}};
+  CheckSplitters(seqs, 1);
+}
+
+TEST(SelectSplittersTest, EmptySequencesAndEmptyInput) {
+  CheckSplitters({{}, {1, 2, 3}, {}, {0, 4}, {}}, 3);
+  CheckSplitters({{}, {}, {}}, 4);  // nothing to split: all rows zero
+}
+
+TEST(SelectSplittersTest, DuplicateHeavyKeysStayExact) {
+  // All-equal keys: cuts fall on the (seq, pos) tie-break order, and every
+  // part still gets exactly its rank share.
+  std::vector<std::vector<int>> seqs = {{7, 7, 7, 7}, {7, 7, 7}, {7, 7, 7, 7, 7}};
+  for (size_t parts : {1u, 2u, 3u, 4u, 6u}) CheckSplitters(seqs, parts);
+}
+
+TEST(SelectSplittersTest, MorePartsThanElements) {
+  std::vector<std::vector<int>> seqs = {{1}, {2}};
+  CheckSplitters(seqs, 8);  // most parts come out empty — that is fine
+}
+
+TEST(SelectSplittersTest, RandomizedSweep) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::vector<int>> seqs(1 + rng.Below(6));
+    for (auto& s : seqs) {
+      s.resize(rng.Below(80));
+      for (auto& x : s) x = static_cast<int>(rng.Below(9));
+      std::sort(s.begin(), s.end());
+    }
+    for (size_t parts : {1u, 2u, 4u, 7u}) CheckSplitters(seqs, parts);
+  }
+}
+
 TEST(MultiwaySelectTest, WorksOnRecords) {
   std::vector<std::vector<KV16>> seqs(3);
   Rng rng(5);

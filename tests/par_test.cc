@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <random>
 #include <span>
@@ -250,6 +251,150 @@ TEST(ParallelSortTest, ReverseSorted) {
   ParallelSort<KV16, KVLess>(pool, std::span<KV16>(data));
   for (size_t i = 1; i < data.size(); ++i) {
     EXPECT_LE(data[i - 1].key, data[i].key);
+  }
+}
+
+// --------------------------------------------------- SentinelLoserTree ----
+
+constexpr int kIntSentinel = std::numeric_limits<int>::max();
+
+TEST(SentinelLoserTreeTest, SingleSource) {
+  SentinelLoserTree<int, IntLess> tree(1, kIntSentinel);
+  tree.InitSource(0, 7);
+  tree.Build();
+  EXPECT_EQ(tree.live(), 1u);
+  EXPECT_EQ(tree.Winner(), 7);
+  tree.ExhaustWinner();
+  EXPECT_TRUE(tree.Empty());
+}
+
+TEST(SentinelLoserTreeTest, LiveSourceBeatsSentinelValuedItem) {
+  // A real item EQUAL to the sentinel must still win against exhausted
+  // sources: exhaustion biases the tie-break rank, not the item compare.
+  SentinelLoserTree<int, IntLess> tree(3, kIntSentinel);
+  tree.InitSource(0, 1);
+  tree.InitSource(2, kIntSentinel);  // real item at the sentinel value
+  tree.Build();
+  EXPECT_EQ(tree.live(), 2u);
+  EXPECT_EQ(tree.WinnerSource(), 0u);
+  tree.ExhaustWinner();
+  EXPECT_EQ(tree.live(), 1u);
+  EXPECT_EQ(tree.WinnerSource(), 2u);
+  EXPECT_EQ(tree.Winner(), kIntSentinel);
+  tree.ExhaustWinner();
+  EXPECT_TRUE(tree.Empty());
+}
+
+TEST(SentinelLoserTreeTest, TieBreaksBySourceIndex) {
+  SentinelLoserTree<int, IntLess> tree(4, kIntSentinel);
+  for (size_t s = 0; s < 4; ++s) tree.InitSource(s, 5);
+  tree.Build();
+  for (size_t expect = 0; expect < 4; ++expect) {
+    EXPECT_EQ(tree.WinnerSource(), expect);
+    tree.ExhaustWinner();
+  }
+  EXPECT_TRUE(tree.Empty());
+}
+
+TEST(SentinelLoserTreeTest, RunnerUpSourceIsSecondBest) {
+  SentinelLoserTree<int, IntLess> tree(5, kIntSentinel);
+  int heads[] = {40, 10, 30, 20, 50};
+  for (size_t s = 0; s < 5; ++s) tree.InitSource(s, heads[s]);
+  tree.Build();
+  EXPECT_EQ(tree.WinnerSource(), 1u);
+  EXPECT_EQ(tree.RunnerUpSource(), 3u);  // head 20 is second-smallest
+  tree.ReplaceWinner(25);
+  EXPECT_EQ(tree.WinnerSource(), 3u);
+  EXPECT_EQ(tree.RunnerUpSource(), 1u);  // now 25 at source 1
+  // On ties the runner-up is the lowest live source index among the tied.
+  tree.ReplaceWinner(25);
+  EXPECT_EQ(tree.WinnerSource(), 1u);
+  EXPECT_EQ(tree.RunnerUpSource(), 3u);
+}
+
+TEST(SentinelLoserTreeTest, LiveCountTracksExhaustion) {
+  SentinelLoserTree<int, IntLess> tree(6, kIntSentinel);
+  tree.InitSource(1, 3);
+  tree.InitSource(4, 1);
+  tree.Build();
+  EXPECT_EQ(tree.live(), 2u);
+  EXPECT_TRUE(tree.IsLive(1));
+  EXPECT_TRUE(tree.IsLive(4));
+  EXPECT_FALSE(tree.IsLive(0));
+  tree.ExhaustWinner();
+  EXPECT_EQ(tree.live(), 1u);
+  EXPECT_FALSE(tree.IsLive(4));
+  tree.ExhaustWinner();
+  EXPECT_TRUE(tree.Empty());
+}
+
+/// Merge k random sorted runs with both trees and require identical
+/// (value, source) output streams — the sentinel tree must preserve the
+/// exact (key, source) total order of the classic tree.
+TEST(SentinelLoserTreeTest, MatchesClassicTreeOnRandomRuns) {
+  std::mt19937 rng(20260809);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t k = 1 + rng() % 9;
+    std::vector<std::vector<int>> runs(k);
+    for (auto& run : runs) {
+      run.resize(rng() % 60);
+      // Narrow key range to force many cross-run ties.
+      for (auto& x : run) x = static_cast<int>(rng() % 12);
+      std::sort(run.begin(), run.end());
+    }
+    auto drain = [&](auto& tree) {
+      std::vector<size_t> pos(k, 0);
+      for (size_t s = 0; s < k; ++s) {
+        if (!runs[s].empty()) tree.InitSource(s, runs[s][0]);
+        pos[s] = 1;
+      }
+      tree.Build();
+      std::vector<std::pair<int, size_t>> out;
+      while (!tree.Empty()) {
+        size_t w = tree.WinnerSource();
+        out.emplace_back(tree.Winner(), w);
+        if (pos[w] < runs[w].size()) {
+          tree.ReplaceWinner(runs[w][pos[w]++]);
+        } else {
+          tree.ExhaustWinner();
+        }
+      }
+      return out;
+    };
+    LoserTree<int, IntLess> classic(k);
+    SentinelLoserTree<int, IntLess> sentinel(k, kIntSentinel);
+    auto expect = drain(classic);
+    auto got = drain(sentinel);
+    ASSERT_EQ(got, expect) << "trial " << trial << " k=" << k;
+  }
+}
+
+// -------------------------------------------------------- SequenceGate ----
+
+TEST(SequenceGateTest, SingleThreadTurnsAdvanceInOrder) {
+  SequenceGate gate;
+  for (size_t t = 0; t < 5; ++t) {
+    EXPECT_TRUE(gate.IsTurn(t));
+    EXPECT_FALSE(gate.IsTurn(t + 1));
+    gate.WaitTurn(t);  // must not block on the current turn
+    gate.Advance();
+  }
+}
+
+TEST(SequenceGateTest, OrdersParallelForDelivery) {
+  // The ordered-sink idiom of the parallel merge: workers pick up tasks in
+  // any interleaving but hand over their output strictly in task order.
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    SequenceGate gate;
+    std::vector<size_t> delivered;
+    pool.ParallelFor(64, [&](size_t t) {
+      gate.WaitTurn(t);
+      delivered.push_back(t);  // gate serializes: no mutex needed
+      gate.Advance();
+    });
+    ASSERT_EQ(delivered.size(), 64u);
+    for (size_t t = 0; t < 64; ++t) EXPECT_EQ(delivered[t], t);
   }
 }
 

@@ -457,6 +457,17 @@ TEST(RecoverySortTest, KillEachPhaseUringBackendRecovers) {
   KillEachPhaseOnBackend(io::BackendKind::kUring);
 }
 
+TEST(RecoverySortTest, KillEachPhaseParallelMergeRecovers) {
+  // The range-partitioned multi-threaded final merge must keep the same
+  // checkpoint seams: the merge output manifest a resumed epoch restores is
+  // identical no matter how many workers produced it, and killing inside
+  // any phase with a parallel pool recovers exactly like single-threaded.
+  KillEachPhaseAndRecover(net::TransportKind::kInProc,
+                          [](core::SortConfig& config) {
+                            config.threads_per_pe = 4;
+                          });
+}
+
 TEST(RecoverySortTest, KillEachPhaseStripedAsyncFilesRecovers) {
   // Striped files under the async pump at queue depth: the recovery path
   // must reopen all K stripe files per disk and the striping-aware
