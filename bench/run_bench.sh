@@ -13,6 +13,11 @@
 # (batched vs record-at-a-time kernels crossed with 1/2/4 merge workers,
 # per storage backend).
 #
+# Since the observability layer it also snapshots a straggler report: a
+# P=4 hierarchical sort run with --stats-json, written alongside the bench
+# JSON as OUT.stats.json, so per-rank per-phase wall/IO/net distributions
+# ride the same perf trajectory as the counters.
+#
 # Usage: bench/run_bench.sh [BUILD_DIR] [OUT_JSON]
 #   BUILD_DIR  cmake build directory holding the benches (default: build)
 #   OUT_JSON   output path (default: BENCH_PR9.json in the repo root)
@@ -29,7 +34,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_PR9.json}"
 
-for bin in micro_net fig5_alltoall_io_volume ablation_overlap ablation_prefetch ablation_merge; do
+for bin in micro_net fig5_alltoall_io_volume ablation_overlap ablation_prefetch ablation_merge sortbench_cli trace_lint; do
   if [[ ! -x "$BUILD_DIR/$bin" ]]; then
     echo "error: $BUILD_DIR/$bin not built" >&2
     exit 2
@@ -173,4 +178,10 @@ finish_rows() {  # strips the trailing comma of the last row (if any)
   echo '}'
 } > "$OUT"
 
-echo "wrote $OUT"
+# 4. Straggler snapshot: one P=4 hierarchical sort with the per-rank
+#    per-phase stats JSON, structurally validated before it is kept.
+"$BUILD_DIR/sortbench_cli" --transport=hier --pes 4 --pes-per-node 2 \
+  --records-per-pe 20000 --stats-json="$OUT.stats.json" > /dev/null
+"$BUILD_DIR/trace_lint" --stats "$OUT.stats.json" --expect-pes=4 > /dev/null
+
+echo "wrote $OUT and $OUT.stats.json"

@@ -25,6 +25,12 @@
 //                                               # mrg_wrk/cpu/iow columns)
 //   ./sortbench_cli --hosts=hosts.txt --rank=0  # one rank of a real
 //                                               # cross-machine mesh
+//   ./sortbench_cli --trace=trace.json          # merged per-rank span trace
+//                                               # (open in Perfetto or
+//                                               # chrome://tracing)
+//   ./sortbench_cli --stats-json=stats.json     # straggler report as JSON:
+//                                               # per-rank per-phase wall /
+//                                               # IO / net distributions
 //
 // With --transport=tcp every PE is a forked OS process with its own address
 // space, connected over loopback sockets through net::TcpTransport — the
@@ -77,6 +83,9 @@
 #include "net/hierarchical_transport.h"
 #include "net/tcp_transport.h"
 #include "net/topology.h"
+#include "obs/straggler.h"
+#include "obs/trace.h"
+#include "obs/trace_gather.h"
 #include "sim/cost_model.h"
 #include "util/flags.h"
 #include "util/timer.h"
@@ -108,6 +117,13 @@ struct CliOptions {
   /// every rank from its manifest, escalate after the restart budget.
   bool recover = false;
   int max_restarts = 3;
+  /// --trace=FILE: record span traces on every rank and merge them into one
+  /// Chrome trace-event JSON at rank 0 (load in Perfetto). Collection runs
+  /// after validation, outside the benchmarked phases.
+  std::string trace_file;
+  /// --stats-json=FILE: rank 0 writes the per-rank straggler report
+  /// (per-phase wall/IO/net distributions + the full metric schema walk).
+  std::string stats_json;
   core::SortConfig config;
 };
 
@@ -146,6 +162,9 @@ PeOutcome RunOnePeRecoverable(net::Comm& comm, const CliOptions& options) {
                                                      input, &recovery);
   auto v = workload::ValidateCollective<core::Gray100>(
       ctx, out.blocks, out.num_elements, checksum);
+  if (!options.trace_file.empty()) {
+    obs::GatherTraceToRank0(comm, options.trace_file);
+  }
   PeOutcome outcome;
   outcome.report = out.report;
   outcome.ok = v.ok();
@@ -175,6 +194,11 @@ PeOutcome RunOnePe(net::Comm& comm, const CliOptions& options) {
                                                     out.num_elements,
                                                     gen.checksum);
     outcome.report = out.report;
+  }
+  if (!options.trace_file.empty()) {
+    // Collective, and after validation: the trace wire traffic stays out of
+    // every benchmarked phase.
+    obs::GatherTraceToRank0(comm, options.trace_file);
   }
   outcome.ok = v.ok();
   return outcome;
@@ -302,7 +326,16 @@ void PrintSummary(const CliOptions& options,
       "paper   : DEMSort GraySort 2009 = 564 GB/min on 195 nodes "
       "(2.89 GB/min/node)\n");
   if (options.recover) PrintRecoveryStats(reports);
-  if (options.stats) PrintPhaseStats(reports);
+  if (options.stats) {
+    PrintPhaseStats(reports);
+    std::printf("%s", obs::FormatStragglerTable(reports).c_str());
+  }
+  if (!options.stats_json.empty()) {
+    if (!obs::WriteStatsJson(options.stats_json, reports, wall_s)) {
+      std::fprintf(stderr, "--stats-json: cannot write %s\n",
+                   options.stats_json.c_str());
+    }
+  }
 }
 
 /// Rank 0 gathers every PE's report and verdict over the transport itself
@@ -350,6 +383,9 @@ int RunInProc(const CliOptions& options) {
     });
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sort failed: %s\n", e.what());
+    if (!options.trace_file.empty()) {
+      obs::WriteLocalTrace(options.trace_file + ".partial.json");
+    }
     return 3;
   }
   double wall_s = (NowNanos() - start) * 1e-9;
@@ -431,6 +467,12 @@ int RunTcpRank(int rank, int num_pes, int listen_fd,
     // A peer died mid-sort: contain it — report, abort this endpoint so
     // OUR peers' waits cancel too, and exit with a distinct code.
     std::fprintf(stderr, "rank %d: peer failure: %s\n", rank, e.what());
+    if (!options.trace_file.empty()) {
+      // The collective gather is impossible now; save this process's own
+      // events as a per-rank partial trace instead.
+      obs::WriteLocalTrace(options.trace_file + ".rank" +
+                           std::to_string(rank) + ".partial.json");
+    }
     transport.value()->KillPe(rank, e.status());
     return 3;
   }
@@ -473,6 +515,13 @@ int RunHierNode(const net::Topology& topo, int node, int listen_fd,
         } catch (const net::CommError& e) {
           std::fprintf(stderr, "rank %d: peer failure: %s\n", rank,
                        e.what());
+          if (!options.trace_file.empty()) {
+            // Per-rank file name, whole-node contents: every PE thread of
+            // this process shares the tracer, so each partial trace holds
+            // the node's full event set.
+            obs::WriteLocalTrace(options.trace_file + ".rank" +
+                                 std::to_string(rank) + ".partial.json");
+          }
           hier.KillPe(rank, e.status());
           rc = 3;
         }
@@ -626,6 +675,13 @@ int main(int argc, char** argv) {
   options.algo = flags.GetString("algo", "canonical");
   options.skewed = flags.GetBool("skewed", false);
   options.stats = flags.GetBool("stats", false);
+  options.trace_file = flags.GetString("trace", "");
+  options.stats_json = flags.GetString("stats-json", "");
+  if (!options.trace_file.empty()) {
+    // Arm before any fork/launch: forked PE and node processes inherit the
+    // enabled flag, so every rank records from its first event on.
+    obs::Tracer::Get().Enable();
+  }
   auto kind = net::ParseTransportKind(flags.GetString("transport", "inproc"));
   if (!kind.ok()) {
     std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());

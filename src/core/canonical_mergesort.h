@@ -30,6 +30,7 @@
 #include "core/phase_stats.h"
 #include "core/recovery.h"
 #include "core/run_formation.h"
+#include "obs/trace.h"
 
 namespace demsort::core {
 
@@ -68,8 +69,11 @@ SortOutput<R> CanonicalMergeSort(PeContext& ctx, const SortConfig& config,
       resume > 0 ? recovery->local_input_elements() : input.num_elements;
   out.report.input_blocks = input.blocks.size();
 
-  // Phase 1: run formation.
+  // Phase 1: run formation. The opening barrier doubles as the trace time
+  // origin: every rank's clock is pinned here, so cross-rank skew in the
+  // merged trace is bounded by barrier exit jitter.
   comm.Barrier();
+  obs::Tracer::Get().MarkSessionStart();
   collector.Begin(Phase::kRunFormation);
   if (recovery != nullptr && recovery->restarts() > 0) {
     // Recovery telemetry, attributed to the first phase of the resumed

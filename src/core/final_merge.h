@@ -50,6 +50,7 @@
 #include "core/record.h"
 #include "core/run_index.h"
 #include "io/striped_writer.h"
+#include "obs/trace.h"
 #include "par/loser_tree.h"
 #include "par/thread_pool.h"
 #include "util/aligned_buffer.h"
@@ -142,6 +143,10 @@ class MergePrefetcher {
     DEMSORT_CHECK(seg.state != MergeSegment<R>::kReleased);
     if (seg.state == MergeSegment<R>::kNotIssued) {
       ++demand_fetches_;
+      // A demand fetch means the prediction sequence fell behind the
+      // consumer here — each instant marks a spot worth a bigger pool.
+      TRACE_INSTANT2("merge", "merge.demand_fetch", "run", run, "segment",
+                     idx);
       Issue(run, idx);
     }
     if (!seg.request.done()) {
@@ -801,6 +806,7 @@ uint64_t MergeExtentsToSink(PeContext& ctx, const SortConfig& config,
 
   const size_t workers = internal::EffectiveMergeWorkers(ctx.pool, total, epb);
   if (workers <= 1) {
+    TRACE_SPAN2("merge", "merge.partition", "worker", 0, "elements", total);
     internal::MergePrefetcher<R> prefetcher(
         bm, &segments, config.prefetch,
         internal::WorkerPrefetchPool(config, num_runs, live_runs,
@@ -833,6 +839,8 @@ uint64_t MergeExtentsToSink(PeContext& ctx, const SortConfig& config,
       config.memory_per_pe / sizeof(R) / workers, epb);
   std::vector<internal::MergeWorkerMetrics> metrics(workers);
   ctx.pool->ParallelFor(workers, [&](size_t t) {
+    TRACE_SPAN2("merge", "merge.partition", "worker", t, "elements",
+                plan.offsets[t + 1] - plan.offsets[t]);
     auto& segs = slices[t];
     size_t live = 0;
     for (const auto& run : segs) {
@@ -913,6 +921,7 @@ MergeOutput<R> FinalMerge(PeContext& ctx, const SortConfig& config,
   io::StripedWriter<R> writer(bm);
 
   if (workers <= 1) {
+    TRACE_SPAN2("merge", "merge.partition", "worker", 0, "elements", total);
     internal::MergePrefetcher<R> prefetcher(
         bm, &segments, config.prefetch,
         internal::WorkerPrefetchPool(config, num_runs, live_runs,
@@ -945,6 +954,8 @@ MergeOutput<R> FinalMerge(PeContext& ctx, const SortConfig& config,
     const size_t write_window =
         std::max<size_t>(2, 2 * bm->num_disks() / workers);
     ctx.pool->ParallelFor(workers, [&](size_t t) {
+      TRACE_SPAN2("merge", "merge.partition", "worker", t, "elements",
+                  plan.offsets[t + 1] - plan.offsets[t]);
       auto& segs = slices[t];
       size_t live = 0;
       for (const auto& run : segs) {

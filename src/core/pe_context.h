@@ -8,6 +8,7 @@
 #include "core/config.h"
 #include "io/block_manager.h"
 #include "net/comm.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 
 namespace demsort::core {
@@ -41,8 +42,14 @@ class PeResources {
     options.model = config.disk_model;
     options.durable_files = !config.checkpoint_dir.empty();
     options.reuse_files = reuse_files;
+    // Span-trace attribution: PeResources is built on the PE's own thread,
+    // so this stamps the PE main thread; the pool and the disk pumps stamp
+    // their workers with the same rank.
+    TRACE_THREAD_RANK(comm->rank());
+    TRACE_THREAD_NAME("pe");
     bm_ = std::make_unique<io::BlockManager>(options);
-    pool_ = std::make_unique<par::ThreadPool>(config.threads_per_pe);
+    pool_ =
+        std::make_unique<par::ThreadPool>(config.threads_per_pe, comm->rank());
     ctx_.comm = comm;
     ctx_.bm = bm_.get();
     ctx_.pool = pool_.get();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace demsort::core {
@@ -23,31 +25,10 @@ const char* PhaseName(Phase phase) {
 
 void PhaseStats::Accumulate(const PhaseStats& other) {
   wall_s += other.wall_s;
-  io += other.io;
+  io += other.io;  // schema-driven (io_stats.cc)
   io_busy_max_disk_s += other.io_busy_max_disk_s;
-  net.messages_sent += other.net.messages_sent;
-  net.bytes_sent += other.net.bytes_sent;
-  net.messages_received += other.net.messages_received;
-  net.bytes_received += other.net.bytes_received;
-  net.recv_buffer_peak_bytes =
-      std::max(net.recv_buffer_peak_bytes, other.net.recv_buffer_peak_bytes);
-  net.credit_msgs += other.net.credit_msgs;
-  net.piggybacked_credits += other.net.piggybacked_credits;
-  net.stream_chunk_bytes =
-      std::max(net.stream_chunk_bytes, other.net.stream_chunk_bytes);
-  net.intra_node_msgs += other.net.intra_node_msgs;
-  net.intra_node_bytes += other.net.intra_node_bytes;
-  net.inter_node_msgs += other.net.inter_node_msgs;
-  net.inter_node_bytes += other.net.inter_node_bytes;
-  net.pool_leases += other.net.pool_leases;
-  net.pool_hits += other.net.pool_hits;
-  net.pool_recycled_bytes += other.net.pool_recycled_bytes;
-  net.restarts = std::max(net.restarts, other.net.restarts);
-  net.phases_replayed =
-      std::max(net.phases_replayed, other.net.phases_replayed);
-  net.checkpoint_bytes += other.net.checkpoint_bytes;
-  net.recovery_wall_ms =
-      std::max(net.recovery_wall_ms, other.net.recovery_wall_ms);
+  obs::SnapshotSchema<net::NetStatsSnapshot>::Get().Accumulate(&net,
+                                                              other.net);
   elements_sorted += other.elements_sorted;
   elements_merged += other.elements_merged;
   merge_ways = std::max(merge_ways, other.merge_ways);
@@ -72,18 +53,23 @@ double PhaseCollector::MaxDiskBusyS() const {
 }
 
 void PhaseCollector::Begin(Phase phase) {
-  (void)phase;
   bm_->DrainAll();
   phase_start_ns_ = NowNanos();
-  // Queue-depth peak is a gauge: restart it so the phase reports its own
-  // high-water mark, not an earlier phase's.
+  // One boundary for every per-phase high-water gauge: the disks' queue
+  // depth peak and the transport's receive-buffer peak / stream chunk all
+  // restart here, so each phase reports its own marks and consecutive
+  // phases cannot leak peaks into each other.
   bm_->ResetQueueDepthPeaks();
   io_at_begin_ = bm_->TotalStats();
   busy_at_begin_s_ = MaxDiskBusyS();
-  // The receive-buffer peak is a gauge: restart it so the phase reports
-  // its own high-water mark, not an earlier phase's.
-  comm_->ResetRecvBufferPeak();
+  comm_->stats().ResetPhaseGauges();
   net_at_begin_ = comm_->StatsSnapshot();
+#if DEMSORT_TRACING
+  // The phase track: one span per Begin/End pair on the PE's own thread,
+  // stamped at the measured boundary so trace and PhaseStats.wall_s agree.
+  obs::Emit(obs::EventType::kBegin, "phase", PhaseName(phase),
+            phase_start_ns_, 0, nullptr, 0, nullptr, 0);
+#endif
 }
 
 void PhaseCollector::End(Phase phase) {
@@ -92,47 +78,16 @@ void PhaseCollector::End(Phase phase) {
   s.wall_s += (NowNanos() - phase_start_ns_) * 1e-9;
   s.io += bm_->TotalStats() - io_at_begin_;
   s.io_busy_max_disk_s += MaxDiskBusyS() - busy_at_begin_s_;
-  net::NetStatsSnapshot now = comm_->StatsSnapshot();
-  s.net.messages_sent += now.messages_sent - net_at_begin_.messages_sent;
-  s.net.bytes_sent += now.bytes_sent - net_at_begin_.bytes_sent;
-  s.net.messages_received +=
-      now.messages_received - net_at_begin_.messages_received;
-  s.net.bytes_received += now.bytes_received - net_at_begin_.bytes_received;
-  s.net.recv_buffer_peak_bytes =
-      std::max(s.net.recv_buffer_peak_bytes, now.recv_buffer_peak_bytes);
-  uint64_t credit_delta = now.credit_msgs - net_at_begin_.credit_msgs;
-  uint64_t piggy_delta =
-      now.piggybacked_credits - net_at_begin_.piggybacked_credits;
-  s.net.credit_msgs += credit_delta;
-  s.net.piggybacked_credits += piggy_delta;
-  s.net.intra_node_msgs += now.intra_node_msgs - net_at_begin_.intra_node_msgs;
-  s.net.intra_node_bytes +=
-      now.intra_node_bytes - net_at_begin_.intra_node_bytes;
-  s.net.inter_node_msgs += now.inter_node_msgs - net_at_begin_.inter_node_msgs;
-  s.net.inter_node_bytes +=
-      now.inter_node_bytes - net_at_begin_.inter_node_bytes;
-  s.net.pool_leases += now.pool_leases - net_at_begin_.pool_leases;
-  s.net.pool_hits += now.pool_hits - net_at_begin_.pool_hits;
-  s.net.pool_recycled_bytes +=
-      now.pool_recycled_bytes - net_at_begin_.pool_recycled_bytes;
-  // Recovery telemetry: the gauges are set once per epoch (max keeps them
-  // stable across repeated phases); manifest bytes attribute to the phase
-  // whose checkpoint wrote them.
-  s.net.restarts = std::max(s.net.restarts, now.restarts);
-  s.net.phases_replayed =
-      std::max(s.net.phases_replayed, now.phases_replayed);
-  s.net.checkpoint_bytes +=
-      now.checkpoint_bytes - net_at_begin_.checkpoint_bytes;
-  s.net.recovery_wall_ms =
-      std::max(s.net.recovery_wall_ms, now.recovery_wall_ms);
-  // Gauge: the phase's latest effective streaming chunk. Assigned only
-  // when this interval actually streamed (any credit traffic, or the
-  // gauge moved); a phase that never streams keeps 0 rather than
-  // inheriting an earlier phase's converged size.
-  if (credit_delta != 0 || piggy_delta != 0 ||
-      now.stream_chunk_bytes != net_at_begin_.stream_chunk_bytes) {
-    s.net.stream_chunk_bytes = now.stream_chunk_bytes;
-  }
+  // Schema walk replaces the old hand-copied field list: counters fold
+  // their interval delta, gauges (reset at Begin) max their level — the
+  // stream chunk included, so a phase that never streams reports 0 and the
+  // epoch-level recovery gauges survive untouched.
+  obs::SnapshotSchema<net::NetStatsSnapshot>::Get().FoldDelta(
+      &s.net, comm_->StatsSnapshot(), net_at_begin_);
+#if DEMSORT_TRACING
+  obs::Emit(obs::EventType::kEnd, "phase", PhaseName(phase), NowNanos(), 0,
+            nullptr, 0, nullptr, 0);
+#endif
 }
 
 PhaseStats PhaseCollector::Total() const {

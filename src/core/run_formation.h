@@ -29,6 +29,7 @@
 #include "core/phase_stats.h"
 #include "core/run_index.h"
 #include "core/sample_bounds.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace demsort::core {
@@ -107,6 +108,9 @@ RunFormationResult<R> FormRuns(PeContext& ctx, const SortConfig& config,
     return pending;
   };
   auto collect_read = [&](PendingRead& pending, uint64_t run) {
+    // The read-wait span exposes the overlap win: with prefetch working,
+    // this is near-zero for every run but the first.
+    TRACE_SPAN1("run", "rf.read_wait", "run", run);
     size_t total = 0;
     for (size_t c : pending.counts) total += c;
     std::vector<R> data(total);
@@ -137,12 +141,19 @@ RunFormationResult<R> FormRuns(PeContext& ctx, const SortConfig& config,
       reads = issue_reads(run + 1);
     }
 
-    InternalSortResult<R> sorted = InternalParallelSort<R>(
-        ctx, std::move(data), stats, config.StreamOptionsFor(sizeof(R)));
+    InternalSortResult<R> sorted;
+    {
+      TRACE_SPAN2("run", "rf.sort", "run", run, "elements", data.size());
+      sorted = InternalParallelSort<R>(
+          ctx, std::move(data), stats, config.StreamOptionsFor(sizeof(R)));
+    }
 
     // Finish the previous run's writes before issuing new ones (two write
     // generations in flight at most — the paper's overlap scheme).
-    io::WaitAllOk(pending_writes);
+    {
+      TRACE_SPAN1("run", "rf.write_drain", "run", run);
+      io::WaitAllOk(pending_writes);
+    }
     pending_writes.clear();
     write_buffers.clear();
 
@@ -193,7 +204,10 @@ RunFormationResult<R> FormRuns(PeContext& ctx, const SortConfig& config,
       reads = issue_reads(run + 1);
     }
   }
-  io::WaitAllOk(pending_writes);
+  {
+    TRACE_SPAN("run", "rf.write_drain.final");
+    io::WaitAllOk(pending_writes);
+  }
 
   // Replicate piece boundaries: for each run, allgather piece sizes.
   result.table.piece_start.resize(num_runs);

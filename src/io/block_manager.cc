@@ -90,6 +90,7 @@ BlockManager::BlockManager(const Options& options) : options_(options) {
     disk_options.async = options.async;
     disk_options.queue_depth = options.queue_depth;
     disk_options.model = options.model;
+    disk_options.trace_rank = options.pe_id;
     disks_.push_back(
         std::make_unique<VirtualDisk>(std::move(backend), disk_options));
   }

@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace demsort::io {
@@ -18,7 +19,11 @@ VirtualDisk::VirtualDisk(std::unique_ptr<StorageBackend> backend,
                                      : std::min(options_.queue_depth, capacity);
   if (depth_ == 0) depth_ = 1;
   if (options_.async) {
-    pump_ = std::thread([this] { PumpLoop(); });
+    pump_ = std::thread([this] {
+      TRACE_THREAD_RANK(options_.trace_rank);
+      TRACE_THREAD_NAME("disk-pump");
+      PumpLoop();
+    });
   }
 }
 
@@ -131,6 +136,12 @@ size_t VirtualDisk::ReapSome(bool wait) {
       stats_.RecordRead(bs, inf.seek, inf.model_ns, latency_ns,
                         inf.depth_at_issue);
     }
+    // The op's submit→reap life as a complete-span at its issue timestamp:
+    // queueing at the device included, so Perfetto shows the real depth.
+    TRACE_COMPLETE2(
+        "io", inf.op.is_write ? "io.write" : "io.read", inf.issue_ns,
+        static_cast<int64_t>(latency_ns), "block", inf.op.block, "depth",
+        inf.depth_at_issue);
     Request::Complete(inf.op.state, std::move(c.status));
   }
   size_t n = completions_.size();

@@ -39,6 +39,10 @@ class VirtualDisk {
     /// its SQ depth.
     size_t queue_depth = 0;
     DiskModel model;
+    /// Owning PE's rank for span-trace attribution: the pump thread stamps
+    /// itself with it so per-op submit→reap events land on that rank's
+    /// tracks (-1: unattributed).
+    int trace_rank = -1;
   };
 
   VirtualDisk(std::unique_ptr<StorageBackend> backend, Options options);

@@ -11,9 +11,25 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 namespace demsort::io {
+
+/// Log2-of-microseconds buckets for the submit→complete latency histogram
+/// that rides IoStatsSnapshot: bucket b counts ops with latency in
+/// [2^b, 2^(b+1)) µs (bucket 0 also holds sub-µs ops, the last bucket
+/// everything above ~32 ms). Buckets are counters: phase deltas subtract,
+/// accumulation adds.
+inline constexpr size_t kIoLatencyBuckets = 16;
+
+inline size_t IoLatencyBucket(uint64_t latency_ns) {
+  uint64_t us = latency_ns / 1000;
+  size_t b = us <= 1 ? 0 : static_cast<size_t>(std::bit_width(us) - 1);
+  return b < kIoLatencyBuckets ? b : kIoLatencyBuckets - 1;
+}
 
 /// Spinning-disk service-time model. Defaults match the paper's testbed:
 /// Seagate Barracuda 7200.10, measured 60-71 MiB/s (avg 67), ~12 ms for a
@@ -49,6 +65,8 @@ struct IoStatsSnapshot {
   uint64_t queue_depth_peak = 0;
   /// Sum over ops of in-flight depth at issue; mean depth is sum / ops().
   uint64_t queue_depth_sum = 0;
+  /// Submit→complete latency distribution (see IoLatencyBucket).
+  uint64_t lat_hist_us[kIoLatencyBuckets] = {};
 
   uint64_t ops() const { return reads + writes; }
   uint64_t bytes() const { return bytes_read + bytes_written; }
@@ -64,24 +82,42 @@ struct IoStatsSnapshot {
                             static_cast<double>(ops());
   }
 
-  /// Phase delta (end - begin). Counters subtract; the depth-peak gauge is
-  /// taken from `this` — callers reset it at the start of the interval.
-  IoStatsSnapshot operator-(const IoStatsSnapshot& rhs) const {
-    return IoStatsSnapshot{reads - rhs.reads,
-                           writes - rhs.writes,
-                           bytes_read - rhs.bytes_read,
-                           bytes_written - rhs.bytes_written,
-                           seeks - rhs.seeks,
-                           model_busy_ns - rhs.model_busy_ns,
-                           submit_complete_ns - rhs.submit_complete_ns,
-                           queue_depth_peak,
-                           queue_depth_sum - rhs.queue_depth_sum};
-  }
+  /// Upper bound (µs) of the bucket holding the p-quantile of the
+  /// submit→complete latency distribution; 0 when no ops were recorded.
+  uint64_t LatencyPercentileUpperUs(double p) const;
+
+  /// Phase delta (end - begin) via the field schema below: counters
+  /// subtract; the depth-peak gauge is taken from `this` — callers reset
+  /// it at the start of the interval.
+  IoStatsSnapshot operator-(const IoStatsSnapshot& rhs) const;
   IoStatsSnapshot& operator+=(const IoStatsSnapshot& rhs);
 };
 
+/// One-place field registry for IoStatsSnapshot (see obs/metrics.h). The
+/// latency histogram is the one non-scalar member; its buckets are plain
+/// counters handled elementwise by operator-/operator+= in io_stats.cc.
+inline const bool kIoStatsSchemaRegistered = [] {
+  using obs::MetricKind;
+  auto& s = obs::SnapshotSchema<IoStatsSnapshot>::Mutable();
+  using I = IoStatsSnapshot;
+  s.Register("io.reads", MetricKind::kCounter, &I::reads);
+  s.Register("io.writes", MetricKind::kCounter, &I::writes);
+  s.Register("io.bytes_read", MetricKind::kCounter, &I::bytes_read);
+  s.Register("io.bytes_written", MetricKind::kCounter, &I::bytes_written);
+  s.Register("io.seeks", MetricKind::kCounter, &I::seeks);
+  s.Register("io.model_busy_ns", MetricKind::kCounter, &I::model_busy_ns);
+  s.Register("io.submit_complete_ns", MetricKind::kCounter,
+             &I::submit_complete_ns);
+  s.Register("io.queue_depth_peak", MetricKind::kGaugeMax,
+             &I::queue_depth_peak);
+  s.Register("io.queue_depth_sum", MetricKind::kCounter, &I::queue_depth_sum);
+  return true;
+}();
+
 class IoStats {
  public:
+  IoStats();
+
   /// `depth` is the number of ops in flight when this op was issued
   /// (including itself); `submit_complete_ns` its issue→completion latency.
   void RecordRead(uint64_t bytes, bool seek, uint64_t model_ns,
@@ -112,6 +148,11 @@ class IoStats {
   std::atomic<uint64_t> submit_complete_ns_{0};
   std::atomic<uint64_t> queue_depth_peak_{0};
   std::atomic<uint64_t> queue_depth_sum_{0};
+  std::atomic<uint64_t> lat_hist_us_[kIoLatencyBuckets] = {};
+  /// Process-wide latency distribution in the dynamic registry (all disks
+  /// of all PEs in this process) — the service-mode /metrics view. Looked
+  /// up once; Record() is a relaxed fetch_add.
+  obs::Histogram* registry_hist_;
 };
 
 }  // namespace demsort::io

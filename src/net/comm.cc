@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace demsort::net {
@@ -20,6 +21,7 @@ std::vector<uint8_t> Comm::Recv(int src, int tag) {
 }
 
 void Comm::Barrier() {
+  TRACE_SPAN("net", "barrier");
   if (TwoLevelActive()) {
     BarrierTwoLevel();
     return;
@@ -360,6 +362,8 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
                                const SegmentedSendProvider& seg_send_for) {
   const ResolvedStreamTuning tune = ResolveStreamTuning(options);
   DEMSORT_CHECK_GT(tune.base_chunk_bytes, 0u);
+  TRACE_SPAN2("net", "a2a.stream", "pes", size_, "base_chunk",
+              tune.base_chunk_bytes);
 
   // Self delivery is zero-copy: the provider's span goes straight to the
   // consumer in chunk-size pieces (local memory traffic, like self-sends).
@@ -463,6 +467,7 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
 
   for (int r = 0; r < size_; ++r) {
     const int q = pow2 ? (rank_ ^ r) : (r - rank_ + 2 * size_) % size_;
+    TRACE_SPAN2("net", "stream.round", "partner", q, "round", r);
     if (q == rank_) {
       deliver_self();
       continue;
@@ -642,6 +647,13 @@ void Comm::AlltoallvStreamFlat(const StreamSendProvider& send_for,
           // admission, is what must throttle this stream.
           if (stall_started_ns < 0) stall_started_ns = NowNanos();
           break;
+        }
+        if (stall_started_ns >= 0) {
+          // The credit gate just reopened: the whole wait was consumer
+          // pacing, the exact signal the trace exists to make visible.
+          TRACE_COMPLETE1("net", "stream.credit_stall", stall_started_ns,
+                          NowNanos() - stall_started_ns, "partner", q);
+          if (!tune.adaptive) stall_started_ns = -1;
         }
         if (tune.adaptive) {
           if (stall_started_ns >= 0) {

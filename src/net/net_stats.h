@@ -12,6 +12,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 namespace demsort::net {
 
 struct NetStatsSnapshot {
@@ -61,28 +63,51 @@ struct NetStatsSnapshot {
   uint64_t checkpoint_bytes = 0;
   uint64_t recovery_wall_ms = 0;
 
+  /// Phase delta via the field schema: counters subtract, gauges keep the
+  /// minuend's value. The schema below is the single list of fields —
+  /// adding a stat means adding the member and one Register line.
   NetStatsSnapshot operator-(const NetStatsSnapshot& rhs) const {
-    return NetStatsSnapshot{messages_sent - rhs.messages_sent,
-                            bytes_sent - rhs.bytes_sent,
-                            messages_received - rhs.messages_received,
-                            bytes_received - rhs.bytes_received,
-                            recv_buffer_peak_bytes,
-                            credit_msgs - rhs.credit_msgs,
-                            piggybacked_credits - rhs.piggybacked_credits,
-                            stream_chunk_bytes,
-                            intra_node_msgs - rhs.intra_node_msgs,
-                            intra_node_bytes - rhs.intra_node_bytes,
-                            inter_node_msgs - rhs.inter_node_msgs,
-                            inter_node_bytes - rhs.inter_node_bytes,
-                            pool_leases - rhs.pool_leases,
-                            pool_hits - rhs.pool_hits,
-                            pool_recycled_bytes - rhs.pool_recycled_bytes,
-                            restarts,
-                            phases_replayed,
-                            checkpoint_bytes - rhs.checkpoint_bytes,
-                            recovery_wall_ms};
+    return obs::SnapshotSchema<NetStatsSnapshot>::Get().Delta(*this, rhs);
   }
 };
+
+/// One-place field registry for NetStatsSnapshot. PhaseCollector's delta,
+/// PhaseStats accumulation, and every exporter walk this schema instead of
+/// hand-copying the field list.
+inline const bool kNetStatsSchemaRegistered = [] {
+  using obs::MetricKind;
+  auto& s = obs::SnapshotSchema<NetStatsSnapshot>::Mutable();
+  using N = NetStatsSnapshot;
+  s.Register("net.messages_sent", MetricKind::kCounter, &N::messages_sent);
+  s.Register("net.bytes_sent", MetricKind::kCounter, &N::bytes_sent);
+  s.Register("net.messages_received", MetricKind::kCounter,
+             &N::messages_received);
+  s.Register("net.bytes_received", MetricKind::kCounter, &N::bytes_received);
+  s.Register("net.recv_buffer_peak_bytes", MetricKind::kGaugeMax,
+             &N::recv_buffer_peak_bytes);
+  s.Register("net.credit_msgs", MetricKind::kCounter, &N::credit_msgs);
+  s.Register("net.piggybacked_credits", MetricKind::kCounter,
+             &N::piggybacked_credits);
+  s.Register("net.stream_chunk_bytes", MetricKind::kGaugeMax,
+             &N::stream_chunk_bytes);
+  s.Register("net.intra_node_msgs", MetricKind::kCounter, &N::intra_node_msgs);
+  s.Register("net.intra_node_bytes", MetricKind::kCounter,
+             &N::intra_node_bytes);
+  s.Register("net.inter_node_msgs", MetricKind::kCounter, &N::inter_node_msgs);
+  s.Register("net.inter_node_bytes", MetricKind::kCounter,
+             &N::inter_node_bytes);
+  s.Register("net.pool_leases", MetricKind::kCounter, &N::pool_leases);
+  s.Register("net.pool_hits", MetricKind::kCounter, &N::pool_hits);
+  s.Register("net.pool_recycled_bytes", MetricKind::kCounter,
+             &N::pool_recycled_bytes);
+  s.Register("recovery.restarts", MetricKind::kGaugeMax, &N::restarts);
+  s.Register("recovery.phases_replayed", MetricKind::kGaugeMax,
+             &N::phases_replayed);
+  s.Register("recovery.checkpoint_bytes", MetricKind::kCounter,
+             &N::checkpoint_bytes);
+  s.Register("recovery.wall_ms", MetricKind::kGaugeMax, &N::recovery_wall_ms);
+  return true;
+}();
 
 class NetStats {
  public:
@@ -125,6 +150,16 @@ class NetStats {
   /// The effective chunk of this PE's latest streaming send (gauge).
   void SetStreamChunkBytes(uint64_t bytes) {
     stream_chunk_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+
+  /// Phase boundary: every per-phase high-water gauge restarts here, on the
+  /// same edge (PhaseCollector::Begin). A phase that never streams reports
+  /// chunk 0 instead of inheriting the previous phase's converged value.
+  /// The epoch-level recovery gauges (restarts, phases replayed, recovery
+  /// wall) deliberately survive — they describe the job, not a phase.
+  void ResetPhaseGauges() {
+    ResetRecvBufferPeak();
+    stream_chunk_bytes_.store(0, std::memory_order_relaxed);
   }
 
   /// One message left this PE for a same-node peer (shared-memory path).

@@ -1,0 +1,10 @@
+#include "obs/metrics.h"
+
+namespace demsort::obs {
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+}  // namespace demsort::obs

@@ -1,0 +1,281 @@
+// Minimal JSON parser + lint rules for the files this layer emits: the
+// merged Chrome trace (--trace) and the straggler report (--stats-json).
+// Header-only, shared by tests/obs_test.cc and the trace_lint CLI that CI
+// runs against real sort output. Not a general-purpose JSON library — just
+// enough DOM to assert structure.
+#ifndef DEMSORT_OBS_TRACE_CHECK_H_
+#define DEMSORT_OBS_TRACE_CHECK_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace demsort::obs {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+namespace json_internal {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  void Skip() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+  bool Fail(const std::string& what) {
+    if (err.empty()) err = what;
+    return false;
+  }
+  bool Literal(const char* lit) {
+    const char* q = lit;
+    while (*q != '\0') {
+      if (p >= end || *p != *q) return Fail(std::string("expected ") + lit);
+      ++p;
+      ++q;
+    }
+    return true;
+  }
+  bool String(std::string* out) {
+    if (p >= end || *p != '"') return Fail("expected string");
+    ++p;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return Fail("bad escape");
+        switch (*p) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+          case 'f':
+            out->push_back(' ');
+            break;
+          case 'u': {
+            if (end - p < 5) return Fail("bad \\u escape");
+            out->push_back('?');  // lint cares about structure, not glyphs
+            p += 4;
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        ++p;
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    if (p >= end) return Fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+  bool Value(JsonValue* out, int depth) {
+    if (depth > 64) return Fail("nesting too deep");
+    Skip();
+    if (p >= end) return Fail("unexpected end of input");
+    switch (*p) {
+      case '{': {
+        ++p;
+        out->type = JsonValue::Type::kObject;
+        Skip();
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        while (true) {
+          Skip();
+          std::string key;
+          if (!String(&key)) return false;
+          Skip();
+          if (p >= end || *p != ':') return Fail("expected ':'");
+          ++p;
+          JsonValue v;
+          if (!Value(&v, depth + 1)) return false;
+          out->obj.emplace_back(std::move(key), std::move(v));
+          Skip();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            return true;
+          }
+          return Fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++p;
+        out->type = JsonValue::Type::kArray;
+        Skip();
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        while (true) {
+          JsonValue v;
+          if (!Value(&v, depth + 1)) return false;
+          out->arr.push_back(std::move(v));
+          Skip();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            return true;
+          }
+          return Fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return String(&out->str);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null");
+      default: {
+        char* numend = nullptr;
+        out->type = JsonValue::Type::kNumber;
+        out->number = std::strtod(p, &numend);
+        if (numend == p || numend > end) return Fail("bad number");
+        p = numend;
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace json_internal
+
+/// Full-document parse; trailing garbage is an error.
+inline bool ParseJson(const std::string& text, JsonValue* out,
+                      std::string* err) {
+  json_internal::Parser parser{text.data(), text.data() + text.size(), {}};
+  bool ok = parser.Value(out, 0);
+  if (ok) {
+    parser.Skip();
+    if (parser.p != parser.end) {
+      ok = parser.Fail("trailing garbage after document");
+    }
+  }
+  if (!ok && err != nullptr) *err = parser.err;
+  return ok;
+}
+
+struct TraceLint {
+  size_t events = 0;
+  std::set<int> pids;
+  std::set<std::string> names;
+  bool balanced = true;   // per track, E never outruns B and depth ends at 0
+  bool monotonic = true;  // per track, ts never decreases in file order
+  std::string err;
+};
+
+/// Structural lint of a Chrome trace-event JSON document.
+inline bool LintChromeTrace(const std::string& text, TraceLint* out) {
+  JsonValue doc;
+  if (!ParseJson(text, &doc, &out->err)) return false;
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    out->err = "missing traceEvents array";
+    return false;
+  }
+  std::map<std::pair<int, int>, int> depth;
+  std::map<std::pair<int, int>, double> last_ts;
+  for (const JsonValue& e : events->arr) {
+    if (e.type != JsonValue::Type::kObject) {
+      out->err = "non-object trace event";
+      return false;
+    }
+    const JsonValue* ph = e.Find("ph");
+    const JsonValue* pid = e.Find("pid");
+    if (ph == nullptr || ph->type != JsonValue::Type::kString ||
+        pid == nullptr || pid->type != JsonValue::Type::kNumber) {
+      out->err = "event missing ph/pid";
+      return false;
+    }
+    out->pids.insert(static_cast<int>(pid->number));
+    if (const JsonValue* name = e.Find("name");
+        name != nullptr && name->type == JsonValue::Type::kString) {
+      out->names.insert(name->str);
+    }
+    if (ph->str == "M") continue;  // metadata records carry no timestamp
+    ++out->events;
+    const JsonValue* tid = e.Find("tid");
+    const JsonValue* ts = e.Find("ts");
+    if (tid == nullptr || tid->type != JsonValue::Type::kNumber ||
+        ts == nullptr || ts->type != JsonValue::Type::kNumber) {
+      out->err = "event missing tid/ts";
+      return false;
+    }
+    std::pair<int, int> track{static_cast<int>(pid->number),
+                              static_cast<int>(tid->number)};
+    auto [it, fresh] = last_ts.try_emplace(track, ts->number);
+    if (!fresh) {
+      if (ts->number < it->second) out->monotonic = false;
+      it->second = std::max(it->second, ts->number);
+    }
+    if (ph->str == "B") {
+      ++depth[track];
+    } else if (ph->str == "E") {
+      if (--depth[track] < 0) out->balanced = false;
+    } else if (ph->str != "i" && ph->str != "X") {
+      out->err = "unexpected ph \"" + ph->str + "\"";
+      return false;
+    }
+  }
+  for (const auto& [track, d] : depth) {
+    if (d != 0) out->balanced = false;
+  }
+  return true;
+}
+
+}  // namespace demsort::obs
+
+#endif  // DEMSORT_OBS_TRACE_CHECK_H_

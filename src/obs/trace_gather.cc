@@ -1,0 +1,37 @@
+#include "obs/trace_gather.h"
+
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace demsort::obs {
+
+bool GatherTraceToRank0(net::Comm& comm, const std::string& path) {
+  // Stop recording everywhere before anyone reads a ring: the first barrier
+  // orders every rank's Disable() before any serialization, and in-process
+  // peers share the tracer, so after the second barrier no thread that saw
+  // enabled==true can still be mid-Push while a serializer reads.
+  Tracer& tracer = Tracer::Get();
+  comm.Barrier();
+  tracer.Disable();
+  comm.Barrier();
+
+  int tag = comm.AllocateCollectiveTag();
+  std::vector<uint8_t> mine = tracer.SerializeRank(comm.rank());
+  if (comm.rank() != 0) {
+    comm.Send(0, tag, mine.data(), mine.size());
+    comm.Barrier();
+    return true;
+  }
+  std::vector<std::vector<uint8_t>> blobs;
+  blobs.reserve(comm.size());
+  blobs.push_back(std::move(mine));
+  for (int src = 1; src < comm.size(); ++src) {
+    blobs.push_back(comm.Recv(src, tag));
+  }
+  bool ok = Tracer::WriteChromeTraceJson(path, blobs);
+  comm.Barrier();
+  return ok;
+}
+
+}  // namespace demsort::obs

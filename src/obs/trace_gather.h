@@ -1,0 +1,24 @@
+// Cross-rank trace collection: after the timed region, every rank
+// serializes its own span-trace ring contents and ships them to rank 0
+// over the existing point-to-point transport; rank 0 merges all P blobs
+// into one Chrome trace-event JSON. Collection is SPMD (every rank calls
+// GatherTraceToRank0) and deliberately runs after validation, so the trace
+// wire traffic never contaminates the benchmarked phases.
+#ifndef DEMSORT_OBS_TRACE_GATHER_H_
+#define DEMSORT_OBS_TRACE_GATHER_H_
+
+#include <string>
+
+#include "net/comm.h"
+
+namespace demsort::obs {
+
+/// Collective. Disables the tracer (between two barriers, so no rank is
+/// still recording while another reads rings), gathers every rank's
+/// serialized events to rank 0, and writes the merged Chrome JSON there.
+/// Returns true on every rank except rank 0 with a failed file write.
+bool GatherTraceToRank0(net::Comm& comm, const std::string& path);
+
+}  // namespace demsort::obs
+
+#endif  // DEMSORT_OBS_TRACE_GATHER_H_

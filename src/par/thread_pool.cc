@@ -2,15 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace demsort::par {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, int trace_rank) {
   if (num_threads <= 1) return;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, trace_rank] {
+      TRACE_THREAD_RANK(trace_rank);
+      TRACE_THREAD_NAME("pool-worker");
+      WorkerLoop();
+    });
   }
 }
 

@@ -21,7 +21,11 @@ class ThreadPool {
  public:
   /// num_threads == 0 or 1 makes every call run inline (useful for tests and
   /// for keeping thread counts sane when emulating many PEs).
-  explicit ThreadPool(size_t num_threads);
+  ///
+  /// `trace_rank`: the owning PE's rank, stamped on every worker thread so
+  /// span-trace events they record land on that rank's tracks (workers are
+  /// PE-private; -1 leaves them unattributed).
+  explicit ThreadPool(size_t num_threads, int trace_rank = -1);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
